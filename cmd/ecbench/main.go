@@ -1,0 +1,55 @@
+// Command ecbench regenerates the paper's evaluation artifacts from live
+// simulations: Table 1 (timing error), Table 2 (energy estimation
+// error), Table 3 (simulation performance), Figure 6 (layer-2 energy
+// sampling) and the §4.3 Java Card exploration.
+//
+// Usage:
+//
+//	ecbench              # everything
+//	ecbench -table 2     # one table
+//	ecbench -figure 6    # the sampling figure
+//	ecbench -explore     # the case-study sweep only
+//	ecbench -n 200000    # transactions per Table-3 measurement
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print only table 1, 2 or 3")
+	figure := flag.Int("figure", 0, "print only figure 6")
+	exploreOnly := flag.Bool("explore", false, "print only the case-study exploration")
+	n := flag.Int("n", 100000, "transactions per Table-3 measurement run")
+	flag.Parse()
+
+	all := *table == 0 && *figure == 0 && !*exploreOnly
+
+	if all || *table == 1 {
+		_, text := bench.Table1()
+		fmt.Println(text)
+	}
+	if all || *table == 2 {
+		_, text := bench.Table2()
+		fmt.Println(text)
+	}
+	if all || *table == 3 {
+		_, text := bench.Table3(*n)
+		fmt.Println(text)
+	}
+	if all || *figure == 6 {
+		fmt.Println(bench.Figure6())
+	}
+	if all || *exploreOnly {
+		text, err := bench.Exploration()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ecbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(text)
+	}
+}

@@ -1,0 +1,168 @@
+// Command ectrace records, replays and converts EC bus transaction
+// traces — the paper's §4.1 flow (trace at a lower layer, replay into
+// the transaction-level models) plus VCD export for waveform viewers.
+//
+// Usage:
+//
+//	ectrace record -o run.trace          # trace the verification corpus on layer 0
+//	ectrace replay -layer 2 run.trace    # replay a trace into a TLM layer
+//	ectrace vcd -o run.vcd               # dump the layer-0 wires as VCD
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/ecbus"
+	"repro/internal/gatepower"
+	"repro/internal/mem"
+	"repro/internal/rtlbus"
+	"repro/internal/sim"
+	"repro/internal/tlm1"
+	"repro/internal/tlm2"
+	"repro/internal/trace"
+)
+
+var lay = core.Layout{Fast: 0, Slow: 0x10000}
+
+func newMap() *ecbus.Map {
+	return ecbus.MustMap(
+		mem.NewRAM("fast", lay.Fast, 0x1000, 0, 0),
+		mem.NewRAM("slow", lay.Slow, 0x1000, 1, 2),
+	)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ectrace:", err)
+	os.Exit(1)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: ectrace record|replay|vcd [flags]")
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "record":
+		cmdRecord(os.Args[2:])
+	case "replay":
+		cmdReplay(os.Args[2:])
+	case "vcd":
+		cmdVCD(os.Args[2:])
+	default:
+		fmt.Fprintf(os.Stderr, "ectrace: unknown subcommand %q\n", os.Args[1])
+		os.Exit(2)
+	}
+}
+
+func cmdRecord(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	out := fs.String("o", "ec.trace", "output trace file")
+	seed := fs.Uint64("seed", 0, "use a random corpus with this seed instead of the verification corpus")
+	n := fs.Int("n", 500, "random corpus size")
+	fs.Parse(args)
+
+	k := sim.New(0)
+	b := rtlbus.New(k, newMap())
+	rec := trace.NewRecorder(b)
+	items := core.VerificationCorpus(lay)
+	if *seed != 0 {
+		items = core.RandomCorpus(*seed, *n, lay)
+	}
+	m, cycles := core.RunScript(k, rec, items, 10_000_000)
+	if !m.Done() {
+		fatal(fmt.Errorf("run did not complete"))
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := trace.Save(f, rec.Records()); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("recorded %d transactions over %d cycles to %s\n",
+		len(rec.Records()), cycles, *out)
+}
+
+func cmdReplay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	layer := fs.Int("layer", 1, "target layer: 1 or 2")
+	energy := fs.Bool("energy", true, "attach the layer's energy model")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("replay needs a trace file"))
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	recs, err := trace.Load(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	// Characterize for the energy model.
+	kc := sim.New(0)
+	bc := rtlbus.New(kc, newMap())
+	est := gatepower.NewEstimator(gatepower.DefaultConfig())
+	kc.At(sim.Post, "gp", func(uint64) { est.Observe(bc.Wires()) })
+	core.RunScript(kc, bc, core.CharCorpus(lay, 400), 10_000_000)
+	char := est.Char()
+
+	k := sim.New(0)
+	var bus core.Initiator
+	var getE func() float64 = func() float64 { return 0 }
+	if *layer == 1 {
+		b := tlm1.New(k, newMap())
+		if *energy {
+			b.AttachPower(tlm1.NewPowerModel(char))
+			getE = b.Power().TotalEnergy
+		}
+		bus = b
+	} else {
+		b := tlm2.New(k, newMap())
+		if *energy {
+			b.AttachPower(tlm2.NewPowerModel(char))
+			getE = b.Power().TotalEnergy
+		}
+		bus = b
+	}
+	m, cycles := core.RunScript(k, bus, trace.Items(recs), 10_000_000)
+	if !m.Done() {
+		fatal(fmt.Errorf("replay did not complete"))
+	}
+	fmt.Printf("replayed %d transactions on layer %d: %d cycles, %d errors",
+		len(recs), *layer, cycles, m.Errors())
+	if *energy {
+		fmt.Printf(", %.3f pJ", getE()*1e12)
+	}
+	fmt.Println()
+}
+
+func cmdVCD(args []string) {
+	fs := flag.NewFlagSet("vcd", flag.ExitOnError)
+	out := fs.String("o", "ec.vcd", "output VCD file")
+	fs.Parse(args)
+
+	k := sim.New(0)
+	b := rtlbus.New(k, newMap())
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	v := trace.NewVCD(f)
+	k.At(sim.Post, "vcd", func(uint64) { v.Observe(b.Wires()) })
+	m, cycles := core.RunScript(k, b, core.VerificationCorpus(lay), 10_000_000)
+	if !m.Done() {
+		fatal(fmt.Errorf("run did not complete"))
+	}
+	if err := v.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dumped %d cycles of EC wires to %s\n", cycles, *out)
+}

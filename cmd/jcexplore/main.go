@@ -1,0 +1,56 @@
+// Command jcexplore runs the paper's §4.3 case study: HW/SW interface
+// exploration for the Java Card VM's hardware operand stack, sweeping
+// SFR organization, address map and bus abstraction layer.
+//
+// Usage:
+//
+//	jcexplore                 # full sweep, table + Pareto frontier
+//	jcexplore -layer 2        # only the timed layer (fastest)
+//	jcexplore -workload wallet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/explore"
+	"repro/internal/javacard"
+)
+
+func main() {
+	layer := flag.Int("layer", 0, "restrict to one bus layer (1 or 2); 0 = both")
+	workload := flag.String("workload", "", "restrict to one workload (arith-loop, stack-churn, wallet)")
+	flag.Parse()
+
+	layers := []int{1, 2}
+	if *layer != 0 {
+		layers = []int{*layer}
+	}
+	workloads := javacard.Workloads()
+	if *workload != "" {
+		var filtered []javacard.Workload
+		for _, w := range workloads {
+			if w.Name == *workload {
+				filtered = append(filtered, w)
+			}
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "jcexplore: unknown workload %q\n", *workload)
+			os.Exit(2)
+		}
+		workloads = filtered
+	}
+
+	results, err := explore.Sweep(layers, javacard.Organizations, explore.AddrMaps, workloads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jcexplore:", err)
+		os.Exit(1)
+	}
+	fmt.Println("Java Card VM HW/SW interface exploration (paper 4.3)")
+	fmt.Println()
+	fmt.Print(explore.Table(results))
+	fmt.Println()
+	fmt.Println("Pareto frontier (cycles vs bus energy):")
+	fmt.Print(explore.Table(explore.Pareto(results)))
+}

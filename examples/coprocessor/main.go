@@ -1,0 +1,117 @@
+// Coprocessor HW/SW interface evaluation: the paper's motivating
+// scenario — "algorithms with high computational effort, like
+// cryptographic algorithms, are often supported by dedicated
+// coprocessors. The chosen HW/SW interface to control these coprocessors
+// influences both system performance and power consumption."
+//
+// This example encrypts a message two ways on the same platform:
+//
+//  1. software cipher on the MIPS core (pure loads/stores/ALU), and
+//  2. the crypto coprocessor driven over its SFR interface,
+//
+// and compares cycles and energy at the cycle-accurate layer.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cpu"
+	"repro/internal/crypto"
+	"repro/internal/platform"
+)
+
+// swCipher is a deliberately simple software round loop standing in for
+// a bitsliced software implementation: 16 rounds of xor/rotate over two
+// words kept in RAM (so the data traffic is visible on the bus).
+const swCipher = `
+	lui  $s0, 0x000C       # RAM: block at 0($s0), 4($s0); key at 8($s0)
+	li   $t0, 0x5678
+	sw   $t0, 0($s0)
+	sw   $zero, 4($s0)
+	li   $t0, 0x1234
+	sw   $t0, 8($s0)
+	li   $t3, 16           # rounds
+round:
+	blez $t3, done
+	nop
+	lw   $t0, 0($s0)       # l
+	lw   $t1, 4($s0)       # r
+	lw   $t2, 8($s0)       # k
+	xor  $t4, $t1, $t2     # r ^ k
+	sll  $t5, $t4, 11
+	srl  $t6, $t4, 21
+	or   $t4, $t5, $t6     # rot11
+	xor  $t4, $t4, $t0     # ^ l
+	sw   $t1, 0($s0)       # l' = r
+	sw   $t4, 4($s0)       # r' = f
+	sll  $t2, $t2, 1       # key schedule-ish
+	sw   $t2, 8($s0)
+	addiu $t3, $t3, -1
+	b    round
+	nop
+done:
+	lw   $v0, 4($s0)
+	break
+`
+
+// hwDriven programs the coprocessor and polls for completion.
+const hwDriven = `
+	lui  $s4, 0x000F
+	ori  $s4, $s4, 0x0500  # crypto SFRs
+	li   $t0, 0x1234
+	sw   $t0, 0x00($s4)    # KEY0
+	sw   $zero, 0x04($s4)  # KEY1
+	li   $t0, 0x5678
+	sw   $t0, 0x08($s4)    # DATA0
+	sw   $zero, 0x0C($s4)  # DATA1
+	li   $t0, 1
+	sw   $t0, 0x10($s4)    # start
+poll:
+	lw   $t1, 0x14($s4)
+	andi $t1, $t1, 2
+	beq  $t1, $zero, poll
+	nop
+	lw   $v0, 0x18($s4)
+	break
+`
+
+func run(src string) (*platform.Platform, uint64) {
+	p := platform.New(platform.Config{Layer: platform.Layer1, Energy: true, ICache: true})
+	words, err := cpu.Assemble(platform.ROMBase, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := p.LoadProgram(words, true); err != nil {
+		log.Fatal(err)
+	}
+	cycles, halted := p.Run(10_000_000)
+	if !halted || p.CPU.Fault() != nil {
+		log.Fatalf("run failed: halted=%v fault=%v", halted, p.CPU.Fault())
+	}
+	return p, cycles
+}
+
+func main() {
+	sw, swCycles := run(swCipher)
+	hw, hwCycles := run(hwDriven)
+
+	fmt.Println("coprocessor HW/SW interface evaluation (layer 1, cycle accurate)")
+	fmt.Println()
+	fmt.Printf("%-22s %10s %14s %14s %14s\n", "variant", "cycles", "bus[pJ]", "engine[pJ]", "total[pJ]")
+	fmt.Printf("%-22s %10d %14.1f %14.1f %14.1f\n", "software rounds", swCycles,
+		sw.BusEnergy()*1e12, sw.Crypto.TraceEnergy()*1e12, sw.TotalEnergy()*1e12)
+	fmt.Printf("%-22s %10d %14.1f %14.1f %14.1f\n", "coprocessor via SFRs", hwCycles,
+		hw.BusEnergy()*1e12, hw.Crypto.TraceEnergy()*1e12, hw.TotalEnergy()*1e12)
+	fmt.Println()
+
+	// Cross-check the coprocessor against the reference software model.
+	want := crypto.Encrypt(0x1234, 0x5678)
+	fmt.Printf("coprocessor result $v0 = %#x (reference Encrypt low word: %#x)\n",
+		hw.CPU.Reg(2), uint32(want))
+	fmt.Println()
+	fmt.Printf("speedup from the coprocessor: %.1fx fewer cycles; the polling SFR\n",
+		float64(swCycles)/float64(hwCycles))
+	fmt.Println("interface spends its energy on the bus — exactly the trade-off the")
+	fmt.Println("paper's hierarchical bus models are built to expose early.")
+}

@@ -1,0 +1,49 @@
+// Java Card case study (paper §4.3, Fig. 7): refine the VM's operand
+// stack from a functional model to a hardware slave behind the TLM bus,
+// then explore the HW/SW interface — SFR organization and address map —
+// for the best time/energy point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/explore"
+	"repro/internal/javacard"
+	"repro/internal/platform"
+)
+
+func main() {
+	// Step 1: the untimed functional model (Fig. 7a).
+	prog, mm, fw := javacard.Wallet(1000, 7, 40)
+	vm := javacard.NewVM(prog, &javacard.SoftStack{}, mm, fw)
+	if err := vm.Run(1_000_000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("functional model: wallet balance = %d after %d bytecodes (no time, no energy)\n\n",
+		vm.Static(0), vm.Steps)
+
+	// Step 2: communication refinement (Fig. 7b) — same interpreter,
+	// stack behind the cycle-accurate bus via the master adapter.
+	char := platform.DefaultCharTable()
+	r, err := explore.Run(explore.Config{Layer: 1, Org: javacard.OrgHalf, AddrMap: "near"},
+		javacard.Workload{Name: "wallet", Make: func() (javacard.Program, *javacard.MemoryManager, *javacard.Firewall) {
+			return javacard.Wallet(1000, 7, 40)
+		}}, char)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("refined model (halfword SFRs): %d cycles, %.1f pJ bus energy, %d transactions\n\n",
+		r.Cycles, r.BusEnergyJ*1e12, r.Transactions)
+
+	// Step 3: the exploration the models exist for.
+	results, err := explore.Sweep([]int{1}, javacard.Organizations, explore.AddrMaps,
+		javacard.Workloads())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("exploration sweep (layer 1):")
+	fmt.Print(explore.Table(results))
+	fmt.Println("\nPareto frontier:")
+	fmt.Print(explore.Table(explore.Pareto(results)))
+}

@@ -1,0 +1,36 @@
+package analysis
+
+import (
+	"repro/internal/crypto"
+	"repro/internal/ecbus"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+// CollectTraces runs n encryptions of pseudo-random plaintexts under the
+// fixed key on a crypto coprocessor and returns the per-operation power
+// traces with their plaintexts — the attacker's measurement campaign.
+// Each trace has crypto.Rounds*crypto.CyclesPerRound samples.
+func CollectTraces(n int, key uint64, leak crypto.LeakConfig, seed uint64) (traces [][]float64, plaintexts []uint64) {
+	k := sim.New(0)
+	cp := crypto.New(k, "des", 0, leak, nil, 0)
+	cp.WriteWord(crypto.RegKey0, uint32(key), ecbus.W32)
+	cp.WriteWord(crypto.RegKey1, uint32(key>>32), ecbus.W32)
+
+	r := logic.NewLFSR(seed)
+	for i := 0; i < n; i++ {
+		// Raw LFSR states are linearly dependent bit-to-bit; mix them so
+		// the plaintext bits are independent, as in a real campaign.
+		pt := logic.Mix64(r.Next())
+		cp.WriteWord(crypto.RegData0, uint32(pt), ecbus.W32)
+		cp.WriteWord(crypto.RegData1, uint32(pt>>32), ecbus.W32)
+		cp.ResetTrace()
+		cp.WriteWord(crypto.RegCtrl, 1, ecbus.W32)
+		for cp.Busy() {
+			k.Step()
+		}
+		traces = append(traces, append([]float64(nil), cp.Trace()...))
+		plaintexts = append(plaintexts, pt)
+	}
+	return traces, plaintexts
+}

@@ -1,0 +1,203 @@
+package apdu
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ecbus"
+	"repro/internal/platform"
+)
+
+func TestCommandRoundTrip(t *testing.T) {
+	cases := []Command{
+		{CLA: 0x80, INS: 0xA4, P1: 4, P2: 0},                           // case 1
+		{CLA: 0x80, INS: 0xB0, Le: 2},                                  // case 2
+		{CLA: 0x80, INS: 0xD0, Data: []byte{1, 2}},                     // case 3
+		{CLA: 0x80, INS: 0xC0, P1: 1, Data: []byte{9, 8, 7, 6}, Le: 4}, // case 4
+		{CLA: 0x00, INS: 0xA4, P1: 4, P2: 0, Data: append([]byte{}, WalletAID...)},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.Bytes())
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if got.CLA != c.CLA || got.INS != c.INS || got.P1 != c.P1 || got.P2 != c.P2 {
+			t.Fatalf("header mismatch: %v vs %v", got, c)
+		}
+		if !bytes.Equal(got.Data, c.Data) {
+			t.Fatalf("data mismatch: %x vs %x", got.Data, c.Data)
+		}
+		if c.Le > 0 && got.Le != c.Le {
+			t.Fatalf("Le mismatch: %d vs %d", got.Le, c.Le)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := [][]byte{
+		{},
+		{0x80, 0xA4},
+		{0x80, 0xA4, 0, 0, 5, 1, 2},    // Lc announces 5, only 2
+		{0x80, 0xA4, 0, 0, 1, 1, 2, 3}, // 2 trailing bytes
+	}
+	for _, b := range bad {
+		if _, err := Parse(b); err == nil {
+			t.Errorf("parsed invalid frame %x", b)
+		}
+	}
+}
+
+func TestParseLe0Means256(t *testing.T) {
+	c, err := Parse([]byte{0x80, 0xB0, 0, 0, 0})
+	if err != nil || c.Le != 256 {
+		t.Fatalf("Le=0 parsed as %d (%v)", c.Le, err)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	f := func(data []byte, sw uint16) bool {
+		r := Response{Data: data, SW: sw}
+		back, err := ParseResponse(r.Bytes())
+		return err == nil && back.SW == sw && bytes.Equal(back.Data, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseResponse([]byte{0x90}); err == nil {
+		t.Fatal("short response parsed")
+	}
+	if !(Response{SW: SWSuccess}).OK() || (Response{SW: SWWrongLength}).OK() {
+		t.Fatal("OK() wrong")
+	}
+}
+
+// session builds a platform, seeds the EEPROM balance and runs the
+// command list.
+func session(t *testing.T, layer platform.Layer, cmds []Command) ([]Response, *platform.Platform, *Card) {
+	t.Helper()
+	p := platform.New(platform.Config{Layer: layer, Energy: true})
+	// Seed the balance through the factory-programming backdoor (a bus
+	// write would start a programming cycle and count as one).
+	if err := p.EEPROM.LoadWords(0, []uint32{1000}); err != nil {
+		t.Fatal(err)
+	}
+	card := NewCard(p.Kernel, p.Bus, platform.UARTBase, platform.EEPROMBase)
+	resps, err := card.Session(p.UART, cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resps, p, card
+}
+
+func walletSession() []Command {
+	return []Command{
+		{CLA: ClaWallet, INS: InsSelect, Data: append([]byte{}, WalletAID...)},
+		{CLA: ClaWallet, INS: InsBalance, Le: 2},
+		{CLA: ClaWallet, INS: InsDebit, Data: []byte{0x00, 0x64}}, // -100
+		{CLA: ClaWallet, INS: InsBalance, Le: 2},
+		{CLA: ClaWallet, INS: InsCredit, Data: []byte{0x00, 0x32}}, // +50
+		{CLA: ClaWallet, INS: InsBalance, Le: 2},
+	}
+}
+
+func TestWalletSession(t *testing.T) {
+	resps, p, _ := session(t, platform.Layer1, walletSession())
+	wantBal := []uint16{1000, 900, 950}
+	bi := 0
+	for i, r := range resps {
+		if !r.OK() {
+			t.Fatalf("command %d failed: SW=%04X", i, r.SW)
+		}
+		if len(r.Data) == 2 {
+			got := uint16(r.Data[0])<<8 | uint16(r.Data[1])
+			if got != wantBal[bi] {
+				t.Fatalf("balance %d = %d, want %d", bi, got, wantBal[bi])
+			}
+			bi++
+		}
+	}
+	if bi != 3 {
+		t.Fatalf("saw %d balance responses", bi)
+	}
+	// The final balance persists in EEPROM.
+	if w, _ := p.EEPROM.ReadWord(platform.EEPROMBase, ecbus.W32); w != 950 {
+		t.Fatalf("EEPROM balance = %d", w)
+	}
+	if p.EEPROM.Programs() != 2 {
+		t.Fatalf("EEPROM programmed %d times, want 2", p.EEPROM.Programs())
+	}
+	if p.BusEnergy() <= 0 || p.PeripheralEnergy() <= 0 {
+		t.Fatal("session consumed no energy")
+	}
+}
+
+func TestWalletRejectsOverdraft(t *testing.T) {
+	resps, p, _ := session(t, platform.Layer1, []Command{
+		{CLA: ClaWallet, INS: InsSelect, Data: append([]byte{}, WalletAID...)},
+		{CLA: ClaWallet, INS: InsDebit, Data: []byte{0xFF, 0xFF}}, // > balance
+		{CLA: ClaWallet, INS: InsBalance, Le: 2},
+	})
+	if resps[1].SW != SWConditionsNotMet {
+		t.Fatalf("overdraft SW=%04X", resps[1].SW)
+	}
+	if got := uint16(resps[2].Data[0])<<8 | uint16(resps[2].Data[1]); got != 1000 {
+		t.Fatalf("balance changed to %d after rejected debit", got)
+	}
+	if p.EEPROM.Programs() != 0 {
+		t.Fatal("EEPROM written despite rejection")
+	}
+}
+
+func TestWalletProtocolErrors(t *testing.T) {
+	resps, _, _ := session(t, platform.Layer1, []Command{
+		{CLA: 0x00, INS: InsBalance},                            // wrong class
+		{CLA: ClaWallet, INS: InsBalance, Le: 2},                // not selected
+		{CLA: ClaWallet, INS: InsSelect, Data: []byte{1, 2, 3}}, // wrong AID
+		{CLA: ClaWallet, INS: InsSelect, Data: append([]byte{}, WalletAID...)},
+		{CLA: ClaWallet, INS: InsDebit, Data: []byte{1}}, // wrong length
+		{CLA: ClaWallet, INS: 0xEE},                      // unknown INS
+	})
+	want := []uint16{SWClaNotSupported, SWConditionsNotMet, SWFileNotFound,
+		SWSuccess, SWWrongLength, SWInsNotSupported}
+	for i, sw := range want {
+		if resps[i].SW != sw {
+			t.Fatalf("command %d SW=%04X, want %04X", i, resps[i].SW, sw)
+		}
+	}
+}
+
+func TestWalletSessionAcrossLayers(t *testing.T) {
+	// The same session must produce identical responses at every layer;
+	// layer 2's cycle count may differ, its behaviour may not.
+	var first []Response
+	for _, layer := range []platform.Layer{platform.Layer0, platform.Layer1, platform.Layer2} {
+		resps, _, _ := session(t, layer, walletSession())
+		if first == nil {
+			first = resps
+			continue
+		}
+		for i := range resps {
+			if resps[i].SW != first[i].SW || !bytes.Equal(resps[i].Data, first[i].Data) {
+				t.Fatalf("%v: response %d differs", layer, i)
+			}
+		}
+	}
+}
+
+func TestSessionEnergyDominatedByEEPROMWrites(t *testing.T) {
+	// Two debit-heavy sessions: more debits, more EEPROM programming
+	// stalls — visible in cycles.
+	cycles := func(debits int) uint64 {
+		cmds := []Command{{CLA: ClaWallet, INS: InsSelect, Data: append([]byte{}, WalletAID...)}}
+		for i := 0; i < debits; i++ {
+			cmds = append(cmds, Command{CLA: ClaWallet, INS: InsDebit, Data: []byte{0, 1}})
+		}
+		_, p, _ := session(t, platform.Layer1, cmds)
+		return p.Kernel.Cycle()
+	}
+	few, many := cycles(1), cycles(6)
+	if many <= few {
+		t.Fatalf("6 debits (%d cycles) not slower than 1 (%d)", many, few)
+	}
+}

@@ -1,0 +1,216 @@
+package apdu
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ecbus"
+	"repro/internal/periph"
+	"repro/internal/sim"
+)
+
+// Card is the card-side wallet application. It performs all its I/O and
+// persistence through bus transactions — UART SFRs for the contact
+// interface, EEPROM for the balance — so a session's cost is fully
+// visible to the platform's energy models. Like the Java Card adapters,
+// it is an untimed application model that advances the clocked
+// simulation until each transaction completes.
+type Card struct {
+	k          *sim.Kernel
+	bus        core.Initiator
+	uartBase   uint64
+	eepromBase uint64
+
+	ids      uint64
+	selected bool
+
+	// Transactions counts the bus transactions the application issued.
+	Transactions uint64
+}
+
+// NewCard creates the wallet application over the given bus.
+func NewCard(k *sim.Kernel, bus core.Initiator, uartBase, eepromBase uint64) *Card {
+	return &Card{k: k, bus: bus, uartBase: uartBase, eepromBase: eepromBase}
+}
+
+// run drives one transaction to completion.
+func (c *Card) run(kind ecbus.Kind, addr uint64, w ecbus.Width, data uint32) (uint32, error) {
+	c.ids++
+	tr, err := ecbus.NewSingle(c.ids, kind, addr, w, data)
+	if err != nil {
+		return 0, err
+	}
+	c.Transactions++
+	for i := 0; i < 1_000_000; i++ {
+		st := c.bus.Access(tr)
+		if st == ecbus.StateOK {
+			return tr.Data[0], nil
+		}
+		if st == ecbus.StateError {
+			return 0, fmt.Errorf("card: bus error at %#x", addr)
+		}
+		c.k.Step()
+	}
+	return 0, errors.New("card: transaction never completed")
+}
+
+// uartInit enables the UART.
+func (c *Card) uartInit() error {
+	_, err := c.run(ecbus.Write, c.uartBase+periph.UartCtrl, ecbus.W32, 1)
+	return err
+}
+
+// recvByte blocks (advancing simulation time) until a byte arrives.
+func (c *Card) recvByte() (byte, error) {
+	for i := 0; i < 1_000_000; i++ {
+		st, err := c.run(ecbus.Read, c.uartBase+periph.UartStatus, ecbus.W32, 0)
+		if err != nil {
+			return 0, err
+		}
+		if st&4 != 0 { // rx available
+			v, err := c.run(ecbus.Read, c.uartBase+periph.UartData, ecbus.W32, 0)
+			return byte(v), err
+		}
+		c.k.Step()
+	}
+	return 0, errors.New("card: no byte received")
+}
+
+// sendByte writes one response byte, respecting the TX FIFO.
+func (c *Card) sendByte(b byte) error {
+	for i := 0; i < 1_000_000; i++ {
+		st, err := c.run(ecbus.Read, c.uartBase+periph.UartStatus, ecbus.W32, 0)
+		if err != nil {
+			return err
+		}
+		if st&2 == 0 { // not full
+			_, err := c.run(ecbus.Write, c.uartBase+periph.UartData, ecbus.W32, uint32(b))
+			return err
+		}
+		c.k.Step()
+	}
+	return errors.New("card: tx fifo never drained")
+}
+
+// balance reads the persistent balance word from EEPROM.
+func (c *Card) balance() (uint32, error) {
+	return c.run(ecbus.Read, c.eepromBase, ecbus.W32, 0)
+}
+
+// setBalance programs the balance into EEPROM (self-timed write).
+func (c *Card) setBalance(v uint32) error {
+	_, err := c.run(ecbus.Write, c.eepromBase, ecbus.W32, v)
+	return err
+}
+
+// Handle executes one command APDU against the wallet state.
+func (c *Card) Handle(cmd Command) Response {
+	if cmd.CLA != ClaWallet {
+		return Response{SW: SWClaNotSupported}
+	}
+	switch cmd.INS {
+	case InsSelect:
+		if len(cmd.Data) != len(WalletAID) {
+			return Response{SW: SWFileNotFound}
+		}
+		for i, b := range WalletAID {
+			if cmd.Data[i] != b {
+				return Response{SW: SWFileNotFound}
+			}
+		}
+		c.selected = true
+		return Response{SW: SWSuccess}
+	case InsBalance:
+		if !c.selected {
+			return Response{SW: SWConditionsNotMet}
+		}
+		bal, err := c.balance()
+		if err != nil {
+			return Response{SW: SWConditionsNotMet}
+		}
+		return Response{Data: []byte{byte(bal >> 8), byte(bal)}, SW: SWSuccess}
+	case InsDebit, InsCredit:
+		if !c.selected {
+			return Response{SW: SWConditionsNotMet}
+		}
+		if len(cmd.Data) != 2 {
+			return Response{SW: SWWrongLength}
+		}
+		amount := uint32(cmd.Data[0])<<8 | uint32(cmd.Data[1])
+		bal, err := c.balance()
+		if err != nil {
+			return Response{SW: SWConditionsNotMet}
+		}
+		if cmd.INS == InsDebit {
+			if bal < amount {
+				return Response{SW: SWConditionsNotMet}
+			}
+			bal -= amount
+		} else {
+			bal += amount
+		}
+		if err := c.setBalance(bal); err != nil {
+			return Response{SW: SWConditionsNotMet}
+		}
+		return Response{SW: SWSuccess}
+	default:
+		return Response{SW: SWInsNotSupported}
+	}
+}
+
+// injector delivers terminal bytes into the card's UART; satisfied by
+// *periph.UART.
+type injector interface {
+	InjectRx(p []byte)
+}
+
+// Session runs a sequence of terminal commands over the UART against
+// the card and returns the responses. The terminal injects each command
+// into the UART receiver; the card reads it byte by byte over the bus
+// (T=0 style: 4-byte header, then Lc and data as announced), executes
+// it, and writes the response back through the transmitter.
+func (c *Card) Session(uart injector, cmds []Command) ([]Response, error) {
+	if err := c.uartInit(); err != nil {
+		return nil, err
+	}
+	var out []Response
+	for _, cmd := range cmds {
+		uart.InjectRx(cmd.Bytes())
+
+		// Read the header.
+		var hdr [4]byte
+		for i := range hdr {
+			b, err := c.recvByte()
+			if err != nil {
+				return nil, err
+			}
+			hdr[i] = b
+		}
+		raw := hdr[:]
+		// Read body as announced (mirrors Parse's case handling; the
+		// terminal model sends well-formed frames).
+		if len(cmd.Data) > 0 || cmd.Le > 0 {
+			rest := len(cmd.Bytes()) - 4
+			for i := 0; i < rest; i++ {
+				b, err := c.recvByte()
+				if err != nil {
+					return nil, err
+				}
+				raw = append(raw, b)
+			}
+		}
+		parsed, err := Parse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("card: reassembled frame: %w", err)
+		}
+		resp := c.Handle(parsed)
+		for _, b := range resp.Bytes() {
+			if err := c.sendByte(b); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, resp)
+	}
+	return out, nil
+}

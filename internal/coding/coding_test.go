@@ -1,0 +1,181 @@
+package coding
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/ecbus"
+	"repro/internal/gatepower"
+	"repro/internal/logic"
+	"repro/internal/mem"
+	"repro/internal/rtlbus"
+	"repro/internal/sim"
+)
+
+func TestRawIdentity(t *testing.T) {
+	r := &Raw{Bits: 8}
+	if r.Encode(0x1FF) != 0xFF {
+		t.Fatal("raw does not mask")
+	}
+	seq := []uint64{0, 0xFF, 0, 0xFF}
+	if got := Transitions(seq, 8); got != 24 {
+		t.Fatalf("raw transitions = %d, want 24", got)
+	}
+	if got := EncodedTransitions(seq, r); got != 24 {
+		t.Fatalf("raw encoded transitions = %d, want 24", got)
+	}
+}
+
+func TestBusInvertWorstCase(t *testing.T) {
+	// Alternating all-zero/all-one words: raw toggles every wire every
+	// step; bus-invert turns it into (almost) no data-wire activity.
+	seq := []uint64{0, 0xFFFFFFFF, 0, 0xFFFFFFFF, 0, 0xFFFFFFFF}
+	raw := Transitions(seq, 32)
+	enc := EncodedTransitions(seq, &BusInvert{Bits: 32})
+	if raw != 5*32 {
+		t.Fatalf("raw = %d", raw)
+	}
+	// Only the invert line toggles after the first word.
+	if enc > 6 {
+		t.Fatalf("bus-invert worst case = %d transitions, want <= 6", enc)
+	}
+}
+
+func TestBusInvertPerStepBound(t *testing.T) {
+	// Classic bus-invert guarantee: at most ceil(w/2)+1 transitions per
+	// step (data wires + invert line).
+	f := func(words []uint32) bool {
+		enc := &BusInvert{Bits: 32}
+		prev := uint64(0)
+		for _, w := range words {
+			e := enc.Encode(uint64(w))
+			if logic.Hamming(prev, e, enc.Width()) > 17 {
+				return false
+			}
+			prev = e
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBusInvertNeverWorseOverall(t *testing.T) {
+	f := func(words []uint32, seed uint64) bool {
+		seq := make([]uint64, len(words))
+		for i, w := range words {
+			seq[i] = uint64(w)
+		}
+		raw := Transitions(seq, 32)
+		enc := EncodedTransitions(seq, &BusInvert{Bits: 32})
+		// The invert line can add at most one transition per step.
+		return enc <= raw+len(seq)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBusInvertDecodable(t *testing.T) {
+	// The receiver recovers the word from data wires + invert line.
+	enc := &BusInvert{Bits: 16}
+	r := logic.NewLFSR(5)
+	for i := 0; i < 1000; i++ {
+		w := r.NextN(16)
+		e := enc.Encode(w)
+		data := e & logic.Mask(16)
+		if e>>16&1 == 1 {
+			data = ^data & logic.Mask(16)
+		}
+		if data != w {
+			t.Fatalf("step %d: decoded %#x, want %#x", i, data, w)
+		}
+	}
+}
+
+func TestGraySequentialSingleTransition(t *testing.T) {
+	g := &Gray{Bits: 16}
+	prev := g.Encode(0)
+	for i := uint64(1); i < 1000; i++ {
+		cur := g.Encode(i)
+		if logic.Hamming(prev, cur, 16) != 1 {
+			t.Fatalf("gray step %d toggles %d wires", i, logic.Hamming(prev, cur, 16))
+		}
+		prev = cur
+	}
+}
+
+func TestGrayBijective(t *testing.T) {
+	g := &Gray{Bits: 10}
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 1024; i++ {
+		e := g.Encode(i)
+		if seen[e] {
+			t.Fatalf("gray collision at %d", i)
+		}
+		seen[e] = true
+	}
+}
+
+func TestGrayBeatsRawOnSequentialFetch(t *testing.T) {
+	// Sequential instruction addresses: Gray coding gives exactly one
+	// transition per fetch, raw gives the binary carry chain.
+	var seq []uint64
+	for a := uint64(0x1000); a < 0x1400; a += 4 {
+		seq = append(seq, a>>2) // word address lines
+	}
+	res := Evaluate(seq, &Gray{Bits: 34}, 34, 1e-13)
+	if res.EncT >= res.RawT {
+		t.Fatalf("gray (%d) not fewer transitions than raw (%d)", res.EncT, res.RawT)
+	}
+	if res.SavingsPct < 30 {
+		t.Fatalf("gray savings only %.1f%% on sequential fetch", res.SavingsPct)
+	}
+}
+
+// TestBusInvertOnRealTraffic captures the write-data wire values of a
+// layer-0 run and evaluates bus-invert coding on them — the ablation
+// linking this package to the bus models.
+func TestBusInvertOnRealTraffic(t *testing.T) {
+	lay := core.Layout{Fast: 0, Slow: 0x10000}
+	k := sim.New(0)
+	b := rtlbus.New(k, ecbus.MustMap(
+		mem.NewRAM("fast", lay.Fast, 0x1000, 0, 0),
+		mem.NewRAM("slow", lay.Slow, 0x1000, 1, 2),
+	))
+	var wdata []uint64
+	k.At(sim.Post, "cap", func(uint64) { wdata = append(wdata, b.Wires().Get(ecbus.SigWData)) })
+	m, _ := core.RunScript(k, b, core.RandomCorpus(3, 400, lay), 1_000_000)
+	if !m.Done() {
+		t.Fatal("capture run hung")
+	}
+	price := gatepower.NewEstimator(gatepower.DefaultConfig()).Char().PerTransitionJ[ecbus.SigWData]
+	res := Evaluate(wdata, &BusInvert{Bits: 32}, 32, price)
+	t.Logf("%s", res)
+	if res.EncT >= res.RawT {
+		t.Fatalf("bus-invert did not help on random write data: %d vs %d", res.EncT, res.RawT)
+	}
+	if res.EncE >= res.RawE {
+		t.Fatal("no energy savings")
+	}
+}
+
+func TestEvaluateEmptySequence(t *testing.T) {
+	res := Evaluate(nil, &BusInvert{Bits: 32}, 32, 1e-13)
+	if res.RawT != 0 || res.EncT != 0 || res.SavingsPct != 0 {
+		t.Fatalf("empty sequence result: %+v", res)
+	}
+	if res.String() == "" {
+		t.Fatal("empty report")
+	}
+}
+
+func TestEncoderNames(t *testing.T) {
+	for _, e := range []Encoder{&Raw{Bits: 32}, &BusInvert{Bits: 32}, &Gray{Bits: 34}} {
+		if e.Name() == "" || e.Width() <= 0 {
+			t.Fatalf("bad encoder metadata: %q %d", e.Name(), e.Width())
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package core is the paper's hierarchical bus-model framework: the
+// layer-independent interfaces that masters, slaves and energy probes
+// program against, the script master used to drive verification corpora
+// into any layer, and the platform builder that assembles a smart-card
+// system at a chosen abstraction level.
+//
+// The hierarchy (paper §3):
+//
+//	layer 0  (rtlbus)   signal/cycle true   gate-level energy (gatepower)
+//	layer 1  (tlm1)     cycle accurate      per-cycle transition energy
+//	layer 2  (tlm2)     timed               per-phase analytic energy
+//
+// All three bus models expose the same master-side Access semantics
+// (Initiator), so a master binds to any layer unchanged — the property
+// that makes the hierarchy usable for communication refinement.
+package core
+
+import (
+	"repro/internal/ecbus"
+	"repro/internal/sim"
+)
+
+// Initiator is the master-side bus interface shared by every layer:
+// non-blocking, invoked once per transaction per rising edge. The first
+// call submits the transaction (StateRequest, or StateWait if the bus
+// cannot accept it this cycle); subsequent calls poll until a terminal
+// state (StateOK / StateError). This is the paper's "bus master invokes
+// the bus interface every clock cycle until the bus returns error or
+// ok".
+type Initiator interface {
+	Access(tr *ecbus.Transaction) ecbus.BusState
+}
+
+// EnergyMeter is the power interface common to the layer-1 and layer-2
+// models: "a method which returns the dissipated energy since the last
+// method call" plus the running total.
+type EnergyMeter interface {
+	// EnergySince returns the energy in joules dissipated since the
+	// previous EnergySince call (or since reset).
+	EnergySince() float64
+	// TotalEnergy returns the energy in joules dissipated since reset.
+	TotalEnergy() float64
+}
+
+// CycleEnergyMeter is the layer-1 power interface: additionally to
+// EnergyMeter it returns "the energy dissipated during the last clock
+// cycle", enabling cycle-accurate energy profiling.
+type CycleEnergyMeter interface {
+	EnergyMeter
+	EnergyLastCycle() float64
+}
+
+// Item is one scripted bus request: the transaction and the earliest
+// cycle the master may present it.
+type Item struct {
+	Tr        *ecbus.Transaction
+	NotBefore uint64
+}
+
+// ScriptMaster replays a list of bus requests into an Initiator,
+// keeping transactions pipelined up to MaxInFlight, exactly as the bus
+// interface unit of the core would. It registers on the kernel's rising
+// edge. It is the bus-functional master used for verification and for
+// replaying traced transaction sequences into the transaction-level
+// models (paper §4.1).
+type ScriptMaster struct {
+	bus      Initiator
+	items    []Item
+	next     int
+	inflight []*ecbus.Transaction
+
+	// MaxInFlight limits pipelining; the EC categories independently cap
+	// outstanding transactions at 4 each, so 12 means "as pipelined as
+	// the protocol allows". 1 serializes completely.
+	MaxInFlight int
+
+	completed []*ecbus.Transaction
+	errors    int
+}
+
+// NewScriptMaster creates a script master over bus and registers it on
+// the kernel's rising edge.
+func NewScriptMaster(k *sim.Kernel, bus Initiator, items []Item) *ScriptMaster {
+	m := &ScriptMaster{bus: bus, items: items, MaxInFlight: 3 * ecbus.MaxOutstanding}
+	k.At(sim.Rising, "script-master", m.tick)
+	return m
+}
+
+// Serialized makes the master wait for each transaction to finish before
+// issuing the next, and returns the master for chaining.
+func (m *ScriptMaster) Serialized() *ScriptMaster {
+	m.MaxInFlight = 1
+	return m
+}
+
+// Done reports whether every scripted transaction has completed.
+func (m *ScriptMaster) Done() bool {
+	return m.next == len(m.items) && len(m.inflight) == 0
+}
+
+// Completed returns the finished transactions in completion order.
+func (m *ScriptMaster) Completed() []*ecbus.Transaction { return m.completed }
+
+// Errors returns the number of transactions that finished with an error.
+func (m *ScriptMaster) Errors() int { return m.errors }
+
+func (m *ScriptMaster) tick(cycle uint64) {
+	// Poll in-flight transactions; the bus answers Wait until done.
+	keep := m.inflight[:0]
+	for _, tr := range m.inflight {
+		st := m.bus.Access(tr)
+		if st.Done() {
+			m.finish(tr, st)
+		} else {
+			keep = append(keep, tr)
+		}
+	}
+	m.inflight = keep
+
+	// Issue new requests while the script and the bus allow.
+	for m.next < len(m.items) && len(m.inflight) < m.MaxInFlight {
+		it := m.items[m.next]
+		if it.NotBefore > cycle {
+			break
+		}
+		st := m.bus.Access(it.Tr)
+		switch st {
+		case ecbus.StateRequest:
+			m.inflight = append(m.inflight, it.Tr)
+			m.next++
+		case ecbus.StateOK, ecbus.StateError:
+			// Completed immediately (validation failure path).
+			m.finish(it.Tr, st)
+			m.next++
+		default:
+			// Bus full: retry next cycle, preserve program order.
+			return
+		}
+	}
+}
+
+func (m *ScriptMaster) finish(tr *ecbus.Transaction, st ecbus.BusState) {
+	m.completed = append(m.completed, tr)
+	if st == ecbus.StateError {
+		m.errors++
+	}
+}
+
+// RunScript drives items through bus until completion or maxCycles, and
+// returns the master and the number of cycles executed.
+func RunScript(k *sim.Kernel, bus Initiator, items []Item, maxCycles uint64) (*ScriptMaster, uint64) {
+	m := NewScriptMaster(k, bus, items)
+	n, _ := k.RunUntil(maxCycles, m.Done)
+	return m, n
+}

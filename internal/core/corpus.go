@@ -1,0 +1,212 @@
+package core
+
+import (
+	"repro/internal/ecbus"
+	"repro/internal/logic"
+)
+
+// Layout names the addresses a stimulus corpus targets: a zero-wait-state
+// slave and a slave with wait states, each at least 4 KiB.
+type Layout struct {
+	Fast uint64 // base of a zero-wait slave
+	Slow uint64 // base of a slave with address/data wait states
+}
+
+// corpusBuilder numbers transactions and accumulates script items.
+type corpusBuilder struct {
+	items []Item
+	id    uint64
+}
+
+func (b *corpusBuilder) single(kind ecbus.Kind, addr uint64, w ecbus.Width, data uint32, notBefore uint64) {
+	b.id++
+	tr, err := ecbus.NewSingle(b.id, kind, addr, w, data)
+	if err != nil {
+		panic(err) // corpora are hand-constructed; misalignment is a bug
+	}
+	b.items = append(b.items, Item{Tr: tr, NotBefore: notBefore})
+}
+
+func (b *corpusBuilder) burst(kind ecbus.Kind, addr uint64, data []uint32, notBefore uint64) {
+	b.id++
+	tr, err := ecbus.NewBurst(b.id, kind, addr, data)
+	if err != nil {
+		panic(err)
+	}
+	b.items = append(b.items, Item{Tr: tr, NotBefore: notBefore})
+}
+
+// VerificationCorpus reproduces the paper's first verification step, the
+// "transaction examples defined in the EC interface specification":
+// single reads and writes with and without wait states, back-to-back
+// reads, back-to-back writes, read followed by write and write followed
+// by read with reordering, and burst reads and writes.
+func VerificationCorpus(lay Layout) []Item {
+	b := &corpusBuilder{}
+	gap := uint64(0)
+	spaced := func() uint64 { gap += 24; return gap } // isolated cases
+
+	// Singles without wait states, all widths and lanes.
+	b.single(ecbus.Read, lay.Fast+0x00, ecbus.W32, 0, spaced())
+	b.single(ecbus.Write, lay.Fast+0x04, ecbus.W32, 0xDEADBEEF, spaced())
+	b.single(ecbus.Read, lay.Fast+0x09, ecbus.W8, 0, spaced())
+	b.single(ecbus.Write, lay.Fast+0x0B, ecbus.W8, 0x5A, spaced())
+	b.single(ecbus.Read, lay.Fast+0x0E, ecbus.W16, 0, spaced())
+	b.single(ecbus.Write, lay.Fast+0x10, ecbus.W16, 0xA55A, spaced())
+	b.single(ecbus.Fetch, lay.Fast+0x40, ecbus.W32, 0, spaced())
+
+	// Singles with wait states.
+	b.single(ecbus.Read, lay.Slow+0x00, ecbus.W32, 0, spaced())
+	b.single(ecbus.Write, lay.Slow+0x04, ecbus.W32, 0x01020304, spaced())
+	b.single(ecbus.Fetch, lay.Slow+0x40, ecbus.W32, 0, spaced())
+
+	// Back-to-back reads (pipelined: issued the same cycle).
+	t := spaced()
+	for i := 0; i < 4; i++ {
+		b.single(ecbus.Read, lay.Fast+0x100+uint64(4*i), ecbus.W32, 0, t)
+	}
+	// Back-to-back writes.
+	t = spaced()
+	for i := 0; i < 4; i++ {
+		b.single(ecbus.Write, lay.Fast+0x120+uint64(4*i), ecbus.W32, uint32(0x11111111*(i+1)), t)
+	}
+	// Read followed by write (same issue cycle).
+	t = spaced()
+	b.single(ecbus.Read, lay.Fast+0x140, ecbus.W32, 0, t)
+	b.single(ecbus.Write, lay.Fast+0x144, ecbus.W32, 0xCAFEF00D, t)
+	// Write followed by read with reordering: the write targets the slow
+	// slave so the later read completes first on the independent read
+	// data bus.
+	t = spaced()
+	b.single(ecbus.Write, lay.Slow+0x80, ecbus.W32, 0xFEEDFACE, t)
+	b.single(ecbus.Read, lay.Fast+0x148, ecbus.W32, 0, t)
+
+	// Bursts, both directions, both wait-state classes.
+	b.burst(ecbus.Read, lay.Fast+0x200, nil, spaced())
+	b.burst(ecbus.Write, lay.Fast+0x210, []uint32{0x10, 0x32, 0x54, 0x76}, spaced())
+	b.burst(ecbus.Read, lay.Slow+0x200, nil, spaced())
+	b.burst(ecbus.Write, lay.Slow+0x210, []uint32{0xAAAA5555, 0x5555AAAA, 0, 0xFFFFFFFF}, spaced())
+	b.burst(ecbus.Fetch, lay.Fast+0x240, nil, spaced())
+
+	return b.items
+}
+
+// PerfCorpus builds the Table-3 workload: "all combinations between
+// single read, single write, burst read, and burst write transactions",
+// i.e. all 16 ordered pairs, repeated until n transactions are reached,
+// all issued back-to-back for maximum pipelining.
+func PerfCorpus(lay Layout, n int) []Item {
+	b := &corpusBuilder{}
+	type gen func(addr uint64)
+	gens := []gen{
+		func(a uint64) { b.single(ecbus.Read, a&^3, ecbus.W32, 0, 0) },
+		func(a uint64) { b.single(ecbus.Write, a&^3, ecbus.W32, uint32(a)*0x9E37, 0) },
+		func(a uint64) { b.burst(ecbus.Read, a&^15, nil, 0) },
+		func(a uint64) {
+			w := uint32(a) * 0x85EB
+			b.burst(ecbus.Write, a&^15, []uint32{w, ^w, w ^ 0xFFFF, w << 3}, 0)
+		},
+	}
+	addr := lay.Fast
+	for len(b.items) < n {
+		for i := 0; i < len(gens) && len(b.items) < n; i++ {
+			for j := 0; j < len(gens) && len(b.items) < n; j++ {
+				gens[i](addr)
+				addr += 16
+				gens[j](addr)
+				addr += 16
+				if addr > lay.Fast+0xE00 {
+					addr = lay.Fast
+				}
+			}
+		}
+	}
+	return b.items
+}
+
+// RandomCorpus generates n pseudo-random legal transactions over the
+// layout, used by the layer-equivalence property tests. Roughly half the
+// traffic is pipelined (issued as soon as possible) and half spaced out,
+// and both wait-state classes are exercised.
+func RandomCorpus(seed uint64, n int, lay Layout) []Item {
+	b := &corpusBuilder{}
+	r := logic.NewLFSR(seed)
+	var when uint64
+	for len(b.items) < n {
+		if r.NextRange(2) == 0 {
+			when += uint64(r.NextRange(6))
+		}
+		base := lay.Fast
+		if r.NextBool() {
+			base = lay.Slow
+		}
+		off := uint64(r.NextRange(0xF00))
+		kind := []ecbus.Kind{ecbus.Read, ecbus.Write, ecbus.Fetch}[r.NextRange(3)]
+		if r.NextRange(4) == 0 { // 25% bursts
+			var data []uint32
+			if kind == ecbus.Write {
+				data = []uint32{uint32(r.Next()), uint32(r.Next()), uint32(r.Next()), uint32(r.Next())}
+			}
+			if kind == ecbus.Fetch && r.NextBool() {
+				kind = ecbus.Read
+			}
+			b.burst(kind, base+(off&^15), data, when)
+			continue
+		}
+		w := []ecbus.Width{ecbus.W8, ecbus.W16, ecbus.W32}[r.NextRange(3)]
+		if kind == ecbus.Fetch {
+			w = ecbus.W32 // instruction fetches are word accesses
+		}
+		switch w {
+		case ecbus.W16:
+			off &^= 1
+		case ecbus.W32:
+			off &^= 3
+		}
+		b.single(kind, base+off, w, uint32(r.Next()), when)
+	}
+	return b.items
+}
+
+// CharCorpus is the characterization workload used to extract the
+// per-transition energy table. Its access patterns are deliberately
+// tamer than the evaluation corpora — sequential addresses and
+// low-activity data, the typical bring-up patterns a first prototype is
+// characterized with — which is one reason the layer-1 estimate deviates
+// on livelier workloads (paper §3.3, "sources of inaccuracy").
+func CharCorpus(lay Layout, n int) []Item {
+	b := &corpusBuilder{}
+	addr := lay.Fast
+	var when uint64
+	for i := 0; len(b.items) < n; i++ {
+		switch i % 4 {
+		case 0:
+			b.single(ecbus.Read, addr&^3, ecbus.W32, 0, when)
+		case 1:
+			b.single(ecbus.Write, addr&^3, ecbus.W32, uint32(i), when)
+		case 2:
+			b.single(ecbus.Fetch, addr&^3, ecbus.W32, 0, when)
+		case 3:
+			b.burst(ecbus.Read, addr&^15, nil, when)
+		}
+		addr += 4
+		if addr > lay.Fast+0xE00 {
+			addr = lay.Slow
+		}
+		if addr > lay.Slow+0xE00 {
+			addr = lay.Fast
+		}
+		when += 2
+	}
+	return b.items
+}
+
+// CloneItems deep-copies a corpus so the same stimulus can be replayed
+// into several bus models (transactions carry mutable result state).
+func CloneItems(items []Item) []Item {
+	out := make([]Item, len(items))
+	for i, it := range items {
+		out[i] = Item{Tr: it.Tr.Clone(), NotBefore: it.NotBefore}
+	}
+	return out
+}

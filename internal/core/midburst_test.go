@@ -1,0 +1,133 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ecbus"
+	"repro/internal/mem"
+	"repro/internal/rtlbus"
+	"repro/internal/sim"
+	"repro/internal/tlm1"
+	"repro/internal/tlm2"
+)
+
+// faultySlave wraps a RAM and fails accesses to one poisoned word,
+// injecting slave-side errors mid-burst.
+type faultySlave struct {
+	*mem.RAM
+	poison uint64
+}
+
+func (f *faultySlave) ReadWord(addr uint64, w ecbus.Width) (uint32, bool) {
+	if addr&^3 == f.poison {
+		return 0, false
+	}
+	return f.RAM.ReadWord(addr, w)
+}
+
+func (f *faultySlave) WriteWord(addr uint64, data uint32, w ecbus.Width) bool {
+	if addr&^3 == f.poison {
+		return false
+	}
+	return f.RAM.WriteWord(addr, data, w)
+}
+
+// TestMidBurstSlaveErrorAgreement: a burst whose third beat hits a
+// failing word must error at every layer, and the preceding beats'
+// write effects agree between the cycle-true layers.
+func TestMidBurstSlaveErrorAgreement(t *testing.T) {
+	build := func() (*sim.Kernel, *ecbus.Map, *mem.RAM) {
+		k := sim.New(0)
+		ram := mem.NewRAM("ram", 0, 0x1000, 0, 1)
+		f := &faultySlave{RAM: ram, poison: 0x108} // third word of the burst at 0x100
+		return k, ecbus.MustMap(f), ram
+	}
+	type result struct {
+		err      bool
+		beats    [4]uint32
+		okSingle bool
+	}
+	run := func(layer int) result {
+		k, m, ram := build()
+		var bus core.Initiator
+		switch layer {
+		case 0:
+			bus = rtlbus.New(k, m)
+		case 1:
+			bus = tlm1.New(k, m)
+		default:
+			bus = tlm2.New(k, m)
+		}
+		burst, _ := ecbus.NewBurst(1, ecbus.Write, 0x100, []uint32{0xA1, 0xA2, 0xA3, 0xA4})
+		after, _ := ecbus.NewSingle(2, ecbus.Read, 0x200, ecbus.W32, 0)
+		sm, _ := core.RunScript(k, bus, []core.Item{{Tr: burst}, {Tr: after}}, 10000)
+		if !sm.Done() {
+			t.Fatalf("layer %d hung", layer)
+		}
+		var r result
+		r.err = burst.Err
+		for i := 0; i < 4; i++ {
+			r.beats[i], _ = ram.ReadWord(0x100+uint64(4*i), ecbus.W32)
+		}
+		r.okSingle = !after.Err
+		return r
+	}
+	r0, r1, r2 := run(0), run(1), run(2)
+	for layer, r := range map[int]result{0: r0, 1: r1, 2: r2} {
+		if !r.err {
+			t.Fatalf("layer %d: poisoned burst did not error", layer)
+		}
+		if !r.okSingle {
+			t.Fatalf("layer %d: error not contained to the burst", layer)
+		}
+	}
+	// Cycle-true layers stop at the failing beat: words 0-1 written,
+	// 2-3 untouched. (Layer 2 moves the block at completion and may
+	// differ; its contract is the error flag, not partial effects.)
+	for layer, r := range map[int]result{0: r0, 1: r1} {
+		if r.beats[0] != 0xA1 || r.beats[1] != 0xA2 {
+			t.Fatalf("layer %d: pre-error beats lost: %#x", layer, r.beats)
+		}
+		if r.beats[2] != 0 || r.beats[3] != 0 {
+			t.Fatalf("layer %d: post-error beats written: %#x", layer, r.beats)
+		}
+	}
+	if r0.beats != r1.beats {
+		t.Fatalf("layers 0/1 disagree on partial effects: %#x vs %#x", r0.beats, r1.beats)
+	}
+}
+
+// TestMidBurstReadErrorStopsStream checks the read direction: the
+// erroring beat terminates the transaction and later reads still work.
+func TestMidBurstReadErrorStopsStream(t *testing.T) {
+	for layer := 0; layer <= 2; layer++ {
+		k := sim.New(0)
+		ram := mem.NewRAM("ram", 0, 0x1000, 0, 0)
+		ram.LoadWords(0x100, []uint32{1, 2, 3, 4})
+		f := &faultySlave{RAM: ram, poison: 0x104}
+		m := ecbus.MustMap(f)
+		var bus core.Initiator
+		switch layer {
+		case 0:
+			bus = rtlbus.New(k, m)
+		case 1:
+			bus = tlm1.New(k, m)
+		default:
+			bus = tlm2.New(k, m)
+		}
+		burst, _ := ecbus.NewBurst(1, ecbus.Read, 0x100, nil)
+		next, _ := ecbus.NewSingle(2, ecbus.Read, 0x10C, ecbus.W32, 0)
+		sm, _ := core.RunScript(k, bus, []core.Item{{Tr: burst}, {Tr: next}}, 10000)
+		if !sm.Done() {
+			t.Fatalf("layer %d hung", layer)
+		}
+		if !burst.Err {
+			t.Fatalf("layer %d: read burst did not error", layer)
+		}
+		if next.Err || next.Data[0] != 4 {
+			t.Fatalf("layer %d: follow-up read broken: err=%v data=%#x",
+				layer, next.Err, next.Data[0])
+		}
+	}
+}

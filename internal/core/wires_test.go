@@ -1,0 +1,103 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ecbus"
+	"repro/internal/gatepower"
+	"repro/internal/rtlbus"
+	"repro/internal/sim"
+	"repro/internal/tlm1"
+)
+
+// TestTL1AdapterWireTrajectory is the strongest form of the paper's
+// "transaction level to RTL adapter" claim: the layer-1 power model's
+// reconstructed interface signals equal the layer-0 wires on every
+// cycle, for every interface signal, over random corpora.
+func TestTL1AdapterWireTrajectory(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		items := core.RandomCorpus(seed, 200, lay)
+
+		// Layer 0: record the wire bundle per cycle.
+		k0 := sim.New(0)
+		b0 := rtlbus.New(k0, testMap())
+		var wires0 []ecbus.Bundle
+		k0.At(sim.Post, "rec", func(uint64) { wires0 = append(wires0, *b0.Wires()) })
+		m0, _ := core.RunScript(k0, b0, core.CloneItems(items), 1_000_000)
+		if !m0.Done() {
+			t.Fatal("layer-0 run hung")
+		}
+
+		// Layer 1: record the adapter's reconstruction per cycle.
+		k1 := sim.New(0)
+		b1 := tlm1.New(k1, testMap()).AttachPower(tlm1.NewPowerModel(gatepower.CharTable{}))
+		var wires1 []ecbus.Bundle
+		k1.At(sim.Post, "rec", func(uint64) { wires1 = append(wires1, b1.Power().Bundle()) })
+		m1, _ := core.RunScript(k1, b1, core.CloneItems(items), 1_000_000)
+		if !m1.Done() {
+			t.Fatal("layer-1 run hung")
+		}
+
+		if len(wires0) != len(wires1) {
+			t.Fatalf("seed %d: %d vs %d recorded cycles", seed, len(wires0), len(wires1))
+		}
+		for c := range wires0 {
+			for id := ecbus.SignalID(0); id < ecbus.SigSel; id++ {
+				if wires0[c][id] != wires1[c][id] {
+					t.Fatalf("seed %d cycle %d: %v = %#x at layer 0, %#x reconstructed",
+						seed, c, id, wires0[c][id], wires1[c][id])
+				}
+			}
+		}
+	}
+}
+
+// TestTL1AdapterWireTrajectoryWithErrors repeats the trajectory check on
+// a corpus that includes decode misses and rights violations, covering
+// the error strobes.
+func TestTL1AdapterWireTrajectoryWithErrors(t *testing.T) {
+	var items []core.Item
+	add := func(id uint64, kind ecbus.Kind, addr uint64, when uint64) {
+		tr, err := ecbus.NewSingle(id, kind, addr, ecbus.W32, uint32(id)*3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items = append(items, core.Item{Tr: tr, NotBefore: when})
+	}
+	add(1, ecbus.Read, lay.Fast, 0)
+	add(2, ecbus.Read, 0x5000, 0)  // decode miss (read error strobe)
+	add(3, ecbus.Write, 0x5000, 4) // decode miss (write error strobe)
+	add(4, ecbus.Write, lay.Slow, 4)
+	add(5, ecbus.Fetch, lay.Fast+0x40, 9)
+
+	k0 := sim.New(0)
+	b0 := rtlbus.New(k0, testMap())
+	var wires0 []ecbus.Bundle
+	k0.At(sim.Post, "rec", func(uint64) { wires0 = append(wires0, *b0.Wires()) })
+	core.RunScript(k0, b0, core.CloneItems(items), 10000)
+
+	k1 := sim.New(0)
+	b1 := tlm1.New(k1, testMap()).AttachPower(tlm1.NewPowerModel(gatepower.CharTable{}))
+	var wires1 []ecbus.Bundle
+	k1.At(sim.Post, "rec", func(uint64) { wires1 = append(wires1, b1.Power().Bundle()) })
+	core.RunScript(k1, b1, core.CloneItems(items), 10000)
+
+	if len(wires0) != len(wires1) {
+		t.Fatalf("%d vs %d cycles", len(wires0), len(wires1))
+	}
+	sawErrStrobe := false
+	for c := range wires0 {
+		if wires0[c].Bool(ecbus.SigRBErr) || wires0[c].Bool(ecbus.SigWBErr) {
+			sawErrStrobe = true
+		}
+		for id := ecbus.SignalID(0); id < ecbus.SigSel; id++ {
+			if wires0[c][id] != wires1[c][id] {
+				t.Fatalf("cycle %d: %v mismatch (%#x vs %#x)", c, id, wires0[c][id], wires1[c][id])
+			}
+		}
+	}
+	if !sawErrStrobe {
+		t.Fatal("corpus did not exercise the error strobes")
+	}
+}

@@ -1,0 +1,429 @@
+package cpu
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates a MIPS32-subset assembly program into machine
+// words. Supported syntax:
+//
+//	label:                     ; labels (own line or before an op)
+//	op   $rd, $rs, $rt         ; three-register form
+//	op   $rt, $rs, imm         ; immediate form (decimal, 0x hex, -n)
+//	lw   $rt, off($rs)         ; loads/stores
+//	beq  $rs, $rt, label       ; branches to labels
+//	j    label                 ; jumps to labels
+//	li   $rt, imm32            ; pseudo: lui+ori / addiu / ori
+//	move $rd, $rs              ; pseudo: addu $rd, $rs, $zero
+//	b    label                 ; pseudo: beq $zero, $zero, label
+//	nop                        ; pseudo: sll $zero,$zero,0
+//	.word value                ; literal data word
+//
+// Comments start with '#' or ';'. The base address is the load address
+// of word 0 and is needed to resolve jump and branch targets.
+//
+// NOTE: branch delay slots are architectural — the word after every
+// branch/jump executes before the target. The assembler does not insert
+// anything; programs place a nop (or useful work) there themselves, as
+// on real MIPS.
+func Assemble(base uint64, src string) ([]uint32, error) {
+	type fixup struct {
+		word  int
+		label string
+		kind  byte // 'b' branch rel16, 'j' jump abs26
+		line  int
+	}
+	var (
+		words  []uint32
+		labels = map[string]int{}
+		fixes  []fixup
+	)
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexAny(line, "#;"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		for {
+			// Leading labels, possibly several.
+			i := strings.Index(line, ":")
+			if i < 0 || strings.ContainsAny(line[:i], " \t,($") {
+				break
+			}
+			name := strings.TrimSpace(line[:i])
+			if name == "" {
+				return nil, fmt.Errorf("line %d: empty label", ln+1)
+			}
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", ln+1, name)
+			}
+			labels[name] = len(words)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+
+		mn, rest, _ := strings.Cut(line, " ")
+		mn = strings.ToLower(strings.TrimSpace(mn))
+		args := splitArgs(rest)
+
+		emit := func(w uint32) { words = append(words, w) }
+		fail := func(format string, a ...any) error {
+			return fmt.Errorf("line %d (%s): %s", ln+1, mn, fmt.Sprintf(format, a...))
+		}
+		reg := func(s string) (int, error) {
+			s = strings.TrimPrefix(strings.TrimSpace(s), "$")
+			if n, err := strconv.Atoi(s); err == nil && n >= 0 && n < 32 {
+				return n, nil
+			}
+			if n, ok := RegNames[strings.ToLower(s)]; ok {
+				return n, nil
+			}
+			return 0, fail("bad register %q", s)
+		}
+		imm := func(s string) (int64, error) {
+			v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+			if err != nil {
+				return 0, fail("bad immediate %q", s)
+			}
+			return v, nil
+		}
+		need := func(n int) error {
+			if len(args) != n {
+				return fail("want %d operands, got %d", n, len(args))
+			}
+			return nil
+		}
+
+		switch mn {
+		case "nop":
+			emit(0)
+
+		case "addu", "subu", "and", "or", "xor", "nor", "slt", "sltu":
+			if err := need(3); err != nil {
+				return nil, err
+			}
+			d, e1 := reg(args[0])
+			s, e2 := reg(args[1])
+			t, e3 := reg(args[2])
+			if err := firstErr(e1, e2, e3); err != nil {
+				return nil, err
+			}
+			fn := map[string]uint32{"addu": fnAddu, "subu": fnSubu, "and": fnAnd,
+				"or": fnOr, "xor": fnXor, "nor": fnNor, "slt": fnSlt, "sltu": fnSltu}[mn]
+			emit(encR(fn, d, s, t, 0))
+
+		case "mul":
+			if err := need(3); err != nil {
+				return nil, err
+			}
+			d, e1 := reg(args[0])
+			s, e2 := reg(args[1])
+			t, e3 := reg(args[2])
+			if err := firstErr(e1, e2, e3); err != nil {
+				return nil, err
+			}
+			emit(uint32(opSpecial2)<<26 | encR(fnMul, d, s, t, 0))
+
+		case "sll", "srl", "sra":
+			if err := need(3); err != nil {
+				return nil, err
+			}
+			d, e1 := reg(args[0])
+			t, e2 := reg(args[1])
+			sh, e3 := imm(args[2])
+			if err := firstErr(e1, e2, e3); err != nil {
+				return nil, err
+			}
+			fn := map[string]uint32{"sll": fnSll, "srl": fnSrl, "sra": fnSra}[mn]
+			emit(encR(fn, d, 0, t, uint32(sh&31)))
+
+		case "sllv", "srlv", "srav":
+			if err := need(3); err != nil {
+				return nil, err
+			}
+			d, e1 := reg(args[0])
+			t, e2 := reg(args[1])
+			s, e3 := reg(args[2])
+			if err := firstErr(e1, e2, e3); err != nil {
+				return nil, err
+			}
+			fn := map[string]uint32{"sllv": fnSllv, "srlv": fnSrlv, "srav": fnSrav}[mn]
+			emit(encR(fn, d, s, t, 0))
+
+		case "jr":
+			if err := need(1); err != nil {
+				return nil, err
+			}
+			s, err := reg(args[0])
+			if err != nil {
+				return nil, err
+			}
+			emit(encR(fnJr, 0, s, 0, 0))
+
+		case "jalr":
+			if err := need(1); err != nil {
+				return nil, err
+			}
+			s, err := reg(args[0])
+			if err != nil {
+				return nil, err
+			}
+			emit(encR(fnJalr, 31, s, 0, 0))
+
+		case "syscall":
+			emit(encR(fnSyscall, 0, 0, 0, 0))
+		case "break":
+			emit(encR(fnBreak, 0, 0, 0, 0))
+
+		case "addiu", "slti", "sltiu", "andi", "ori", "xori":
+			if err := need(3); err != nil {
+				return nil, err
+			}
+			t, e1 := reg(args[0])
+			s, e2 := reg(args[1])
+			v, e3 := imm(args[2])
+			if err := firstErr(e1, e2, e3); err != nil {
+				return nil, err
+			}
+			op := map[string]uint32{"addiu": opAddiu, "slti": opSlti, "sltiu": opSltiu,
+				"andi": opAndi, "ori": opOri, "xori": opXori}[mn]
+			emit(encI(op, t, s, uint32(v)))
+
+		case "lui":
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			t, e1 := reg(args[0])
+			v, e2 := imm(args[1])
+			if err := firstErr(e1, e2); err != nil {
+				return nil, err
+			}
+			emit(encI(opLui, t, 0, uint32(v)))
+
+		case "li": // pseudo
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			t, e1 := reg(args[0])
+			v, e2 := imm(args[1])
+			if err := firstErr(e1, e2); err != nil {
+				return nil, err
+			}
+			u := uint32(v)
+			switch {
+			case v >= -32768 && v < 32768:
+				emit(encI(opAddiu, t, 0, u))
+			case u&0xFFFF == 0:
+				emit(encI(opLui, t, 0, u>>16))
+			case u>>16 == 0:
+				emit(encI(opOri, t, 0, u))
+			default:
+				emit(encI(opLui, t, 0, u>>16))
+				emit(encI(opOri, t, t, u))
+			}
+
+		case "move": // pseudo
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			d, e1 := reg(args[0])
+			s, e2 := reg(args[1])
+			if err := firstErr(e1, e2); err != nil {
+				return nil, err
+			}
+			emit(encR(fnAddu, d, s, 0, 0))
+
+		case "lb", "lh", "lw", "lbu", "lhu", "sb", "sh", "sw":
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			t, e1 := reg(args[0])
+			off, base, e2 := parseMemOperand(args[1])
+			if err := firstErr(e1, e2); err != nil {
+				return nil, fail("%v", firstErr(e1, e2))
+			}
+			b, err := reg(base)
+			if err != nil {
+				return nil, err
+			}
+			op := map[string]uint32{"lb": opLb, "lh": opLh, "lw": opLw, "lbu": opLbu,
+				"lhu": opLhu, "sb": opSb, "sh": opSh, "sw": opSw}[mn]
+			emit(encI(op, t, b, uint32(off)))
+
+		case "beq", "bne":
+			if err := need(3); err != nil {
+				return nil, err
+			}
+			s, e1 := reg(args[0])
+			t, e2 := reg(args[1])
+			if err := firstErr(e1, e2); err != nil {
+				return nil, err
+			}
+			op := opBeq
+			if mn == "bne" {
+				op = opBne
+			}
+			fixes = append(fixes, fixup{len(words), args[2], 'b', ln + 1})
+			emit(encI(uint32(op), t, s, 0))
+
+		case "blez", "bgtz":
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			s, err := reg(args[0])
+			if err != nil {
+				return nil, err
+			}
+			op := opBlez
+			if mn == "bgtz" {
+				op = opBgtz
+			}
+			fixes = append(fixes, fixup{len(words), args[1], 'b', ln + 1})
+			emit(encI(uint32(op), 0, s, 0))
+
+		case "bltz", "bgez":
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			s, err := reg(args[0])
+			if err != nil {
+				return nil, err
+			}
+			code := rtBltz
+			if mn == "bgez" {
+				code = rtBgez
+			}
+			fixes = append(fixes, fixup{len(words), args[1], 'b', ln + 1})
+			emit(encI(opRegimm, code, s, 0))
+
+		case "b": // pseudo: unconditional branch
+			if err := need(1); err != nil {
+				return nil, err
+			}
+			fixes = append(fixes, fixup{len(words), args[0], 'b', ln + 1})
+			emit(encI(opBeq, 0, 0, 0))
+
+		case "j", "jal":
+			if err := need(1); err != nil {
+				return nil, err
+			}
+			op := uint32(opJ)
+			if mn == "jal" {
+				op = opJal
+			}
+			fixes = append(fixes, fixup{len(words), args[0], 'j', ln + 1})
+			emit(encJ(op, 0))
+
+		case ".word":
+			if err := need(1); err != nil {
+				return nil, err
+			}
+			v, err := imm(args[0])
+			if err != nil {
+				return nil, err
+			}
+			emit(uint32(v))
+
+		case ".org":
+			// Pad with zero words up to a byte offset from the base
+			// (used to place interrupt handlers at fixed vectors).
+			if err := need(1); err != nil {
+				return nil, err
+			}
+			v, err := imm(args[0])
+			if err != nil {
+				return nil, err
+			}
+			if v%4 != 0 {
+				return nil, fail("offset %#x not word aligned", v)
+			}
+			target := int(v / 4)
+			if target < len(words) {
+				return nil, fail("offset %#x already passed", v)
+			}
+			for len(words) < target {
+				emit(0)
+			}
+
+		default:
+			return nil, fail("unknown mnemonic")
+		}
+	}
+
+	// Resolve label fixups.
+	for _, f := range fixes {
+		idx, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("line %d: undefined label %q", f.line, f.label)
+		}
+		switch f.kind {
+		case 'b':
+			// Branch offset is relative to the delay-slot word.
+			off := idx - (f.word + 1)
+			if off < -32768 || off > 32767 {
+				return nil, fmt.Errorf("line %d: branch to %q out of range", f.line, f.label)
+			}
+			words[f.word] |= uint32(off) & 0xFFFF
+		case 'j':
+			abs := (base + uint64(4*idx)) >> 2
+			words[f.word] |= uint32(abs) & 0x03FFFFFF
+		}
+	}
+	return words, nil
+}
+
+// MustAssemble is Assemble that panics on error, for tests and examples.
+func MustAssemble(base uint64, src string) []uint32 {
+	w, err := Assemble(base, src)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// splitArgs splits an operand list on commas, trimming whitespace.
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// parseMemOperand parses "off($reg)" (offset optional).
+func parseMemOperand(s string) (int64, string, error) {
+	s = strings.TrimSpace(s)
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, "", fmt.Errorf("bad memory operand %q", s)
+	}
+	offStr := strings.TrimSpace(s[:open])
+	var off int64
+	if offStr != "" {
+		var err error
+		off, err = strconv.ParseInt(offStr, 0, 32)
+		if err != nil {
+			return 0, "", fmt.Errorf("bad offset in %q", s)
+		}
+	}
+	return off, s[open+1 : len(s)-1], nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

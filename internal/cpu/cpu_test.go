@@ -1,0 +1,449 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/ecbus"
+	"repro/internal/mem"
+	"repro/internal/rtlbus"
+	"repro/internal/sim"
+	"repro/internal/tlm1"
+	"repro/internal/tlm2"
+)
+
+// system wires a ROM at 0x0000 (code), RAM at 0x10000 (data) behind a
+// layer-1 bus and runs the program to completion.
+func runProgram(t *testing.T, src string, cfg Config) *CPU {
+	t.Helper()
+	k := sim.New(0)
+	rom := mem.NewROM("rom", 0, 0x4000, 0, 0)
+	ram := mem.NewRAM("ram", 0x10000, 0x4000, 0, 0)
+	if err := rom.LoadWords(0, MustAssemble(0, src)); err != nil {
+		t.Fatal(err)
+	}
+	bus := tlm1.New(k, ecbus.MustMap(rom, ram))
+	cfg.SP = 0x13FF0
+	c := New(k, bus, cfg)
+	k.RunUntil(200000, c.Halted)
+	if !c.Halted() {
+		t.Fatal("program did not halt")
+	}
+	if err := c.Fault(); err != nil {
+		t.Fatalf("fault: %v", err)
+	}
+	return c
+}
+
+func TestArithmetic(t *testing.T) {
+	c := runProgram(t, `
+		li   $t0, 40
+		li   $t1, 2
+		addu $t2, $t0, $t1
+		subu $t3, $t0, $t1
+		and  $t4, $t0, $t1
+		or   $t5, $t0, $t1
+		xor  $t6, $t0, $t1
+		nor  $t7, $t0, $t1
+		mul  $s0, $t0, $t1
+		break
+	`, Config{})
+	checks := map[int]uint32{
+		8: 40, 9: 2, 10: 42, 11: 38, 12: 0, 13: 42, 14: 42,
+		15: ^uint32(42), 16: 80,
+	}
+	for r, want := range checks {
+		if got := c.Reg(r); got != want {
+			t.Errorf("%s = %d, want %d", regName(r), got, want)
+		}
+	}
+}
+
+func TestShiftsAndCompares(t *testing.T) {
+	c := runProgram(t, `
+		li   $t0, -8
+		sll  $t1, $t0, 2
+		srl  $t2, $t0, 2
+		sra  $t3, $t0, 2
+		li   $t4, 3
+		sllv $t5, $t0, $t4
+		slt  $t6, $t0, $zero
+		sltu $t7, $t0, $zero
+		slti $s0, $t0, -4
+		sltiu $s1, $t0, 0xFFFF
+		break
+	`, Config{})
+	if got := c.Reg(9); got != 0xFFFFFFE0 {
+		t.Errorf("sll = %#x", got)
+	}
+	if got := c.Reg(10); got != uint32(0xFFFFFFF8)>>2 {
+		t.Errorf("srl = %#x", got)
+	}
+	if got := c.Reg(11); got != 0xFFFFFFFE {
+		t.Errorf("sra = %#x", got)
+	}
+	if got := c.Reg(13); got != 0xFFFFFFC0 {
+		t.Errorf("sllv = %#x", got)
+	}
+	if c.Reg(14) != 1 || c.Reg(15) != 0 {
+		t.Errorf("slt/sltu = %d/%d, want 1/0", c.Reg(14), c.Reg(15))
+	}
+	if c.Reg(16) != 1 {
+		t.Errorf("slti = %d, want 1 (-8 < -4)", c.Reg(16))
+	}
+	if c.Reg(17) != 1 {
+		// sltiu sign-extends the immediate then compares unsigned:
+		// 0xFFFFFFF8 < 0xFFFFFFFF.
+		t.Errorf("sltiu = %d, want 1", c.Reg(17))
+	}
+}
+
+func TestLoadStoreLanes(t *testing.T) {
+	c := runProgram(t, `
+		lui  $s0, 1          # $s0 = 0x10000 (RAM)
+		li   $t0, 0x12345678
+		sw   $t0, 0($s0)
+		lb   $t1, 0($s0)     # 0x78
+		lb   $t2, 3($s0)     # 0x12
+		lbu  $t3, 1($s0)     # 0x56
+		lh   $t4, 0($s0)     # 0x5678
+		lhu  $t5, 2($s0)     # 0x1234
+		li   $t6, 0xAB
+		sb   $t6, 1($s0)
+		lw   $t7, 0($s0)     # 0x1234AB78
+		li   $t6, 0xCDEF
+		sh   $t6, 2($s0)
+		lw   $s1, 0($s0)     # 0xCDEFAB78
+		break
+	`, Config{})
+	cases := map[int]uint32{
+		9:  0x78,
+		10: 0x12,
+		11: 0x56,
+		12: 0x5678,
+		13: 0x1234,
+		15: 0x1234AB78,
+		17: 0xCDEFAB78,
+	}
+	for r, want := range cases {
+		if got := c.Reg(r); got != want {
+			t.Errorf("%s = %#x, want %#x", regName(r), got, want)
+		}
+	}
+}
+
+func TestSignExtensionOnLoads(t *testing.T) {
+	c := runProgram(t, `
+		lui $s0, 1
+		li  $t0, 0x80FF
+		sh  $t0, 0($s0)
+		lb  $t1, 0($s0)    # sign-extended 0xFF -> -1
+		lh  $t2, 0($s0)    # sign-extended 0x80FF
+		break
+	`, Config{})
+	if got := c.Reg(9); got != 0xFFFFFFFF {
+		t.Errorf("lb = %#x, want 0xFFFFFFFF", got)
+	}
+	if got := c.Reg(10); got != 0xFFFF80FF {
+		t.Errorf("lh = %#x, want 0xFFFF80FF", got)
+	}
+}
+
+func TestBranchDelaySlotExecutes(t *testing.T) {
+	c := runProgram(t, `
+		li   $t0, 0
+		b    skip
+		addiu $t0, $t0, 1   # delay slot: must execute
+		addiu $t0, $t0, 100 # skipped
+	skip:
+		break
+	`, Config{})
+	if got := c.Reg(8); got != 1 {
+		t.Errorf("$t0 = %d, want 1 (delay slot only)", got)
+	}
+}
+
+func TestJalAndJrReturn(t *testing.T) {
+	c := runProgram(t, `
+		li   $t0, 0
+		jal  sub
+		nop
+		addiu $t0, $t0, 100
+		break
+	sub:
+		addiu $t0, $t0, 5
+		jr   $ra
+		nop
+	`, Config{})
+	if got := c.Reg(8); got != 105 {
+		t.Errorf("$t0 = %d, want 105", got)
+	}
+}
+
+func TestFibonacciLoop(t *testing.T) {
+	c := runProgram(t, `
+		li   $t0, 10      # n
+		li   $t1, 0       # a
+		li   $t2, 1       # b
+	loop:
+		blez $t0, done
+		nop
+		addu $t3, $t1, $t2
+		move $t1, $t2
+		move $t2, $t3
+		addiu $t0, $t0, -1
+		b    loop
+		nop
+	done:
+		break
+	`, Config{})
+	if got := c.Reg(9); got != 55 {
+		t.Errorf("fib(10) = %d, want 55", got)
+	}
+}
+
+func TestMemcpyByteLoop(t *testing.T) {
+	c := runProgram(t, `
+		lui  $s0, 1          # src = 0x10000
+		lui  $s1, 1
+		ori  $s1, $s1, 0x100 # dst = 0x10100
+		li   $t0, 0x11223344
+		sw   $t0, 0($s0)
+		li   $t0, 0x55667788
+		sw   $t0, 4($s0)
+		li   $t1, 8          # count
+	copy:
+		blez $t1, done
+		nop
+		lbu  $t2, 0($s0)
+		sb   $t2, 0($s1)
+		addiu $s0, $s0, 1
+		addiu $s1, $s1, 1
+		addiu $t1, $t1, -1
+		b    copy
+		nop
+	done:
+		lui  $s2, 1
+		ori  $s2, $s2, 0x100
+		lw   $v0, 0($s2)
+		lw   $v1, 4($s2)
+		break
+	`, Config{})
+	if c.Reg(2) != 0x11223344 || c.Reg(3) != 0x55667788 {
+		t.Errorf("memcpy result = %#x/%#x", c.Reg(2), c.Reg(3))
+	}
+	st := c.Stats()
+	if st.Loads < 8 || st.Stores < 8 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestICacheReducesFetchTraffic(t *testing.T) {
+	prog := `
+		li   $t0, 200
+	loop:
+		addiu $t0, $t0, -1
+		bgtz $t0, loop
+		nop
+		break
+	`
+	cold := runProgram(t, prog, Config{})
+	warm := runProgram(t, prog, Config{ICache: true})
+	if warm.Stats().Fetches >= cold.Stats().Fetches/10 {
+		t.Errorf("icache fetches %d vs uncached %d: not reduced enough",
+			warm.Stats().Fetches, cold.Stats().Fetches)
+	}
+	hits, misses := warm.ICacheStats()
+	if hits == 0 || misses == 0 {
+		t.Errorf("icache stats hits=%d misses=%d", hits, misses)
+	}
+	if cold.Reg(8) != 0 || warm.Reg(8) != 0 {
+		t.Error("loop did not run to zero")
+	}
+}
+
+func TestSyscallHook(t *testing.T) {
+	k := sim.New(0)
+	rom := mem.NewROM("rom", 0, 0x1000, 0, 0)
+	rom.LoadWords(0, MustAssemble(0, `
+		li $v0, 7
+		syscall
+		li $v0, 1
+		break
+	`))
+	bus := tlm1.New(k, ecbus.MustMap(rom))
+	c := New(k, bus, Config{})
+	var seen uint32
+	c.OnSyscall = func(c *CPU) { seen = c.Reg(2); c.Halt() }
+	k.RunUntil(1000, c.Halted)
+	if seen != 7 {
+		t.Fatalf("syscall saw $v0=%d, want 7", seen)
+	}
+	if c.Reg(2) != 7 {
+		t.Fatal("execution continued past halting syscall")
+	}
+}
+
+func TestFaultOnDecodeHole(t *testing.T) {
+	k := sim.New(0)
+	rom := mem.NewROM("rom", 0, 0x1000, 0, 0)
+	rom.LoadWords(0, MustAssemble(0, `
+		lui $t0, 0x00F0
+		lw  $t1, 0($t0)   # decode hole
+		break
+	`))
+	bus := tlm1.New(k, ecbus.MustMap(rom))
+	c := New(k, bus, Config{})
+	k.RunUntil(1000, c.Halted)
+	if c.Fault() == nil {
+		t.Fatal("no fault on decode hole")
+	}
+}
+
+func TestFaultOnMisalignedLoad(t *testing.T) {
+	k := sim.New(0)
+	rom := mem.NewROM("rom", 0, 0x1000, 0, 0)
+	ram := mem.NewRAM("ram", 0x10000, 0x100, 0, 0)
+	rom.LoadWords(0, MustAssemble(0, `
+		lui $s0, 1
+		lw  $t0, 2($s0)
+		break
+	`))
+	bus := tlm1.New(k, ecbus.MustMap(rom, ram))
+	c := New(k, bus, Config{})
+	k.RunUntil(1000, c.Halted)
+	if c.Fault() == nil {
+		t.Fatal("no fault on misaligned load")
+	}
+}
+
+// TestSameResultAcrossLayers runs an identical program on all three bus
+// layers: architectural results must match everywhere; layer-1 cycles
+// must equal layer-0 cycles; layer-2 may be slightly slower, never
+// faster.
+func TestSameResultAcrossLayers(t *testing.T) {
+	prog := `
+		lui  $s0, 1
+		li   $t0, 25
+		li   $s1, 0
+	loop:
+		blez $t0, done
+		nop
+		sw   $t0, 0($s0)
+		lw   $t1, 0($s0)
+		addu $s1, $s1, $t1
+		addiu $t0, $t0, -1
+		b    loop
+		nop
+	done:
+		break
+	`
+	type result struct {
+		sum    uint32
+		cycles uint64
+	}
+	run := func(layer string) result {
+		k := sim.New(0)
+		rom := mem.NewROM("rom", 0, 0x4000, 0, 1)
+		ram := mem.NewRAM("ram", 0x10000, 0x1000, 0, 0)
+		rom.LoadWords(0, MustAssemble(0, prog))
+		m := ecbus.MustMap(rom, ram)
+		var bus interface {
+			Access(*ecbus.Transaction) ecbus.BusState
+		}
+		switch layer {
+		case "rtl":
+			bus = rtlbus.New(k, m)
+		case "tlm1":
+			bus = tlm1.New(k, m)
+		default:
+			bus = tlm2.New(k, m)
+		}
+		c := New(k, bus, Config{ICache: true})
+		n, _ := k.RunUntil(1_000_000, c.Halted)
+		if !c.Halted() || c.Fault() != nil {
+			t.Fatalf("%s: did not halt cleanly: %v", layer, c.Fault())
+		}
+		return result{sum: c.Reg(17), cycles: n}
+	}
+	rtl := run("rtl")
+	tl1 := run("tlm1")
+	tl2 := run("tlm2")
+	want := uint32(25 * 26 / 2)
+	for name, r := range map[string]result{"rtl": rtl, "tlm1": tl1, "tlm2": tl2} {
+		if r.sum != want {
+			t.Errorf("%s: sum = %d, want %d", name, r.sum, want)
+		}
+	}
+	if tl1.cycles != rtl.cycles {
+		t.Errorf("tlm1 cycles %d != rtl cycles %d", tl1.cycles, rtl.cycles)
+	}
+	if tl2.cycles < rtl.cycles {
+		t.Errorf("tlm2 cycles %d < rtl cycles %d", tl2.cycles, rtl.cycles)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"frobnicate $t0, $t1",
+		"addu $t0, $t1",
+		"lw $t0, 4[$t1]",
+		"beq $t0, $t1, nowhere\nnop",
+		"addu $t9, $t1, $nosuch",
+		"dup: nop\ndup: nop",
+		"li $t0, zzz",
+	}
+	for _, src := range bad {
+		if _, err := Assemble(0, src); err == nil {
+			t.Errorf("assembled invalid source %q", src)
+		}
+	}
+}
+
+func TestAssemblerEncodings(t *testing.T) {
+	w := MustAssemble(0, "addu $v0, $a0, $a1")
+	if w[0] != encR(fnAddu, 2, 4, 5, 0) {
+		t.Errorf("addu encoding %#x", w[0])
+	}
+	w = MustAssemble(0, "lw $t0, 8($sp)")
+	if w[0] != encI(opLw, 8, 29, 8) {
+		t.Errorf("lw encoding %#x", w[0])
+	}
+	w = MustAssemble(0x400, "target: nop\n j target\n nop")
+	if w[1] != encJ(opJ, 0x400>>2) {
+		t.Errorf("j encoding %#x", w[1])
+	}
+	// li with a full 32-bit constant expands to lui+ori.
+	w = MustAssemble(0, "li $t0, 0x12345678")
+	if len(w) != 2 || w[0] != encI(opLui, 8, 0, 0x1234) || w[1] != encI(opOri, 8, 8, 0x5678) {
+		t.Errorf("li expansion %#x", w)
+	}
+	// numeric registers accepted.
+	w = MustAssemble(0, "addu $2, $4, $5")
+	if w[0] != encR(fnAddu, 2, 4, 5, 0) {
+		t.Errorf("numeric register encoding %#x", w[0])
+	}
+}
+
+func TestICacheUnit(t *testing.T) {
+	ic := NewICache(3) // rounds to 4
+	if _, ok := ic.Lookup(0x100); ok {
+		t.Fatal("hit in empty cache")
+	}
+	ic.Fill(0x100, []uint32{1, 2, 3, 4})
+	for i, want := range []uint32{1, 2, 3, 4} {
+		got, ok := ic.Lookup(0x100 + uint64(4*i))
+		if !ok || got != want {
+			t.Fatalf("word %d = %d ok=%v", i, got, ok)
+		}
+	}
+	// Conflicting line (same index, different tag) evicts.
+	conflict := uint64(0x100 + 16*4)
+	ic.Fill(conflict, []uint32{9, 9, 9, 9})
+	if _, ok := ic.Lookup(0x100); ok {
+		t.Fatal("stale line survived eviction")
+	}
+	ic.Invalidate()
+	if _, ok := ic.Lookup(conflict); ok {
+		t.Fatal("hit after invalidate")
+	}
+}

@@ -1,0 +1,102 @@
+package cpu
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders one instruction word as assembly text accepted by
+// Assemble (modulo label names: branch and jump targets are rendered as
+// absolute addresses in comments and raw offsets inline). It exists for
+// diagnostics and for round-trip testing of the assembler.
+func Disassemble(w uint32) string {
+	switch opcode(w) {
+	case opSpecial:
+		return disasmSpecial(w)
+	case opSpecial2:
+		if funct(w) == fnMul {
+			return fmt.Sprintf("mul %s, %s, %s", regName(rd(w)), regName(rs(w)), regName(rt(w)))
+		}
+		return fmt.Sprintf(".word %#x", w)
+	case opRegimm:
+		mn := "bltz"
+		if rt(w) == rtBgez {
+			mn = "bgez"
+		} else if rt(w) != rtBltz {
+			return fmt.Sprintf(".word %#x", w)
+		}
+		return fmt.Sprintf("%s %s, %+d", mn, regName(rs(w)), int(simm16(w)))
+	case opJ:
+		return fmt.Sprintf("j %#x", uint64(target(w))<<2)
+	case opJal:
+		return fmt.Sprintf("jal %#x", uint64(target(w))<<2)
+	case opBeq, opBne:
+		mn := "beq"
+		if opcode(w) == opBne {
+			mn = "bne"
+		}
+		return fmt.Sprintf("%s %s, %s, %+d", mn, regName(rs(w)), regName(rt(w)), int(simm16(w)))
+	case opBlez, opBgtz:
+		mn := "blez"
+		if opcode(w) == opBgtz {
+			mn = "bgtz"
+		}
+		return fmt.Sprintf("%s %s, %+d", mn, regName(rs(w)), int(simm16(w)))
+	case opAddiu, opSlti, opSltiu:
+		mn := map[uint32]string{opAddiu: "addiu", opSlti: "slti", opSltiu: "sltiu"}[opcode(w)]
+		return fmt.Sprintf("%s %s, %s, %d", mn, regName(rt(w)), regName(rs(w)), int(simm16(w)))
+	case opAndi, opOri, opXori:
+		mn := map[uint32]string{opAndi: "andi", opOri: "ori", opXori: "xori"}[opcode(w)]
+		return fmt.Sprintf("%s %s, %s, %#x", mn, regName(rt(w)), regName(rs(w)), imm16(w))
+	case opLui:
+		return fmt.Sprintf("lui %s, %#x", regName(rt(w)), imm16(w))
+	case opLb, opLh, opLw, opLbu, opLhu, opSb, opSh, opSw:
+		mn := map[uint32]string{
+			opLb: "lb", opLh: "lh", opLw: "lw", opLbu: "lbu", opLhu: "lhu",
+			opSb: "sb", opSh: "sh", opSw: "sw",
+		}[opcode(w)]
+		return fmt.Sprintf("%s %s, %d(%s)", mn, regName(rt(w)), int(simm16(w)), regName(rs(w)))
+	default:
+		return fmt.Sprintf(".word %#x", w)
+	}
+}
+
+func disasmSpecial(w uint32) string {
+	if w == 0 {
+		return "nop"
+	}
+	switch funct(w) {
+	case fnSll, fnSrl, fnSra:
+		mn := map[uint32]string{fnSll: "sll", fnSrl: "srl", fnSra: "sra"}[funct(w)]
+		return fmt.Sprintf("%s %s, %s, %d", mn, regName(rd(w)), regName(rt(w)), shamt(w))
+	case fnSllv, fnSrlv, fnSrav:
+		mn := map[uint32]string{fnSllv: "sllv", fnSrlv: "srlv", fnSrav: "srav"}[funct(w)]
+		return fmt.Sprintf("%s %s, %s, %s", mn, regName(rd(w)), regName(rt(w)), regName(rs(w)))
+	case fnJr:
+		return fmt.Sprintf("jr %s", regName(rs(w)))
+	case fnJalr:
+		return fmt.Sprintf("jalr %s", regName(rs(w)))
+	case fnSyscall:
+		return "syscall"
+	case fnBreak:
+		return "break"
+	case fnAddu, fnSubu, fnAnd, fnOr, fnXor, fnNor, fnSlt, fnSltu:
+		mn := map[uint32]string{
+			fnAddu: "addu", fnSubu: "subu", fnAnd: "and", fnOr: "or",
+			fnXor: "xor", fnNor: "nor", fnSlt: "slt", fnSltu: "sltu",
+		}[funct(w)]
+		return fmt.Sprintf("%s %s, %s, %s", mn, regName(rd(w)), regName(rs(w)), regName(rt(w)))
+	default:
+		return fmt.Sprintf(".word %#x", w)
+	}
+}
+
+// DisassembleAll renders a word slice with addresses, one instruction
+// per line, starting at base.
+func DisassembleAll(base uint64, words []uint32) string {
+	var sb strings.Builder
+	for i, w := range words {
+		fmt.Fprintf(&sb, "%08x:  %08x  %s\n", base+uint64(4*i), w, Disassemble(w))
+	}
+	return sb.String()
+}

@@ -1,0 +1,113 @@
+// Package cpu provides the processor-side substrate of the smart-card
+// platform: a MIPS32-subset instruction-set simulator that generates EC
+// bus traffic through the layer-independent core.Initiator interface, a
+// small assembler for writing the test programs (the paper used assembly
+// test programs to stimulate the bus interface unit), and a direct-mapped
+// instruction cache whose line refills map to EC burst fetches.
+package cpu
+
+import "fmt"
+
+// MIPS32 opcode fields (real encodings, so programs assemble to genuine
+// MIPS32 machine words).
+const (
+	opSpecial  = 0x00
+	opRegimm   = 0x01
+	opJ        = 0x02
+	opJal      = 0x03
+	opBeq      = 0x04
+	opBne      = 0x05
+	opBlez     = 0x06
+	opBgtz     = 0x07
+	opAddiu    = 0x09
+	opSlti     = 0x0A
+	opSltiu    = 0x0B
+	opAndi     = 0x0C
+	opOri      = 0x0D
+	opXori     = 0x0E
+	opLui      = 0x0F
+	opSpecial2 = 0x1C
+	opLb       = 0x20
+	opLh       = 0x21
+	opLw       = 0x23
+	opLbu      = 0x24
+	opLhu      = 0x25
+	opSb       = 0x28
+	opSh       = 0x29
+	opSw       = 0x2B
+)
+
+// SPECIAL function codes.
+const (
+	fnSll     = 0x00
+	fnSrl     = 0x02
+	fnSra     = 0x03
+	fnSllv    = 0x04
+	fnSrlv    = 0x06
+	fnSrav    = 0x07
+	fnJr      = 0x08
+	fnJalr    = 0x09
+	fnSyscall = 0x0C
+	fnBreak   = 0x0D
+	fnAddu    = 0x21
+	fnSubu    = 0x23
+	fnAnd     = 0x24
+	fnOr      = 0x25
+	fnXor     = 0x26
+	fnNor     = 0x27
+	fnSlt     = 0x2A
+	fnSltu    = 0x2B
+)
+
+// SPECIAL2 function codes.
+const fnMul = 0x02
+
+// REGIMM rt codes.
+const (
+	rtBltz = 0x00
+	rtBgez = 0x01
+)
+
+// Field extraction helpers.
+func opcode(w uint32) uint32 { return w >> 26 }
+func rs(w uint32) int        { return int(w >> 21 & 31) }
+func rt(w uint32) int        { return int(w >> 16 & 31) }
+func rd(w uint32) int        { return int(w >> 11 & 31) }
+func shamt(w uint32) uint32  { return w >> 6 & 31 }
+func funct(w uint32) uint32  { return w & 63 }
+func imm16(w uint32) uint32  { return w & 0xFFFF }
+func simm16(w uint32) int32  { return int32(int16(w & 0xFFFF)) }
+func target(w uint32) uint32 { return w & 0x03FFFFFF }
+
+// Instruction word builders (used by the assembler and tests).
+func encR(fn uint32, rd, rs, rt int, sh uint32) uint32 {
+	return uint32(rs)<<21 | uint32(rt)<<16 | uint32(rd)<<11 | sh<<6 | fn
+}
+func encI(op uint32, rt, rs int, imm uint32) uint32 {
+	return op<<26 | uint32(rs)<<21 | uint32(rt)<<16 | imm&0xFFFF
+}
+func encJ(op uint32, tgt uint32) uint32 { return op<<26 | tgt&0x03FFFFFF }
+
+// RegNames maps the conventional MIPS register names to numbers.
+var RegNames = map[string]int{
+	"zero": 0, "at": 1, "v0": 2, "v1": 3,
+	"a0": 4, "a1": 5, "a2": 6, "a3": 7,
+	"t0": 8, "t1": 9, "t2": 10, "t3": 11, "t4": 12, "t5": 13, "t6": 14, "t7": 15,
+	"s0": 16, "s1": 17, "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+	"t8": 24, "t9": 25, "k0": 26, "k1": 27,
+	"gp": 28, "sp": 29, "fp": 30, "s8": 30, "ra": 31,
+}
+
+// regName returns the conventional name of register r for diagnostics.
+func regName(r int) string {
+	names := [32]string{
+		"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+		"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+		"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+		"t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+	}
+	if r < 0 || r > 31 {
+		return fmt.Sprintf("$?%d", r)
+	}
+	return "$" + names[r]
+}

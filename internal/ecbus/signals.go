@@ -1,0 +1,126 @@
+package ecbus
+
+// This file defines the canonical EC interface signal set. The layer-0
+// model (package rtlbus) drives these wires cycle by cycle; the layer-1
+// energy model reconstructs the same bundle from transaction state (the
+// paper's "transaction level to RTL adapter") and prices its transitions;
+// the characterization flow (package gatepower) keys its energy table by
+// these signal IDs.
+
+// SignalID indexes a wire group of the EC interface bundle.
+type SignalID int
+
+// EC interface signal groups. Names follow the EC interface specification
+// convention (EB_ prefix). SigSel is the bus controller's decoder select
+// output — a "subsequent hardware block" in the paper's terms, included
+// because the layer-1 model prices decoder activity from the same bundle.
+const (
+	SigAValid SignalID = iota // master: address valid
+	SigARdy                   // slave/controller: address accepted
+	SigInstr                  // master: instruction fetch indicator
+	SigWrite                  // master: write transaction indicator
+	SigBurst                  // master: burst transaction indicator
+	SigBFirst                 // master: first beat of burst
+	SigBLast                  // master: last beat of burst
+	SigBE                     // master: byte enables (4)
+	SigA                      // master: address (36)
+	SigWData                  // master: write data (32)
+	SigRData                  // slave: read data (32)
+	SigRdVal                  // slave: read data valid
+	SigWDRdy                  // slave: write data accepted
+	SigRBErr                  // slave: read bus error
+	SigWBErr                  // slave: write bus error
+	SigSel                    // controller-internal: decoder select (3)
+	NumSignals
+)
+
+// SignalDef describes one wire group.
+type SignalDef struct {
+	ID   SignalID
+	Name string
+	Bits int
+}
+
+// Signals is the canonical bundle layout, indexed by SignalID.
+var Signals = [NumSignals]SignalDef{
+	{SigAValid, "EB_AValid", 1},
+	{SigARdy, "EB_ARdy", 1},
+	{SigInstr, "EB_Instr", 1},
+	{SigWrite, "EB_Write", 1},
+	{SigBurst, "EB_Burst", 1},
+	{SigBFirst, "EB_BFirst", 1},
+	{SigBLast, "EB_BLast", 1},
+	{SigBE, "EB_BE", 4},
+	{SigA, "EB_A", AddrBits},
+	{SigWData, "EB_WData", DataBits},
+	{SigRData, "EB_RData", DataBits},
+	{SigRdVal, "EB_RdVal", 1},
+	{SigWDRdy, "EB_WDRdy", 1},
+	{SigRBErr, "EB_RBErr", 1},
+	{SigWBErr, "EB_WBErr", 1},
+	{SigSel, "BC_Sel", 3},
+}
+
+// String returns the EC specification name of the signal.
+func (id SignalID) String() string {
+	if id < 0 || id >= NumSignals {
+		return "EB_?"
+	}
+	return Signals[id].Name
+}
+
+// Bits returns the wire count of the signal group.
+func (id SignalID) Bits() int {
+	if id < 0 || id >= NumSignals {
+		return 0
+	}
+	return Signals[id].Bits
+}
+
+// TotalWires returns the number of physical wires in the bundle.
+func TotalWires() int {
+	n := 0
+	for _, s := range Signals {
+		n += s.Bits
+	}
+	return n
+}
+
+// Bundle is one cycle's value of every EC interface signal group. Values
+// wider than their Bits are a modelling error; Normalize masks them.
+type Bundle [NumSignals]uint64
+
+// Normalize masks every group to its width and returns the bundle.
+func (b *Bundle) Normalize() *Bundle {
+	for i := range b {
+		w := Signals[i].Bits
+		if w < 64 {
+			b[i] &= (uint64(1) << uint(w)) - 1
+		}
+	}
+	return b
+}
+
+// Set assigns value v (masked to the group width) to signal id.
+func (b *Bundle) Set(id SignalID, v uint64) {
+	w := Signals[id].Bits
+	if w < 64 {
+		v &= (uint64(1) << uint(w)) - 1
+	}
+	b[id] = v
+}
+
+// SetBool assigns a single-bit signal.
+func (b *Bundle) SetBool(id SignalID, v bool) {
+	if v {
+		b[id] = 1
+	} else {
+		b[id] = 0
+	}
+}
+
+// Get returns the value of signal id.
+func (b *Bundle) Get(id SignalID) uint64 { return b[id] }
+
+// Bool returns a single-bit signal as bool.
+func (b *Bundle) Bool(id SignalID) bool { return b[id] != 0 }

@@ -1,0 +1,192 @@
+package ecbus
+
+import "fmt"
+
+// SlaveConfig is the slave control information exposed through the slave
+// control interface of the paper's layer-1 model: "the address range of
+// the slave, wait states for address, read and write phases, and bits to
+// indicate the access rights like read, write, and execute".
+type SlaveConfig struct {
+	Name string
+	Base uint64 // first byte address, AddrBits wide
+	Size uint64 // size in bytes
+
+	AddrWait  int // wait states before the address phase completes
+	ReadWait  int // wait states before each read data word
+	WriteWait int // wait states before each write data word
+
+	Readable   bool
+	Writable   bool
+	Executable bool
+}
+
+// Contains reports whether the address falls inside the slave's range.
+func (c SlaveConfig) Contains(addr uint64) bool {
+	return addr >= c.Base && addr < c.Base+c.Size
+}
+
+// End returns one past the last byte address of the range.
+func (c SlaveConfig) End() uint64 { return c.Base + c.Size }
+
+// Allows reports whether the access kind is permitted by the rights bits.
+func (c SlaveConfig) Allows(k Kind) bool {
+	switch k {
+	case Fetch:
+		return c.Executable
+	case Read:
+		return c.Readable
+	case Write:
+		return c.Writable
+	default:
+		return false
+	}
+}
+
+// Validate checks internal consistency.
+func (c SlaveConfig) Validate() error {
+	if c.Size == 0 {
+		return fmt.Errorf("ecbus: slave %q has zero size", c.Name)
+	}
+	if c.Base&^AddrMask != 0 || (c.Base+c.Size-1)&^AddrMask != 0 {
+		return fmt.Errorf("ecbus: slave %q range [%#x,%#x) exceeds address space", c.Name, c.Base, c.End())
+	}
+	if c.AddrWait < 0 || c.ReadWait < 0 || c.WriteWait < 0 {
+		return fmt.Errorf("ecbus: slave %q has negative wait states", c.Name)
+	}
+	return nil
+}
+
+// Slave is the functional behaviour of a bus slave, shared by every
+// abstraction level: the layer models wrap it with the appropriate
+// timing (wait states from Config) and signalling.
+//
+// ReadWord/WriteWord operate on one bus word; addr selects the word and,
+// together with width, the active byte lanes. Implementations return
+// false to signal a slave-side bus error (beyond decode/rights errors,
+// which the bus controller raises itself).
+type Slave interface {
+	Config() SlaveConfig
+	ReadWord(addr uint64, w Width) (uint32, bool)
+	WriteWord(addr uint64, data uint32, w Width) bool
+}
+
+// DynamicWaiter is an optional Slave extension for state-dependent wait
+// states (e.g. an EEPROM that stalls reads while a programming cycle is
+// in progress). The returned value is added to the static wait states.
+type DynamicWaiter interface {
+	ExtraWait(k Kind, addr uint64) int
+}
+
+// ExtraWaitOf returns the dynamic extra wait of s for the access, or 0.
+func ExtraWaitOf(s Slave, k Kind, addr uint64) int {
+	if d, ok := s.(DynamicWaiter); ok {
+		return d.ExtraWait(k, addr)
+	}
+	return 0
+}
+
+// EnergyReporter is an optional Slave extension: peripherals with
+// characterized internal access energy (the paper's future-work item)
+// report it here; the platform energy accounting adds it to bus energy.
+type EnergyReporter interface {
+	// AccessEnergy returns the internal energy in joules dissipated by
+	// one access of the given kind.
+	AccessEnergy(k Kind) float64
+}
+
+// Map is the bus controller's address decoder: an ordered set of
+// non-overlapping slave ranges.
+type Map struct {
+	slaves []Slave
+}
+
+// NewMap builds an address map from the given slaves, rejecting invalid
+// configs and overlapping ranges.
+func NewMap(slaves ...Slave) (*Map, error) {
+	m := &Map{}
+	for _, s := range slaves {
+		if err := m.Add(s); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// MustMap is NewMap that panics on error, for tests and examples.
+func MustMap(slaves ...Slave) *Map {
+	m, err := NewMap(slaves...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Add inserts a slave, keeping ranges sorted and rejecting overlap.
+func (m *Map) Add(s Slave) error {
+	c := s.Config()
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	for _, ex := range m.slaves {
+		e := ex.Config()
+		if c.Base < e.End() && e.Base < c.End() {
+			return fmt.Errorf("ecbus: slave %q [%#x,%#x) overlaps %q [%#x,%#x)",
+				c.Name, c.Base, c.End(), e.Name, e.Base, e.End())
+		}
+	}
+	m.slaves = append(m.slaves, s)
+	// Keep sorted by base for deterministic decode and iteration.
+	for i := len(m.slaves) - 1; i > 0; i-- {
+		if m.slaves[i].Config().Base < m.slaves[i-1].Config().Base {
+			m.slaves[i], m.slaves[i-1] = m.slaves[i-1], m.slaves[i]
+		}
+	}
+	return nil
+}
+
+// Decode returns the slave containing addr, or nil for a decode miss
+// (which the bus controller turns into a bus error).
+func (m *Map) Decode(addr uint64) Slave {
+	// Linear scan: smart-card maps have a handful of slaves, and this is
+	// on the simulator fast path, where branch-predictable scans beat
+	// binary search at these sizes.
+	for _, s := range m.slaves {
+		if s.Config().Contains(addr) {
+			return s
+		}
+	}
+	return nil
+}
+
+// Slaves returns the slaves in ascending base-address order.
+func (m *Map) Slaves() []Slave { return m.slaves }
+
+// Check verifies that an access of the given kind/extent decodes to one
+// slave with sufficient rights. It returns the slave and nil, or nil and
+// a descriptive error.
+func (m *Map) Check(kind Kind, addr uint64, bytes int) (Slave, error) {
+	s := m.Decode(addr)
+	if s == nil {
+		return nil, fmt.Errorf("ecbus: decode miss at %#x", addr)
+	}
+	c := s.Config()
+	if bytes > 0 && !c.Contains(addr+uint64(bytes)-1) {
+		return nil, fmt.Errorf("ecbus: access [%#x,+%d) crosses end of slave %q", addr, bytes, c.Name)
+	}
+	if !c.Allows(kind) {
+		return nil, fmt.Errorf("ecbus: %v access to %q at %#x denied", kind, c.Name, addr)
+	}
+	return s, nil
+}
+
+// Index returns the position of the slave whose range contains addr, or
+// -1. The index is used by the layer-0 model as the decoder select value
+// (and so contributes decoder output transitions to the energy model).
+func (m *Map) Index(addr uint64) int {
+	for i, s := range m.slaves {
+		if s.Config().Contains(addr) {
+			return i
+		}
+	}
+	return -1
+}

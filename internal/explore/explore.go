@@ -1,0 +1,217 @@
+// Package explore is the HW/SW interface exploration harness of the
+// paper's case study (§4.3): "During HW/SW interface evaluation we
+// change the address map, organization of these registers and used bus
+// transactions to access them." It sweeps the refined Java Card model
+// over those axes — SFR organization (byte-staged / halfword / packed /
+// burst), stack address map (near/far from the code memory), and bus
+// abstraction layer (1 or 2) — and reports cycles and estimated energy
+// per configuration, which is exactly the evaluation the energy-aware
+// transaction-level models exist to make fast.
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ecbus"
+	"repro/internal/gatepower"
+	"repro/internal/javacard"
+	"repro/internal/mem"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/tlm1"
+	"repro/internal/tlm2"
+)
+
+// Stack SFR base addresses of the two explored address maps. The code
+// ROM sits at 0; the "near" base keeps the address-bus Hamming distance
+// between interleaved code fetches and stack accesses small, the "far"
+// base (alternating bit pattern) maximizes it.
+const (
+	NearBase = 0x0000_1000
+	FarBase  = 0x0002_AAA0
+)
+
+// AddrMaps names the explored address maps.
+var AddrMaps = []string{"near", "far"}
+
+// Config is one point of the design space.
+type Config struct {
+	Layer   int // bus abstraction layer: 1 or 2
+	Org     javacard.Organization
+	AddrMap string // "near" or "far"
+}
+
+// String renders the configuration compactly.
+func (c Config) String() string {
+	return fmt.Sprintf("L%d/%s/%s", c.Layer, c.Org, c.AddrMap)
+}
+
+// Result is the measured outcome of one configuration on one workload.
+type Result struct {
+	Config
+	Workload     string
+	Cycles       uint64
+	BusEnergyJ   float64
+	Transactions uint64
+	Steps        uint64 // executed bytecodes
+}
+
+// EnergyPerStep returns bus energy per bytecode, the case study's merit
+// figure.
+func (r Result) EnergyPerStep() float64 {
+	if r.Steps == 0 {
+		return 0
+	}
+	return r.BusEnergyJ / float64(r.Steps)
+}
+
+// blockingMaster issues single transactions to completion by stepping
+// the kernel (the untimed interpreter's view of the bus).
+type blockingMaster struct {
+	k   *sim.Kernel
+	bus core.Initiator
+	ids uint64
+	n   uint64
+}
+
+func (m *blockingMaster) read8(addr uint64) error {
+	m.ids++
+	tr, err := ecbus.NewSingle(m.ids, ecbus.Fetch, addr, ecbus.W8, 0)
+	if err != nil {
+		return err
+	}
+	m.n++
+	for i := 0; i < 100000; i++ {
+		st := m.bus.Access(tr)
+		if st == ecbus.StateOK {
+			return nil
+		}
+		if st == ecbus.StateError {
+			return fmt.Errorf("explore: fetch bus error at %#x", addr)
+		}
+		m.k.Step()
+	}
+	return errors.New("explore: fetch never completed")
+}
+
+// Run evaluates one configuration on one workload.
+func Run(cfg Config, w javacard.Workload, char gatepower.CharTable) (Result, error) {
+	prog, mm, fw := w.Make()
+
+	k := sim.New(0)
+	base := uint64(NearBase)
+	if cfg.AddrMap == "far" {
+		base = FarBase
+	}
+	rom := mem.NewROM("code", 0, 0x1000, 0, 0)
+	if err := rom.Load(0, prog.Main); err != nil {
+		return Result{}, err
+	}
+	hs := javacard.NewHardStack("stack", base)
+	bmap := ecbus.MustMap(rom, hs)
+
+	var bus core.Initiator
+	var energy func() float64
+	switch cfg.Layer {
+	case 1:
+		b := tlm1.New(k, bmap).AttachPower(tlm1.NewPowerModel(char))
+		bus, energy = b, b.Power().TotalEnergy
+	case 2:
+		b := tlm2.New(k, bmap).AttachPower(tlm2.NewPowerModel(char))
+		bus, energy = b, b.Power().TotalEnergy
+	default:
+		return Result{}, fmt.Errorf("explore: unsupported layer %d", cfg.Layer)
+	}
+
+	adapter := javacard.NewMasterAdapter(k, bus, base, cfg.Org)
+	fetcher := &blockingMaster{k: k, bus: bus}
+	vm := javacard.NewVM(prog, adapter, mm, fw)
+	vm.FetchHook = func(pc int) {
+		// Interleave the interpreter's code fetch with the stack
+		// traffic. Method bodies alias onto the main image window; the
+		// traffic pattern, not the fetched value, is what matters here.
+		_ = fetcher.read8(uint64(pc) % 0x1000)
+	}
+	if err := vm.Run(10_000_000); err != nil {
+		return Result{}, fmt.Errorf("explore %v/%s: %w", cfg, w.Name, err)
+	}
+	if err := adapter.Flush(); err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Config:       cfg,
+		Workload:     w.Name,
+		Cycles:       k.Cycle(),
+		BusEnergyJ:   energy(),
+		Transactions: adapter.Transactions + fetcher.n,
+		Steps:        vm.Steps,
+	}, nil
+}
+
+// Sweep evaluates the full cross product of layers × organizations ×
+// address maps × workloads.
+func Sweep(layers []int, orgs []javacard.Organization, maps []string, workloads []javacard.Workload) ([]Result, error) {
+	char := platform.DefaultCharTable()
+	var out []Result
+	for _, w := range workloads {
+		for _, l := range layers {
+			for _, o := range orgs {
+				for _, m := range maps {
+					r, err := Run(Config{Layer: l, Org: o, AddrMap: m}, w, char)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, r)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Pareto returns the results not dominated in (Cycles, BusEnergyJ)
+// within each workload — the frontier the designer picks from.
+func Pareto(results []Result) []Result {
+	var front []Result
+	for _, r := range results {
+		dominated := false
+		for _, o := range results {
+			if o.Workload != r.Workload {
+				continue
+			}
+			if o.Cycles <= r.Cycles && o.BusEnergyJ <= r.BusEnergyJ &&
+				(o.Cycles < r.Cycles || o.BusEnergyJ < r.BusEnergyJ) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, r)
+		}
+	}
+	return front
+}
+
+// Table renders results as the case-study exploration table.
+func Table(results []Result) string {
+	rows := append([]Result(nil), results...)
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Workload != rows[j].Workload {
+			return rows[i].Workload < rows[j].Workload
+		}
+		return rows[i].BusEnergyJ < rows[j].BusEnergyJ
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %-22s %10s %12s %8s %14s\n",
+		"workload", "config", "cycles", "energy[pJ]", "tx", "energy/bc[pJ]")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %-22s %10d %12.1f %8d %14.2f\n",
+			r.Workload, r.Config.String(), r.Cycles, r.BusEnergyJ*1e12,
+			r.Transactions, r.EnergyPerStep()*1e12)
+	}
+	return sb.String()
+}

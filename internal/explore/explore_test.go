@@ -1,0 +1,140 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/javacard"
+	"repro/internal/platform"
+)
+
+func churn() javacard.Workload {
+	return javacard.Workload{Name: "stack-churn", Make: func() (javacard.Program, *javacard.MemoryManager, *javacard.Firewall) {
+		return javacard.StackChurn(8, 10), javacard.NewMemoryManager(), javacard.NewFirewall()
+	}}
+}
+
+func TestRunSingleConfig(t *testing.T) {
+	r, err := Run(Config{Layer: 1, Org: javacard.OrgHalf, AddrMap: "near"}, churn(), platform.DefaultCharTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles == 0 || r.BusEnergyJ <= 0 || r.Transactions == 0 || r.Steps == 0 {
+		t.Fatalf("degenerate result: %+v", r)
+	}
+	if r.EnergyPerStep() <= 0 {
+		t.Fatal("no per-bytecode energy")
+	}
+}
+
+func TestOrganizationEnergyOrdering(t *testing.T) {
+	// On the stack-bound workload, the byte-staged organization costs
+	// the most bus energy, burst batching the least — the case study's
+	// headline observation.
+	char := platform.DefaultCharTable()
+	e := map[javacard.Organization]float64{}
+	for _, org := range javacard.Organizations {
+		r, err := Run(Config{Layer: 1, Org: org, AddrMap: "near"}, churn(), char)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e[org] = r.BusEnergyJ
+	}
+	if !(e[javacard.OrgByte] > e[javacard.OrgHalf]) {
+		t.Errorf("byte-staged (%.3e) not costlier than halfword (%.3e)",
+			e[javacard.OrgByte], e[javacard.OrgHalf])
+	}
+	if !(e[javacard.OrgBurst] < e[javacard.OrgHalf]) {
+		t.Errorf("burst (%.3e) not cheaper than halfword (%.3e)",
+			e[javacard.OrgBurst], e[javacard.OrgHalf])
+	}
+}
+
+func TestAddressMapAffectsEnergy(t *testing.T) {
+	// With interleaved code fetches, a far (high-Hamming) stack base
+	// toggles more address wires per alternation than a near one.
+	char := platform.DefaultCharTable()
+	near, err := Run(Config{Layer: 1, Org: javacard.OrgHalf, AddrMap: "near"}, churn(), char)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := Run(Config{Layer: 1, Org: javacard.OrgHalf, AddrMap: "far"}, churn(), char)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far.BusEnergyJ <= near.BusEnergyJ {
+		t.Errorf("far map (%.3e) not costlier than near map (%.3e)",
+			far.BusEnergyJ, near.BusEnergyJ)
+	}
+	// Address map must not change functional cycles much (same protocol).
+	if far.Transactions != near.Transactions {
+		t.Errorf("transaction counts differ across maps: %d vs %d",
+			far.Transactions, near.Transactions)
+	}
+}
+
+func TestLayer2FasterToSimulateSameShape(t *testing.T) {
+	// Layer 2 must agree with layer 1 on the ordering of organizations
+	// even though its absolute numbers differ — that is what makes the
+	// faster model usable for exploration.
+	char := platform.DefaultCharTable()
+	order := func(layer int) []javacard.Organization {
+		type oe struct {
+			o javacard.Organization
+			e float64
+		}
+		var xs []oe
+		for _, org := range javacard.Organizations {
+			r, err := Run(Config{Layer: layer, Org: org, AddrMap: "near"}, churn(), char)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xs = append(xs, oe{org, r.BusEnergyJ})
+		}
+		for i := 0; i < len(xs); i++ {
+			for j := i + 1; j < len(xs); j++ {
+				if xs[j].e < xs[i].e {
+					xs[i], xs[j] = xs[j], xs[i]
+				}
+			}
+		}
+		var out []javacard.Organization
+		for _, x := range xs {
+			out = append(out, x.o)
+		}
+		return out
+	}
+	o1, o2 := order(1), order(2)
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("energy ordering differs between layers: L1 %v, L2 %v", o1, o2)
+		}
+	}
+}
+
+func TestSweepAndTable(t *testing.T) {
+	results, err := Sweep([]int{1, 2}, javacard.Organizations, AddrMaps,
+		[]javacard.Workload{churn()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2*len(javacard.Organizations)*2 {
+		t.Fatalf("sweep produced %d results", len(results))
+	}
+	tab := Table(results)
+	for _, want := range []string{"stack-churn", "L1/", "L2/", "burst4", "near", "far"} {
+		if !strings.Contains(tab, want) {
+			t.Fatalf("table missing %q:\n%s", want, tab)
+		}
+	}
+	front := Pareto(results)
+	if len(front) == 0 || len(front) >= len(results) {
+		t.Fatalf("pareto front size %d of %d implausible", len(front), len(results))
+	}
+}
+
+func TestRunRejectsBadLayer(t *testing.T) {
+	if _, err := Run(Config{Layer: 0, Org: javacard.OrgHalf, AddrMap: "near"}, churn(), platform.DefaultCharTable()); err == nil {
+		t.Fatal("layer 0 exploration should be rejected (no TLM power model)")
+	}
+}

@@ -1,0 +1,191 @@
+package gatepower
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ecbus"
+)
+
+func TestNoActivityCostsOnlyClockAndLeakage(t *testing.T) {
+	cfg := DefaultConfig()
+	e := NewEstimator(cfg)
+	var b ecbus.Bundle
+	for i := 0; i < 100; i++ {
+		e.Observe(&b)
+	}
+	if got := e.InterfaceEnergy(); got != 0 {
+		t.Fatalf("static wires dissipated %.3e J", got)
+	}
+	wantClock := 100 * 2 * 0.5 * cfg.ClockCapFF * 1e-15 * cfg.VddVolts * cfg.VddVolts
+	wantLeak := 100 * cfg.LeakagePerCycleJ
+	if got := e.TotalEnergy(); !close(got, wantClock+wantLeak, 1e-12) {
+		t.Fatalf("total %.3e, want %.3e", got, wantClock+wantLeak)
+	}
+}
+
+func close(a, b, rel float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := b
+	if m < 0 {
+		m = -m
+	}
+	return d <= rel*m+1e-30
+}
+
+func TestRiseCostsMoreThanFall(t *testing.T) {
+	cfg := DefaultConfig()
+	// step returns the energy of only the old->new transition (the
+	// reset->old step is measured and subtracted).
+	step := func(old, new uint64) float64 {
+		e := NewEstimator(cfg)
+		var b ecbus.Bundle
+		b.Set(ecbus.SigWData, old)
+		e.Observe(&b)
+		before := e.SignalStats(ecbus.SigWData).EnergyJ
+		b.Set(ecbus.SigWData, new)
+		e.Observe(&b)
+		return e.SignalStats(ecbus.SigWData).EnergyJ - before
+	}
+	// isolate a single-bit rise vs fall at bit 4 (no coupling partner).
+	rise := step(0, 1<<4)
+	fall := step(1<<4, 0)
+	if rise <= fall {
+		t.Fatalf("rise %.3e <= fall %.3e; transition types not distinguished", rise, fall)
+	}
+}
+
+func TestOppositeCouplingCostsMore(t *testing.T) {
+	cfg := DefaultConfig()
+	step := func(old, new uint64) float64 {
+		e := NewEstimator(cfg)
+		var b ecbus.Bundle
+		b.Set(ecbus.SigWData, old)
+		e.Observe(&b)
+		before := e.SignalStats(ecbus.SigWData).EnergyJ
+		b.Set(ecbus.SigWData, new)
+		e.Observe(&b)
+		return e.SignalStats(ecbus.SigWData).EnergyJ - before
+	}
+	// Two adjacent bits: one rise+one fall in opposite directions must
+	// cost more than a rise+fall far apart (Miller coupling).
+	uncoupled := step(0b1_0000_0000, 0b0_0000_0001)
+	opposite := step(0b10, 0b01)
+	if opposite <= uncoupled {
+		t.Fatalf("opposite coupling %.3e <= uncoupled %.3e", opposite, uncoupled)
+	}
+}
+
+func TestDecoderGlitchTracksAddressActivity(t *testing.T) {
+	cfg := DefaultConfig()
+	run := func(addrs []uint64) float64 {
+		e := NewEstimator(cfg)
+		var b ecbus.Bundle
+		for _, a := range addrs {
+			b.Set(ecbus.SigA, a)
+			e.Observe(&b)
+		}
+		return e.Breakdown().DecoderJ
+	}
+	quiet := run([]uint64{0x100, 0x104, 0x108, 0x10C})
+	noisy := run([]uint64{0x100, 0xFFFFFF0, 0x100, 0xFFFFFF0})
+	if noisy <= quiet {
+		t.Fatalf("decoder glitch energy: noisy %.3e <= quiet %.3e", noisy, quiet)
+	}
+}
+
+func TestEnergyMonotoneInTransitions(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(vals []uint32) bool {
+		e := NewEstimator(cfg)
+		var b ecbus.Bundle
+		prevTotal := 0.0
+		for _, v := range vals {
+			b.Set(ecbus.SigRData, uint64(v))
+			e.Observe(&b)
+			if e.TotalEnergy() < prevTotal {
+				return false
+			}
+			prevTotal = e.TotalEnergy()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakdownTotalsConsistent(t *testing.T) {
+	cfg := DefaultConfig()
+	e := NewEstimator(cfg)
+	var b ecbus.Bundle
+	for i := 0; i < 50; i++ {
+		b.Set(ecbus.SigA, uint64(i)*0x9E3779B9)
+		b.Set(ecbus.SigWData, uint64(i)*0x85EBCA6B)
+		b.SetBool(ecbus.SigAValid, i%2 == 0)
+		e.Observe(&b)
+	}
+	bd := e.Breakdown()
+	if !close(bd.Total(), e.TotalEnergy(), 1e-12) {
+		t.Fatalf("breakdown total %.3e != estimator total %.3e", bd.Total(), e.TotalEnergy())
+	}
+	if bd.Cycles != 50 || e.Cycles() != 50 {
+		t.Fatalf("cycles = %d/%d", bd.Cycles, e.Cycles())
+	}
+	s := bd.String()
+	if !strings.Contains(s, "EB_A") || !strings.Contains(s, "clock") {
+		t.Fatalf("report missing rows:\n%s", s)
+	}
+}
+
+func TestCharTableAveragesEnergy(t *testing.T) {
+	cfg := DefaultConfig()
+	e := NewEstimator(cfg)
+	var b ecbus.Bundle
+	for i := 0; i < 64; i++ {
+		b.Set(ecbus.SigA, uint64(i))
+		e.Observe(&b)
+	}
+	tab := e.Char()
+	st := e.SignalStats(ecbus.SigA)
+	want := st.EnergyJ / float64(st.Transitions())
+	if !close(tab.PerTransitionJ[ecbus.SigA], want, 1e-12) {
+		t.Fatalf("char %g, want %g", tab.PerTransitionJ[ecbus.SigA], want)
+	}
+	// Untouched signals fall back to nominal bit energy, never zero.
+	if tab.PerTransitionJ[ecbus.SigRData] <= 0 {
+		t.Fatal("fallback char entry is zero")
+	}
+}
+
+func TestCharFallbackMatchesNominal(t *testing.T) {
+	cfg := DefaultConfig()
+	tab := NewEstimator(cfg).Char()
+	for id := ecbus.SignalID(0); id < ecbus.NumSignals; id++ {
+		if tab.PerTransitionJ[id] <= 0 {
+			t.Fatalf("signal %v char entry %g", id, tab.PerTransitionJ[id])
+		}
+	}
+	// Heavier wires must be pricier per transition.
+	if tab.PerTransitionJ[ecbus.SigWData] <= tab.PerTransitionJ[ecbus.SigAValid] {
+		t.Fatal("data wire not pricier than control wire")
+	}
+}
+
+func TestSigStatsTransitions(t *testing.T) {
+	cfg := DefaultConfig()
+	e := NewEstimator(cfg)
+	var b ecbus.Bundle
+	b.Set(ecbus.SigBE, 0b1111)
+	e.Observe(&b) // 4 rises from reset
+	b.Set(ecbus.SigBE, 0b0000)
+	e.Observe(&b) // 4 falls
+	st := e.SignalStats(ecbus.SigBE)
+	if st.Rises != 4 || st.Falls != 4 || st.Transitions() != 8 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,128 @@
+package javacard
+
+import (
+	"strings"
+	"testing"
+)
+
+// arraySum builds: allocate an n-element array, fill with i*3, sum it
+// via aload, result in static 0.
+func arraySum(n int16) Program {
+	b := NewBuilder().
+		Push(n).Op(OpNewArr).Op(OpStore, 0). // local0 = handle
+		// fill loop: i in local1
+		Push(0).Op(OpStore, 1).
+		Label("fill").
+		Op(OpLoad, 1).Push(n).
+		Branch(OpCmpEq, "sum").
+		Op(OpLoad, 0).Op(OpLoad, 1).     // handle, index
+		Op(OpLoad, 1).Push(3).Op(OpMul). // value = i*3
+		Op(OpAStore).
+		Op(OpLoad, 1).Push(1).Op(OpAdd).Op(OpStore, 1).
+		Branch(OpGoto, "fill").
+		Label("sum").
+		Push(0).Op(OpStore, 2). // acc
+		Push(0).Op(OpStore, 1).
+		Label("add").
+		Op(OpLoad, 1).Push(n).
+		Branch(OpCmpEq, "done").
+		Op(OpLoad, 0).Op(OpLoad, 1).Op(OpALoad).
+		Op(OpLoad, 2).Op(OpAdd).Op(OpStore, 2).
+		Op(OpLoad, 1).Push(1).Op(OpAdd).Op(OpStore, 1).
+		Branch(OpGoto, "add").
+		Label("done").
+		Op(OpLoad, 2).Op(OpPutS, 0).
+		Op(OpHalt)
+	return Program{Main: b.MustBuild(), Statics: 1}
+}
+
+func TestArrayAllocFillSum(t *testing.T) {
+	vm := runSoft(t, arraySum(10), NewMemoryManager(), NewFirewall())
+	// sum of 3i for i=0..9 = 3*45 = 135
+	if got := vm.Static(0); got != 135 {
+		t.Fatalf("array sum = %d, want 135", got)
+	}
+}
+
+func TestArrayOnHardStack(t *testing.T) {
+	// The array workload must behave identically with the refined
+	// operand stack (handles and indices travel over the bus).
+	for _, org := range Organizations {
+		prog := arraySum(6)
+		_, ad, _ := refined(t, 1, org)
+		vm := NewVM(prog, ad, NewMemoryManager(), NewFirewall())
+		if err := vm.Run(1_000_000); err != nil {
+			t.Fatalf("%v: %v", org, err)
+		}
+		if got := vm.Static(0); got != 45 {
+			t.Fatalf("%v: array sum = %d, want 45", org, got)
+		}
+	}
+}
+
+func TestArrayLength(t *testing.T) {
+	code := NewBuilder().
+		Push(7).Op(OpNewArr).
+		Op(OpArrLen).Op(OpPutS, 0).
+		Op(OpHalt).MustBuild()
+	vm := runSoft(t, Program{Main: code, Statics: 1}, NewMemoryManager(), NewFirewall())
+	if vm.Static(0) != 7 {
+		t.Fatalf("arrlen = %d", vm.Static(0))
+	}
+}
+
+func TestArrayBoundsTrap(t *testing.T) {
+	code := NewBuilder().
+		Push(2).Op(OpNewArr).Op(OpStore, 0).
+		Op(OpLoad, 0).Push(5).Op(OpALoad). // index 5 of len-2 array
+		Op(OpHalt).MustBuild()
+	vm := NewVM(Program{Main: code}, &SoftStack{}, NewMemoryManager(), NewFirewall())
+	err := vm.Run(100)
+	if err == nil || !strings.Contains(err.Error(), "field") {
+		t.Fatalf("bounds violation not trapped: %v", err)
+	}
+}
+
+func TestNegativeLengthTrap(t *testing.T) {
+	code := NewBuilder().
+		Push(-1).Op(OpNewArr).
+		Op(OpHalt).MustBuild()
+	vm := NewVM(Program{Main: code}, &SoftStack{}, NewMemoryManager(), NewFirewall())
+	if err := vm.Run(100); err == nil {
+		t.Fatal("negative array length accepted")
+	}
+}
+
+func TestArrayFirewalled(t *testing.T) {
+	// An array allocated in context 1 is invisible to context 2.
+	code := NewBuilder().
+		Op(OpSetCtx, 1).
+		Push(4).Op(OpNewArr).Op(OpStore, 0).
+		Op(OpSetCtx, 2).
+		Op(OpLoad, 0).Push(0).Op(OpALoad).
+		Op(OpHalt).MustBuild()
+	fw := NewFirewall()
+	vm := NewVM(Program{Main: code}, &SoftStack{}, NewMemoryManager(), fw)
+	err := vm.Run(100)
+	if err == nil || !strings.Contains(err.Error(), "firewall") {
+		t.Fatalf("cross-context array access not denied: %v", err)
+	}
+	if fw.Violations != 1 {
+		t.Fatalf("violations = %d", fw.Violations)
+	}
+}
+
+func TestRuntimeAllocIDsDistinct(t *testing.T) {
+	mm := NewMemoryManager()
+	a, b := mm.New(2), mm.New(3)
+	if a == b {
+		t.Fatal("handle collision")
+	}
+	if mm.Len(a) != 2 || mm.Len(b) != 3 || mm.Len(999) != 0 {
+		t.Fatal("Len wrong")
+	}
+	// Runtime handles must not collide with loader-assigned ids < 0x100.
+	if a < 0x100 {
+		t.Fatal("runtime handle collides with static object pool")
+	}
+}

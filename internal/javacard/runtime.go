@@ -1,0 +1,93 @@
+package javacard
+
+import "fmt"
+
+// MemoryManager is the functional model of the Java Card heap: numbered
+// objects with short fields (plain objects and arrays share the
+// representation), owned by a firewall context.
+type MemoryManager struct {
+	objects map[int][]int16
+	nextID  int
+}
+
+// NewMemoryManager returns an empty heap.
+func NewMemoryManager() *MemoryManager {
+	return &MemoryManager{objects: map[int][]int16{}, nextID: 0x100}
+}
+
+// Alloc creates object id with n fields (id is chosen by the loader, as
+// in a CAP file's static object pool).
+func (m *MemoryManager) Alloc(id, n int) {
+	m.objects[id] = make([]int16, n)
+}
+
+// New allocates a fresh object/array of n shorts and returns its handle
+// (runtime allocation: OpNewArr).
+func (m *MemoryManager) New(n int) int {
+	id := m.nextID
+	m.nextID++
+	m.objects[id] = make([]int16, n)
+	return id
+}
+
+// Len returns the field count of an object, 0 if it does not exist.
+func (m *MemoryManager) Len(obj int) int { return len(m.objects[obj]) }
+
+// GetField reads field fld of object obj.
+func (m *MemoryManager) GetField(obj, fld int) (int16, error) {
+	o, ok := m.objects[obj]
+	if !ok {
+		return 0, fmt.Errorf("mm: no object %d", obj)
+	}
+	if fld < 0 || fld >= len(o) {
+		return 0, fmt.Errorf("mm: object %d has no field %d", obj, fld)
+	}
+	return o[fld], nil
+}
+
+// PutField writes field fld of object obj.
+func (m *MemoryManager) PutField(obj, fld int, v int16) error {
+	o, ok := m.objects[obj]
+	if !ok {
+		return fmt.Errorf("mm: no object %d", obj)
+	}
+	if fld < 0 || fld >= len(o) {
+		return fmt.Errorf("mm: object %d has no field %d", obj, fld)
+	}
+	o[fld] = v
+	return nil
+}
+
+// Firewall is the functional model of the Java Card applet firewall:
+// every object belongs to a context; access from a foreign context is
+// denied unless the object is marked shareable.
+type Firewall struct {
+	owner     map[int]byte
+	shareable map[int]bool
+
+	Violations uint64
+}
+
+// NewFirewall returns an empty firewall.
+func NewFirewall() *Firewall {
+	return &Firewall{owner: map[int]byte{}, shareable: map[int]bool{}}
+}
+
+// Own assigns object obj to context ctx.
+func (f *Firewall) Own(obj int, ctx byte) { f.owner[obj] = ctx }
+
+// Share marks obj as a shareable interface object.
+func (f *Firewall) Share(obj int) { f.shareable[obj] = true }
+
+// Check enforces the firewall rule for an access to obj from ctx.
+func (f *Firewall) Check(ctx byte, obj int) error {
+	owner, ok := f.owner[obj]
+	if !ok {
+		return fmt.Errorf("firewall: object %d unowned", obj)
+	}
+	if owner == ctx || f.shareable[obj] {
+		return nil
+	}
+	f.Violations++
+	return fmt.Errorf("firewall: context %d may not access object %d (owner %d)", ctx, obj, owner)
+}

@@ -1,0 +1,212 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHamming(t *testing.T) {
+	cases := []struct {
+		a, b  uint64
+		width int
+		want  int
+	}{
+		{0, 0, 32, 0},
+		{0xFF, 0x00, 8, 8},
+		{0xFF, 0x00, 4, 4},
+		{0b1010, 0b0101, 4, 4},
+		{^uint64(0), 0, 64, 64},
+		{^uint64(0), 0, 0, 0},
+		{0x8000000000000000, 0, 64, 1},
+		{0x8000000000000000, 0, 63, 0},
+	}
+	for _, c := range cases {
+		if got := Hamming(c.a, c.b, c.width); got != c.want {
+			t.Errorf("Hamming(%#x,%#x,%d) = %d, want %d", c.a, c.b, c.width, got, c.want)
+		}
+	}
+}
+
+func TestRisesFallsPartitionHamming(t *testing.T) {
+	f := func(old, new uint64, w uint8) bool {
+		width := int(w % 65)
+		return Rises(old, new, width)+Falls(old, new, width) == Hamming(old, new, width)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHammingSymmetric(t *testing.T) {
+	f := func(a, b uint64, w uint8) bool {
+		width := int(w % 65)
+		return Hamming(a, b, width) == Hamming(b, a, width)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHammingTriangleInequality(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		return Hamming(a, c, 64) <= Hamming(a, b, 64)+Hamming(b, c, 64)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMask(t *testing.T) {
+	if Mask(0) != 0 {
+		t.Error("Mask(0) != 0")
+	}
+	if Mask(-3) != 0 {
+		t.Error("Mask(-3) != 0")
+	}
+	if Mask(8) != 0xFF {
+		t.Error("Mask(8) != 0xFF")
+	}
+	if Mask(64) != ^uint64(0) {
+		t.Error("Mask(64) wrong")
+	}
+	if Mask(99) != ^uint64(0) {
+		t.Error("Mask(99) should clamp to 64")
+	}
+}
+
+func TestCoupling(t *testing.T) {
+	// bits 0 and 1 both rise: one same-direction pair.
+	if got := CoupledSame(0b00, 0b11, 2); got != 1 {
+		t.Errorf("CoupledSame both-rise = %d, want 1", got)
+	}
+	// bit 0 rises, bit 1 falls: one opposite pair.
+	if got := CoupledOpposite(0b10, 0b01, 2); got != 1 {
+		t.Errorf("CoupledOpposite = %d, want 1", got)
+	}
+	// Non-adjacent transitions couple with nothing.
+	if got := CoupledSame(0b000, 0b101, 3); got != 0 {
+		t.Errorf("CoupledSame non-adjacent = %d, want 0", got)
+	}
+	if got := CoupledOpposite(0b000, 0b101, 3); got != 0 {
+		t.Errorf("CoupledOpposite non-adjacent = %d, want 0", got)
+	}
+	// 0b0000 -> 0b1111: three adjacent same-direction pairs.
+	if got := CoupledSame(0, 0xF, 4); got != 3 {
+		t.Errorf("CoupledSame all-rise = %d, want 3", got)
+	}
+}
+
+func TestCouplingWidthLimits(t *testing.T) {
+	// Transition at bit 4 must not couple when width is 4.
+	if got := CoupledSame(0, 0b11000, 4); got != 0 {
+		t.Errorf("coupling beyond width counted: %d", got)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		ov, nv, oz, nz uint64
+		bit            int
+		want           TransitionKind
+	}{
+		{0, 1, 0, 0, 0, Rise},
+		{1, 0, 0, 0, 0, Fall},
+		{0, 0, 0, 0, 0, NoChange},
+		{1, 1, 0, 0, 0, NoChange},
+		{1, 0, 0, 1, 0, ToZ},
+		{0, 1, 1, 0, 0, FromZ1},
+		{0, 0, 1, 0, 0, FromZ0},
+		{1, 1, 1, 1, 0, NoChange},
+		{0b10, 0b00, 0, 0, 1, Fall},
+	}
+	for _, c := range cases {
+		if got := Classify(c.ov, c.nv, c.oz, c.nz, c.bit); got != c.want {
+			t.Errorf("Classify(%b,%b,%b,%b,bit %d) = %v, want %v",
+				c.ov, c.nv, c.oz, c.nz, c.bit, got, c.want)
+		}
+	}
+}
+
+func TestTransitionKindString(t *testing.T) {
+	kinds := []TransitionKind{NoChange, Rise, Fall, ToZ, FromZ0, FromZ1, TransitionKind(42)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("empty string for kind %d", int(k))
+		}
+	}
+}
+
+func TestLFSRDeterministicAndNonTrivial(t *testing.T) {
+	a, b := NewLFSR(1), NewLFSR(1)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seed LFSRs diverged")
+		}
+	}
+	c := NewLFSR(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("different seeds collide too often: %d/1000", same)
+	}
+}
+
+func TestLFSRZeroSeed(t *testing.T) {
+	l := NewLFSR(0)
+	if l.Next() == 0 && l.Next() == 0 {
+		t.Fatal("zero-seed LFSR locked up")
+	}
+}
+
+func TestLFSRPeriodNotShort(t *testing.T) {
+	l := NewLFSR(0xDEADBEEF)
+	first := l.Next()
+	for i := 0; i < 100000; i++ {
+		if l.Next() == first && i > 0 {
+			// Returning to the first value this early would indicate a
+			// short cycle; the maximal-length polynomial should not.
+			t.Fatalf("LFSR cycled after %d steps", i)
+		}
+	}
+}
+
+func TestLFSRNextHelpers(t *testing.T) {
+	l := NewLFSR(7)
+	for i := 0; i < 100; i++ {
+		if v := l.NextN(8); v > 0xFF {
+			t.Fatalf("NextN(8) = %#x out of range", v)
+		}
+		if v := l.NextRange(10); v < 0 || v >= 10 {
+			t.Fatalf("NextRange(10) = %d out of range", v)
+		}
+	}
+	if l.NextRange(0) != 0 || l.NextRange(-5) != 0 {
+		t.Fatal("NextRange with n<=0 should be 0")
+	}
+	// NextBool should produce both values over a reasonable window.
+	seen := map[bool]bool{}
+	for i := 0; i < 64; i++ {
+		seen[l.NextBool()] = true
+	}
+	if !seen[true] || !seen[false] {
+		t.Fatal("NextBool never varied")
+	}
+}
+
+func TestLFSRBitBalance(t *testing.T) {
+	l := NewLFSR(123)
+	ones := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if l.Next()&1 == 1 {
+			ones++
+		}
+	}
+	if ones < n*4/10 || ones > n*6/10 {
+		t.Fatalf("LFSR LSB heavily biased: %d/%d ones", ones, n)
+	}
+}

@@ -1,0 +1,165 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ecbus"
+)
+
+type fakeClock struct{ c uint64 }
+
+func (f *fakeClock) Cycle() uint64 { return f.c }
+
+func TestRAMWordRoundTrip(t *testing.T) {
+	r := NewRAM("ram", 0x1000, 0x100, 0, 0)
+	if !r.WriteWord(0x1010, 0xDEADBEEF, ecbus.W32) {
+		t.Fatal("write failed")
+	}
+	got, ok := r.ReadWord(0x1010, ecbus.W32)
+	if !ok || got != 0xDEADBEEF {
+		t.Fatalf("read %#x ok=%v", got, ok)
+	}
+}
+
+func TestRAMByteLaneMerge(t *testing.T) {
+	r := NewRAM("ram", 0, 0x100, 0, 0)
+	r.WriteWord(0x10, 0xFFFFFFFF, ecbus.W32)
+	// Write byte 0x5A to lane 2 (address 0x12): data presented on its lane.
+	r.WriteWord(0x12, 0x005A0000, ecbus.W8)
+	got, _ := r.ReadWord(0x10, ecbus.W32)
+	if got != 0xFF5AFFFF {
+		t.Fatalf("merged = %#x, want 0xFF5AFFFF", got)
+	}
+	// 16-bit write to lanes 0-1.
+	r.WriteWord(0x10, 0x00001234, ecbus.W16)
+	got, _ = r.ReadWord(0x10, ecbus.W32)
+	if got != 0xFF5A1234 {
+		t.Fatalf("merged = %#x, want 0xFF5A1234", got)
+	}
+}
+
+func TestRAMWriteReadProperty(t *testing.T) {
+	r := NewRAM("ram", 0, 0x1000, 0, 0)
+	f := func(off uint16, v uint32) bool {
+		addr := uint64(off) % 0xFFC &^ 3
+		r.WriteWord(addr, v, ecbus.W32)
+		got, ok := r.ReadWord(addr, ecbus.W32)
+		return ok && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRAMOutOfRange(t *testing.T) {
+	r := NewRAM("ram", 0x100, 0x10, 0, 0)
+	if _, ok := r.ReadWord(0x90, ecbus.W32); ok {
+		t.Fatal("read below range succeeded")
+	}
+	if r.WriteWord(0x200, 1, ecbus.W32) {
+		t.Fatal("write above range succeeded")
+	}
+}
+
+func TestROMRejectsWrites(t *testing.T) {
+	r := NewROM("rom", 0, 0x100, 0, 0)
+	if r.WriteWord(0x10, 1, ecbus.W32) {
+		t.Fatal("ROM accepted a write")
+	}
+	cfg := r.Config()
+	if cfg.Writable || !cfg.Readable || !cfg.Executable {
+		t.Fatalf("ROM rights wrong: %+v", cfg)
+	}
+}
+
+func TestLoadAndLoadWords(t *testing.T) {
+	r := NewROM("rom", 0x4000, 0x100, 0, 0)
+	if err := r.LoadWords(0x10, []uint32{0x11223344, 0x55667788}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := r.ReadWord(0x4014, ecbus.W32)
+	if got != 0x55667788 {
+		t.Fatalf("loaded word = %#x", got)
+	}
+	if err := r.Load(0xFF, []byte{1, 2}); err == nil {
+		t.Fatal("overflowing load accepted")
+	}
+	if err := r.Load(0, make([]byte, 0x100)); err != nil {
+		t.Fatalf("exact-size load rejected: %v", err)
+	}
+}
+
+func TestEEPROMProgrammingStall(t *testing.T) {
+	clk := &fakeClock{}
+	e := NewEEPROM("ee", 0, 0x8000, clk)
+	if e.ExtraWait(ecbus.Read, 0) != 0 {
+		t.Fatal("fresh EEPROM busy")
+	}
+	clk.c = 100
+	e.WriteWord(0x20, 0xAB, ecbus.W32)
+	if e.Programs() != 1 {
+		t.Fatal("program not counted")
+	}
+	if got := e.ExtraWait(ecbus.Read, 0); got != int(e.ProgramCycles) {
+		t.Fatalf("ExtraWait right after write = %d, want %d", got, e.ProgramCycles)
+	}
+	clk.c = 100 + e.ProgramCycles/2
+	if got := e.ExtraWait(ecbus.Write, 0); got != int(e.ProgramCycles/2) {
+		t.Fatalf("ExtraWait mid-program = %d, want %d", got, e.ProgramCycles/2)
+	}
+	clk.c = 100 + e.ProgramCycles
+	if e.ExtraWait(ecbus.Read, 0) != 0 {
+		t.Fatal("EEPROM still busy after programming window")
+	}
+	got, _ := e.ReadWord(0x20, ecbus.W32)
+	if got != 0xAB {
+		t.Fatalf("programmed word = %#x", got)
+	}
+}
+
+func TestFlashProgrammingShorterThanEEPROM(t *testing.T) {
+	clk := &fakeClock{}
+	f := NewFlash("fl", 0, 0x10000, clk)
+	e := NewEEPROM("ee", 0x100000, 0x8000, clk)
+	if f.ProgramCycles >= e.ProgramCycles {
+		t.Fatal("flash programming not faster than EEPROM")
+	}
+	f.WriteWord(0x40, 0xCD, ecbus.W32)
+	if f.ExtraWait(ecbus.Read, 0) != int(f.ProgramCycles) {
+		t.Fatal("flash not busy after write")
+	}
+}
+
+func TestSlaveInterfacesSatisfied(t *testing.T) {
+	clk := &fakeClock{}
+	var slaves = []ecbus.Slave{
+		NewRAM("a", 0, 4, 0, 0),
+		NewROM("b", 4, 4, 0, 0),
+		NewEEPROM("c", 8, 4, clk),
+		NewFlash("d", 12, 4, clk),
+	}
+	for _, s := range slaves {
+		if err := s.Config().Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Config().Name, err)
+		}
+	}
+	// The self-timed memories implement DynamicWaiter, plain ones not.
+	if _, ok := slaves[0].(ecbus.DynamicWaiter); ok {
+		t.Fatal("RAM claims dynamic waits")
+	}
+	if _, ok := slaves[2].(ecbus.DynamicWaiter); !ok {
+		t.Fatal("EEPROM misses DynamicWaiter")
+	}
+}
+
+func TestBytesExposesStorage(t *testing.T) {
+	r := NewRAM("ram", 0, 8, 0, 0)
+	r.WriteWord(0, 0x04030201, ecbus.W32)
+	b := r.Bytes()
+	for i := 0; i < 4; i++ {
+		if b[i] != byte(i+1) {
+			t.Fatalf("byte %d = %d", i, b[i])
+		}
+	}
+}

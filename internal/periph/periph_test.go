@@ -1,0 +1,278 @@
+package periph
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ecbus"
+	"repro/internal/sim"
+)
+
+func TestIntControllerRaiseAckFlow(t *testing.T) {
+	ic := NewIntController("int", 0xF000)
+	ic.WriteWord(0xF000+IntEnable, 0b0011, ecbus.W32)
+	ic.Raise(LineTimer0)
+	ic.Raise(LineCrypto) // masked: not enabled
+	if got := ic.Pending(); got != 1<<LineTimer0 {
+		t.Fatalf("pending = %#b", got)
+	}
+	st, _ := ic.ReadWord(0xF000+IntStatus, ecbus.W32)
+	if st != 1<<LineTimer0 {
+		t.Fatalf("status = %#b", st)
+	}
+	ic.WriteWord(0xF000+IntAck, 1<<LineTimer0, ecbus.W32)
+	if ic.Pending() != 0 {
+		t.Fatal("ack did not clear")
+	}
+	// Enabling the masked line reveals it (still latched).
+	ic.WriteWord(0xF000+IntEnable, 0xF, ecbus.W32)
+	if ic.Pending() != 1<<LineCrypto {
+		t.Fatal("masked line lost")
+	}
+	if ic.Raised() != 2 {
+		t.Fatalf("raised = %d", ic.Raised())
+	}
+}
+
+func TestIntControllerSoftwareRaise(t *testing.T) {
+	ic := NewIntController("int", 0)
+	ic.WriteWord(IntEnable, 0xFF, ecbus.W32)
+	ic.WriteWord(IntRaise, 0b100, ecbus.W32)
+	if ic.Pending() != 0b100 {
+		t.Fatal("software raise failed")
+	}
+}
+
+func TestTimerCountsAndExpires(t *testing.T) {
+	k := sim.New(0)
+	ic := NewIntController("int", 0xF000)
+	ic.WriteWord(0xF000+IntEnable, 0xF, ecbus.W32)
+	tm := NewTimer(k, "t0", 0xF100, ic, LineTimer0)
+	tm.WriteWord(0xF100+TimerLoad, 10, ecbus.W32)
+	tm.WriteWord(0xF100+TimerCtrl, 1, ecbus.W32) // enable, no reload
+	k.Run(10)
+	if !tm.Flag() || tm.Expirations() != 1 {
+		t.Fatalf("flag=%v expirations=%d after 10 cycles", tm.Flag(), tm.Expirations())
+	}
+	if ic.Pending()&(1<<LineTimer0) == 0 {
+		t.Fatal("timer interrupt not raised")
+	}
+	cnt, _ := tm.ReadWord(0xF100+TimerCount, ecbus.W32)
+	if cnt != 0 {
+		t.Fatalf("count = %d after expiry without reload", cnt)
+	}
+	// Write-one-to-clear flag.
+	tm.WriteWord(0xF100+TimerFlag, 1, ecbus.W32)
+	if tm.Flag() {
+		t.Fatal("flag not cleared")
+	}
+}
+
+func TestTimerAutoReloadPeriod(t *testing.T) {
+	k := sim.New(0)
+	tm := NewTimer(k, "t1", 0, nil, LineTimer1)
+	tm.WriteWord(TimerLoad, 5, ecbus.W32)
+	tm.WriteWord(TimerCtrl, 1|2, ecbus.W32) // enable + auto-reload
+	k.Run(25)
+	if got := tm.Expirations(); got != 5 {
+		t.Fatalf("expirations = %d in 25 cycles with period 5", got)
+	}
+}
+
+func TestTimerPrescaler(t *testing.T) {
+	k := sim.New(0)
+	tm := NewTimer(k, "t0", 0, nil, 0)
+	tm.WriteWord(TimerLoad, 4, ecbus.W32)
+	tm.WriteWord(TimerCtrl, 1|2|(2<<4), ecbus.W32) // prescale /4
+	k.Run(64)
+	if got := tm.Expirations(); got != 4 {
+		t.Fatalf("expirations = %d in 64 cycles with period 4*4", got)
+	}
+}
+
+func TestTimerDisabledHolds(t *testing.T) {
+	k := sim.New(0)
+	tm := NewTimer(k, "t0", 0, nil, 0)
+	tm.WriteWord(TimerLoad, 3, ecbus.W32)
+	k.Run(10)
+	cnt, _ := tm.ReadWord(TimerCount, ecbus.W32)
+	if cnt != 3 {
+		t.Fatalf("disabled timer counted: %d", cnt)
+	}
+}
+
+func TestUARTTransmitsAtBaudRate(t *testing.T) {
+	k := sim.New(0)
+	u := NewUART(k, "uart", 0, nil)
+	u.WriteWord(UartBaud, 4, ecbus.W32) // 40 cycles per byte
+	u.WriteWord(UartCtrl, 1, ecbus.W32)
+	u.WriteWord(UartData, 'H', ecbus.W32)
+	u.WriteWord(UartData, 'i', ecbus.W32)
+	st, _ := u.ReadWord(UartStatus, ecbus.W32)
+	if st&1 != 0 {
+		t.Fatal("tx-empty with queued bytes")
+	}
+	k.Run(39)
+	if len(u.TxLog) != 0 {
+		t.Fatal("byte emitted before 10 bit-times")
+	}
+	k.Run(1)
+	if string(u.TxLog) != "H" {
+		t.Fatalf("TxLog = %q after one byte time", u.TxLog)
+	}
+	k.Run(40)
+	if string(u.TxLog) != "Hi" {
+		t.Fatalf("TxLog = %q after two byte times", u.TxLog)
+	}
+	st, _ = u.ReadWord(UartStatus, ecbus.W32)
+	if st&1 == 0 {
+		t.Fatal("tx-empty not set after drain")
+	}
+}
+
+func TestUARTFifoOverflowDropped(t *testing.T) {
+	k := sim.New(0)
+	u := NewUART(k, "uart", 0, nil)
+	u.WriteWord(UartCtrl, 1, ecbus.W32)
+	for i := 0; i < fifoDepth+3; i++ {
+		u.WriteWord(UartData, uint32('A'+i), ecbus.W32)
+	}
+	st, _ := u.ReadWord(UartStatus, ecbus.W32)
+	if st&2 == 0 {
+		t.Fatal("tx-full not set")
+	}
+	k.Run(uint64(10*16*fifoDepth) + 100)
+	if len(u.TxLog) != fifoDepth {
+		t.Fatalf("transmitted %d bytes, want %d (overflow dropped)", len(u.TxLog), fifoDepth)
+	}
+}
+
+func TestUARTReceive(t *testing.T) {
+	k := sim.New(0)
+	ic := NewIntController("int", 0x100)
+	ic.WriteWord(0x100+IntEnable, 0xF, ecbus.W32)
+	u := NewUART(k, "uart", 0, ic)
+	u.InjectRx([]byte{0x41, 0x42})
+	st, _ := u.ReadWord(UartStatus, ecbus.W32)
+	if st&4 == 0 {
+		t.Fatal("rx-available not set")
+	}
+	if ic.Pending()&(1<<LineUART) == 0 {
+		t.Fatal("rx interrupt not raised")
+	}
+	b1, _ := u.ReadWord(UartData, ecbus.W32)
+	b2, _ := u.ReadWord(UartData, ecbus.W32)
+	b3, _ := u.ReadWord(UartData, ecbus.W32)
+	if b1 != 0x41 || b2 != 0x42 || b3 != 0 {
+		t.Fatalf("rx bytes = %#x %#x %#x", b1, b2, b3)
+	}
+}
+
+func TestUARTZeroBaudClamped(t *testing.T) {
+	k := sim.New(0)
+	u := NewUART(k, "uart", 0, nil)
+	u.WriteWord(UartBaud, 0, ecbus.W32)
+	b, _ := u.ReadWord(UartBaud, ecbus.W32)
+	if b == 0 {
+		t.Fatal("baud divider of zero accepted")
+	}
+	_ = k
+}
+
+func TestTRNGProducesVaryingWords(t *testing.T) {
+	k := sim.New(0)
+	tr := NewTRNG(k, "rng", 0, 42)
+	seen := map[uint32]bool{}
+	for i := 0; i < 64; i++ {
+		k.Run(3)
+		v, ok := tr.ReadWord(TrngData, ecbus.W32)
+		if !ok {
+			t.Fatal("read failed")
+		}
+		seen[v] = true
+	}
+	if len(seen) < 60 {
+		t.Fatalf("only %d distinct words in 64 reads", len(seen))
+	}
+	if tr.Reads() != 64 {
+		t.Fatalf("reads = %d", tr.Reads())
+	}
+}
+
+func TestTRNGSamplingTimeDependence(t *testing.T) {
+	// Two platforms with the same seed but different read times must see
+	// different values (free-running oscillator).
+	read := func(delay uint64) uint32 {
+		k := sim.New(0)
+		tr := NewTRNG(k, "rng", 0, 7)
+		k.Run(delay)
+		v, _ := tr.ReadWord(TrngData, ecbus.W32)
+		return v
+	}
+	if read(3) == read(9) {
+		t.Fatal("sampling time does not influence TRNG output")
+	}
+}
+
+func TestTRNGDisable(t *testing.T) {
+	k := sim.New(0)
+	tr := NewTRNG(k, "rng", 0, 7)
+	tr.WriteWord(TrngCtrl, 0, ecbus.W32)
+	st, _ := tr.ReadWord(TrngStatus, ecbus.W32)
+	if st != 0 {
+		t.Fatal("disabled TRNG reports ready")
+	}
+	v1, _ := tr.ReadWord(TrngData, ecbus.W32)
+	k.Run(10) // oscillator frozen
+	v2, _ := tr.ReadWord(TrngData, ecbus.W32)
+	// LFSR still advances on explicit reads, but not with time: reading
+	// twice with a frozen oscillator gives the pure read sequence.
+	_ = v1
+	_ = v2
+}
+
+func TestEnergyReportersPresent(t *testing.T) {
+	k := sim.New(0)
+	slaves := []ecbus.Slave{
+		NewIntController("i", 0),
+		NewTimer(k, "t", 0x10, nil, 0),
+		NewUART(k, "u", 0x20, nil),
+		NewTRNG(k, "r", 0x30, 1),
+	}
+	for _, s := range slaves {
+		er, ok := s.(ecbus.EnergyReporter)
+		if !ok {
+			t.Fatalf("%s: no EnergyReporter", s.Config().Name)
+		}
+		if er.AccessEnergy(ecbus.Read) <= 0 {
+			t.Fatalf("%s: non-positive access energy", s.Config().Name)
+		}
+	}
+}
+
+func TestUnknownOffsetsFail(t *testing.T) {
+	k := sim.New(0)
+	ic := NewIntController("i", 0)
+	if _, ok := ic.ReadWord(0x1C0, ecbus.W32); ok {
+		t.Fatal("read of unmapped offset succeeded")
+	}
+	u := NewUART(k, "u", 0, nil)
+	if u.WriteWord(0x3C, 0, ecbus.W32) {
+		t.Fatal("write to unmapped offset succeeded")
+	}
+}
+
+func TestUARTLogIsOrdered(t *testing.T) {
+	k := sim.New(0)
+	u := NewUART(k, "uart", 0, nil)
+	u.WriteWord(UartBaud, 1, ecbus.W32)
+	u.WriteWord(UartCtrl, 1, ecbus.W32)
+	msg := []byte("OK")
+	for _, b := range msg {
+		u.WriteWord(UartData, uint32(b), ecbus.W32)
+	}
+	k.Run(100)
+	if !bytes.Equal(u.TxLog, msg) {
+		t.Fatalf("TxLog = %q", u.TxLog)
+	}
+}

@@ -1,0 +1,236 @@
+package platform
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/ecbus"
+)
+
+// helloProg prints over the UART, reads the TRNG, arms a timer, and
+// drives the crypto coprocessor — touching every major slave.
+const helloProg = `
+	# UART: enable, send 'A'
+	lui  $s0, 0x000F          # 0xF0000 = UART
+	li   $t0, 1
+	sw   $t0, 0xC($s0)        # CTRL = enable
+	li   $t0, 0x41
+	sw   $t0, 0x0($s0)        # DATA = 'A'
+
+	# TRNG read
+	lui  $s1, 0x000F
+	ori  $s1, $s1, 0x0300
+	lw   $s2, 0($s1)          # random word
+
+	# Timer0: load 5, enable
+	lui  $s3, 0x000F
+	ori  $s3, $s3, 0x0100
+	li   $t0, 5
+	sw   $t0, 4($s3)
+	li   $t0, 1
+	sw   $t0, 0($s3)
+
+	# Crypto: key/data/start, poll status
+	lui  $s4, 0x000F
+	ori  $s4, $s4, 0x0500
+	li   $t0, 0x1234
+	sw   $t0, 0x00($s4)       # KEY0
+	sw   $zero, 0x04($s4)     # KEY1
+	li   $t0, 0x5678
+	sw   $t0, 0x08($s4)       # DATA0
+	sw   $zero, 0x0C($s4)     # DATA1
+	li   $t0, 1
+	sw   $t0, 0x10($s4)       # CTRL = start
+poll:
+	lw   $t1, 0x14($s4)       # STATUS
+	andi $t1, $t1, 2          # done?
+	beq  $t1, $zero, poll
+	nop
+	lw   $v0, 0x18($s4)       # RES0
+	break
+`
+
+func buildAndRun(t *testing.T, layer Layer) *Platform {
+	t.Helper()
+	p := New(Config{Layer: layer, Energy: true, ICache: true})
+	if err := p.LoadProgram(cpu.MustAssemble(ROMBase, helloProg), true); err != nil {
+		t.Fatal(err)
+	}
+	_, halted := p.Run(1_000_000)
+	if !halted {
+		t.Fatalf("%v: program did not halt", layer)
+	}
+	if err := p.CPU.Fault(); err != nil {
+		t.Fatalf("%v: fault: %v", layer, err)
+	}
+	// Let the UART shift register drain (10 bit times of 16 cycles).
+	p.Kernel.Run(2000)
+	return p
+}
+
+func TestFullPlatformAllLayers(t *testing.T) {
+	var results []uint32
+	for _, layer := range []Layer{Layer0, Layer1, Layer2} {
+		p := buildAndRun(t, layer)
+		if string(p.UART.TxLog) != "A" {
+			t.Errorf("%v: UART TxLog = %q", layer, p.UART.TxLog)
+		}
+		if p.Timer0.Expirations() == 0 {
+			t.Errorf("%v: timer never expired", layer)
+		}
+		if p.Crypto.Ops() != 1 {
+			t.Errorf("%v: crypto ops = %d", layer, p.Crypto.Ops())
+		}
+		if p.TRNG.Reads() == 0 {
+			t.Errorf("%v: TRNG not read", layer)
+		}
+		results = append(results, p.CPU.Reg(2))
+	}
+	if results[0] != results[1] || results[1] != results[2] {
+		t.Fatalf("crypto results differ across layers: %#x", results)
+	}
+}
+
+func TestEnergyAccountingAcrossLayers(t *testing.T) {
+	var bus [3]float64
+	for i, layer := range []Layer{Layer0, Layer1, Layer2} {
+		p := buildAndRun(t, layer)
+		if p.BusEnergy() <= 0 {
+			t.Fatalf("%v: no bus energy", layer)
+		}
+		if p.PeripheralEnergy() <= 0 {
+			t.Fatalf("%v: no peripheral energy", layer)
+		}
+		if p.Crypto.TraceEnergy() <= 0 {
+			t.Fatalf("%v: no crypto engine energy", layer)
+		}
+		if p.TotalEnergy() <= p.BusEnergy() {
+			t.Fatalf("%v: total not larger than bus share", layer)
+		}
+		bus[i] = p.BusEnergy()
+		bd := p.EnergyBreakdown()
+		if bd["uart"] <= 0 || bd["crypto"] <= 0 || bd["trng"] <= 0 {
+			t.Fatalf("%v: breakdown missing entries: %v", layer, bd)
+		}
+	}
+	// Hierarchy shape on a real program: TL1 below gate level, TL2 above
+	// TL1 (exact Table-2 bands are asserted on the reference corpus in
+	// package core; here we only require the ordering not to invert
+	// wildly).
+	if bus[1] >= bus[0]*1.1 {
+		t.Errorf("TL1 bus energy %.3e not below gate level %.3e", bus[1], bus[0])
+	}
+	if bus[2] <= bus[1] {
+		t.Errorf("TL2 bus energy %.3e not above TL1 %.3e", bus[2], bus[1])
+	}
+}
+
+func TestLayerTimingShapeOnRealProgram(t *testing.T) {
+	cycles := map[Layer]uint64{}
+	for _, layer := range []Layer{Layer0, Layer1, Layer2} {
+		p := New(Config{Layer: layer})
+		if err := p.LoadProgram(cpu.MustAssemble(ROMBase, helloProg), true); err != nil {
+			t.Fatal(err)
+		}
+		n, halted := p.Run(1_000_000)
+		if !halted {
+			t.Fatalf("%v did not halt", layer)
+		}
+		cycles[layer] = n
+	}
+	if cycles[Layer1] != cycles[Layer0] {
+		t.Errorf("layer-1 cycles %d != layer-0 cycles %d", cycles[Layer1], cycles[Layer0])
+	}
+	if cycles[Layer2] < cycles[Layer0] {
+		t.Errorf("layer-2 cycles %d < layer-0 cycles %d", cycles[Layer2], cycles[Layer0])
+	}
+	// A latency-sensitive master (the ISS waits for each transaction
+	// before the next instruction) amplifies the layer-2 model's
+	// one-cycle-per-transaction phase split far beyond the +0.5% seen on
+	// replayed traces (Table 1, reproduced in package core); bound the
+	// amplification rather than the trace-level figure here.
+	err := float64(cycles[Layer2])/float64(cycles[Layer0]) - 1
+	if err > 0.25 {
+		t.Errorf("layer-2 timing error %.1f%% implausibly large", 100*err)
+	}
+}
+
+func TestEEPROMProgrammingOnPlatform(t *testing.T) {
+	prog := `
+		lui  $s0, 0x000A      # EEPROM base
+		li   $t0, 0x77
+		sw   $t0, 0($s0)
+		lw   $t1, 0($s0)      # stalls until programming completes
+		move $v0, $t1
+		break
+	`
+	p := New(Config{Layer: Layer1})
+	if err := p.LoadProgram(cpu.MustAssemble(ROMBase, prog), false); err != nil {
+		t.Fatal(err)
+	}
+	_, halted := p.Run(100000)
+	if !halted || p.CPU.Fault() != nil {
+		t.Fatalf("halt=%v fault=%v", halted, p.CPU.Fault())
+	}
+	if p.CPU.Reg(2) != 0x77 {
+		t.Fatalf("EEPROM readback = %#x", p.CPU.Reg(2))
+	}
+	if p.EEPROM.Programs() != 1 {
+		t.Fatalf("programs = %d", p.EEPROM.Programs())
+	}
+}
+
+func TestSlaveMeterCountsAndEnergy(t *testing.T) {
+	p := buildAndRun(t, Layer1)
+	for _, m := range p.meters {
+		if m.Config().Name == "uart" {
+			if m.Writes == 0 {
+				t.Fatal("uart writes not counted")
+			}
+			if m.Energy() <= 0 {
+				t.Fatal("uart energy zero")
+			}
+		}
+	}
+}
+
+func TestSlaveMeterForwardsDynamicWaits(t *testing.T) {
+	p := New(Config{Layer: Layer1})
+	var eeMeter *SlaveMeter
+	for _, m := range p.meters {
+		if m.Config().Name == "eeprom" {
+			eeMeter = m
+		}
+	}
+	if eeMeter == nil {
+		t.Fatal("no eeprom meter")
+	}
+	p.EEPROM.WriteWord(EEPROMBase, 1, ecbus.W32)
+	if eeMeter.ExtraWait(ecbus.Read, EEPROMBase) == 0 {
+		t.Fatal("dynamic wait not forwarded through meter")
+	}
+	if eeMeter.Inner() != ecbus.Slave(p.EEPROM) {
+		t.Fatal("Inner() does not unwrap")
+	}
+}
+
+func TestDefaultCharTableStable(t *testing.T) {
+	a := DefaultCharTable()
+	b := DefaultCharTable()
+	if a != b {
+		t.Fatal("characterization table not stable across calls")
+	}
+	for id, v := range a.PerTransitionJ {
+		if v <= 0 {
+			t.Fatalf("char entry %d non-positive", id)
+		}
+	}
+}
+
+func TestLayerString(t *testing.T) {
+	for _, l := range []Layer{Layer0, Layer1, Layer2, Layer(9)} {
+		if l.String() == "" {
+			t.Fatal("empty layer name")
+		}
+	}
+}

@@ -1,0 +1,374 @@
+// Package rtlbus is the layer-0 (signal/cycle-true) model of the EC bus
+// interface unit and bus controller. It is this repository's substitute
+// for the paper's RTL/gate-level reference: the timing golden model that
+// the transaction-level layer-1 and layer-2 models are measured against,
+// and the signal source for the gate-level power estimator (package
+// gatepower), which observes the wire bundle it drives every cycle.
+//
+// # Protocol timing rules
+//
+// These rules are the authoritative definition of the modelled EC
+// interface subset. The layer-1 model implements the same rules
+// independently (queue-based rather than FSM-based); equivalence is
+// enforced by property tests in package core.
+//
+//   - Masters present requests on the rising edge; the bus executes on
+//     the falling edge of the same cycle (paper Fig. 2).
+//   - Address phases are strictly serialized in acceptance order (one
+//     address bus). A transaction's address phase starts the cycle it is
+//     at the head of the address queue and occupies 1+AW cycles, where
+//     AW = slave AddrWait + dynamic extra wait sampled at phase start.
+//     With AW = 0 the phase completes the cycle it starts ("address and
+//     data phases can complete in the same cycle they are initiated").
+//   - Data phases are per direction: the read data bus serves fetches
+//     and data reads in address-completion order; the write data bus
+//     serves writes. The two directions proceed concurrently, so a read
+//     issued after a write may complete first (the EC "reordering").
+//   - Each data beat takes 1+DW cycles (DW = ReadWait or WriteWait).
+//     Beat 0 of a transaction may complete in the same cycle as its
+//     address phase when the data unit is idle and DW = 0; the request
+//     then "passes from the read queue to the finish queue in one
+//     cycle" exactly as in the paper's layer-1 description.
+//   - At most one data beat per direction per cycle; after the last beat
+//     of a transaction the next transaction's first beat is served no
+//     earlier than the following cycle.
+//   - Decode misses and access-rights violations terminate the
+//     transaction at the end of a 1-cycle address phase and pulse the
+//     bus-error signal of the transaction's direction (EB_RBErr or
+//     EB_WBErr).
+//   - Outstanding transactions are limited to ecbus.MaxOutstanding per
+//     category (burst instruction read / burst data read / burst write);
+//     a full category rejects the request and the master retries.
+package rtlbus
+
+import (
+	"repro/internal/ecbus"
+	"repro/internal/sim"
+)
+
+// Bus is the layer-0 bus interface unit + bus controller.
+type Bus struct {
+	m     *ecbus.Map
+	cycle uint64 // cycle currently being executed (set on falling edge)
+
+	// Address unit.
+	addrQ     []*ecbus.Transaction
+	addrCnt   int  // cycles already spent on the head's address phase
+	addrWaits int  // total wait states for the head (sampled at start)
+	addrErr   bool // head fails decode/rights
+	addrNew   bool // head not yet started
+
+	// Data units (per direction).
+	readQ  []*ecbus.Transaction
+	writeQ []*ecbus.Transaction
+	rBeat  beatState
+	wBeat  beatState
+
+	outstanding [ecbus.NumCategories]int
+
+	// Wire state driven on the falling edge, observed in the Post phase.
+	wires ecbus.Bundle
+
+	stats Stats
+}
+
+// beatState tracks the data-phase progress of the head of a data queue.
+type beatState struct {
+	beat  int // next beat index to deliver
+	cnt   int // cycles spent waiting on this beat
+	waits int // wait states per beat (sampled at phase start)
+	fresh bool
+}
+
+// Stats aggregates observable bus activity.
+type Stats struct {
+	Accepted   uint64 // transactions accepted into the address queue
+	Completed  uint64 // transactions finished OK
+	Errors     uint64 // transactions finished with a bus error
+	Rejected   uint64 // Access attempts rejected (category full)
+	DataBeats  uint64 // data words moved
+	AddrCycles uint64 // cycles with an active address phase
+}
+
+// New creates a layer-0 bus over the address map and registers its bus
+// process on the kernel's falling edge.
+func New(k *sim.Kernel, m *ecbus.Map) *Bus {
+	// cycle starts at all-ones so that a request issued on the rising
+	// edge of cycle 0 (before the first falling tick updates the cycle
+	// counter) is stamped IssueCycle 0.
+	b := &Bus{m: m, cycle: ^uint64(0)}
+	k.At(sim.Falling, "rtlbus", b.tick)
+	return b
+}
+
+// Access is the master-side non-blocking interface, shared semantics with
+// the layer-1 model: the first call for a transaction submits it
+// (StateRequest) or rejects it (StateWait, category full — retry next
+// cycle); subsequent calls poll (StateWait until the transaction is
+// Done, then StateOK or StateError). Masters call it on rising edges.
+func (b *Bus) Access(tr *ecbus.Transaction) ecbus.BusState {
+	if tr.Done {
+		if tr.Err {
+			return ecbus.StateError
+		}
+		return ecbus.StateOK
+	}
+	if tr.IssueCycle != 0 || b.isQueued(tr) {
+		return ecbus.StateWait
+	}
+	cat := tr.Category()
+	if b.outstanding[cat] >= ecbus.MaxOutstanding {
+		b.stats.Rejected++
+		return ecbus.StateWait
+	}
+	if err := tr.Validate(); err != nil {
+		// Structurally illegal requests never reach the wire; they
+		// complete immediately as errors (the BIU would not emit them).
+		tr.Done, tr.Err = true, true
+		b.stats.Errors++
+		return ecbus.StateError
+	}
+	b.outstanding[cat]++
+	tr.IssueCycle = b.cycle + 1 // accepted for the cycle now being issued
+	b.addrQ = append(b.addrQ, tr)
+	b.stats.Accepted++
+	return ecbus.StateRequest
+}
+
+// isQueued reports whether tr is anywhere in the bus pipelines. Needed
+// because IssueCycle==0 is also the zero value for a cycle-0 submission.
+func (b *Bus) isQueued(tr *ecbus.Transaction) bool {
+	for _, q := range [][]*ecbus.Transaction{b.addrQ, b.readQ, b.writeQ} {
+		for _, t := range q {
+			if t == tr {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Idle reports whether no transaction is in flight.
+func (b *Bus) Idle() bool {
+	return len(b.addrQ) == 0 && len(b.readQ) == 0 && len(b.writeQ) == 0
+}
+
+// Stats returns a copy of the activity counters.
+func (b *Bus) Stats() Stats { return b.stats }
+
+// Wires returns the wire bundle driven during the current cycle. The
+// gate-level power estimator reads it in the Post phase; values of
+// registered outputs hold between phases, as on silicon.
+func (b *Bus) Wires() *ecbus.Bundle { return &b.wires }
+
+// tick is the bus process (falling edge): address unit first, then the
+// two data units, so a zero-wait transaction can traverse address and
+// first data beat within one cycle.
+func (b *Bus) tick(cycle uint64) {
+	b.cycle = cycle
+	// Pulse wires default to inactive each cycle; bus-value wires
+	// (address, data, controls) hold their previous values.
+	b.wires.SetBool(ecbus.SigAValid, false)
+	b.wires.SetBool(ecbus.SigARdy, false)
+	b.wires.SetBool(ecbus.SigRdVal, false)
+	b.wires.SetBool(ecbus.SigWDRdy, false)
+	b.wires.SetBool(ecbus.SigRBErr, false)
+	b.wires.SetBool(ecbus.SigWBErr, false)
+
+	b.addrUnit(cycle)
+	b.readUnit(cycle)
+	b.writeUnit(cycle)
+}
+
+// addrUnit advances the serialized address phase.
+func (b *Bus) addrUnit(cycle uint64) {
+	if len(b.addrQ) == 0 {
+		return
+	}
+	tr := b.addrQ[0]
+	if tr.IssueCycle > cycle {
+		return // accepted later this cycle by a master that runs after us
+	}
+	if !b.addrNewStarted() {
+		b.startAddrPhase(tr)
+	}
+	b.stats.AddrCycles++
+	b.driveAddrWires(tr)
+
+	if b.addrCnt < b.addrWaits {
+		b.addrCnt++
+		return
+	}
+	// Phase completes this cycle.
+	b.wires.SetBool(ecbus.SigARdy, true)
+	tr.AddrCycle = cycle
+	b.addrQ = b.addrQ[1:]
+	b.addrNew = false
+	if b.addrErr {
+		b.completeError(tr, cycle)
+		return
+	}
+	if tr.Kind.IsRead() {
+		b.readQ = append(b.readQ, tr)
+	} else {
+		b.writeQ = append(b.writeQ, tr)
+	}
+}
+
+func (b *Bus) addrNewStarted() bool { return b.addrNew }
+
+// startAddrPhase samples the slave state for the head transaction: total
+// address wait states and decode/rights legality.
+func (b *Bus) startAddrPhase(tr *ecbus.Transaction) {
+	b.addrNew = true
+	b.addrCnt = 0
+	b.addrErr = false
+	sl, err := b.m.Check(tr.Kind, tr.Addr, tr.Words()*4)
+	if err != nil {
+		b.addrErr = true
+		b.addrWaits = 0 // errors terminate after a 1-cycle address phase
+		return
+	}
+	b.addrWaits = sl.Config().AddrWait + ecbus.ExtraWaitOf(sl, tr.Kind, tr.Addr)
+}
+
+// driveAddrWires drives the address-phase wires for the active head.
+func (b *Bus) driveAddrWires(tr *ecbus.Transaction) {
+	b.wires.SetBool(ecbus.SigAValid, true)
+	b.wires.Set(ecbus.SigA, tr.Addr)
+	b.wires.SetBool(ecbus.SigInstr, tr.Kind == ecbus.Fetch)
+	b.wires.SetBool(ecbus.SigWrite, tr.Kind == ecbus.Write)
+	b.wires.SetBool(ecbus.SigBurst, tr.Burst)
+	b.wires.SetBool(ecbus.SigBFirst, tr.Burst)
+	b.wires.SetBool(ecbus.SigBLast, false)
+	be := uint8(0b1111)
+	if !tr.Burst {
+		be, _ = ecbus.ByteEnables(tr.Addr, tr.Width)
+	}
+	b.wires.Set(ecbus.SigBE, uint64(be))
+	idx := b.m.Index(tr.Addr)
+	if idx < 0 {
+		idx = 7 // decoder "no select" pattern
+	}
+	b.wires.Set(ecbus.SigSel, uint64(idx))
+}
+
+// completeError finishes a transaction with a bus error and pulses the
+// error wire of its direction.
+func (b *Bus) completeError(tr *ecbus.Transaction, cycle uint64) {
+	tr.Done, tr.Err = true, true
+	tr.DataCycle = cycle
+	if tr.Kind.IsRead() {
+		b.wires.SetBool(ecbus.SigRBErr, true)
+	} else {
+		b.wires.SetBool(ecbus.SigWBErr, true)
+	}
+	b.outstanding[tr.Category()]--
+	b.stats.Errors++
+}
+
+// readUnit serves one read data beat per cycle.
+func (b *Bus) readUnit(cycle uint64) {
+	if len(b.readQ) == 0 {
+		return
+	}
+	tr := b.readQ[0]
+	if !b.rBeat.fresh {
+		sl := b.m.Decode(tr.Addr)
+		b.rBeat = beatState{waits: sl.Config().ReadWait, fresh: true}
+	}
+	if b.rBeat.cnt < b.rBeat.waits {
+		b.rBeat.cnt++
+		return
+	}
+	// Deliver beat.
+	i := b.rBeat.beat
+	addr := tr.Addr + uint64(4*i)
+	sl := b.m.Decode(addr)
+	w := tr.Width
+	if tr.Burst {
+		w = ecbus.W32
+	}
+	data, ok := sl.ReadWord(addr, w)
+	b.wires.Set(ecbus.SigRData, uint64(data))
+	b.wires.SetBool(ecbus.SigRdVal, true)
+	b.wires.SetBool(ecbus.SigBLast, tr.Burst && i == tr.Words()-1)
+	b.stats.DataBeats++
+	tr.Data[i] = data
+	b.rBeat.beat++
+	b.rBeat.cnt = 0
+	if !ok {
+		// Slave-side read error aborts the transaction at this beat.
+		b.wires.SetBool(ecbus.SigRBErr, true)
+		b.finishRead(tr, cycle, true)
+		return
+	}
+	if b.rBeat.beat == tr.Words() {
+		b.finishRead(tr, cycle, false)
+	}
+}
+
+func (b *Bus) finishRead(tr *ecbus.Transaction, cycle uint64, err bool) {
+	tr.Done, tr.Err = true, err
+	tr.DataCycle = cycle
+	b.readQ = b.readQ[1:]
+	b.rBeat = beatState{}
+	b.outstanding[tr.Category()]--
+	if err {
+		b.stats.Errors++
+	} else {
+		b.stats.Completed++
+	}
+}
+
+// writeUnit serves one write data beat per cycle.
+func (b *Bus) writeUnit(cycle uint64) {
+	if len(b.writeQ) == 0 {
+		return
+	}
+	tr := b.writeQ[0]
+	if !b.wBeat.fresh {
+		sl := b.m.Decode(tr.Addr)
+		b.wBeat = beatState{waits: sl.Config().WriteWait, fresh: true}
+	}
+	// The master drives the write data bus while the beat is pending.
+	i := b.wBeat.beat
+	b.wires.Set(ecbus.SigWData, uint64(tr.Data[i]))
+	if b.wBeat.cnt < b.wBeat.waits {
+		b.wBeat.cnt++
+		return
+	}
+	addr := tr.Addr + uint64(4*i)
+	sl := b.m.Decode(addr)
+	w := tr.Width
+	if tr.Burst {
+		w = ecbus.W32
+	}
+	ok := sl.WriteWord(addr, tr.Data[i], w)
+	b.wires.SetBool(ecbus.SigWDRdy, true)
+	b.wires.SetBool(ecbus.SigBLast, tr.Burst && i == tr.Words()-1)
+	b.stats.DataBeats++
+	b.wBeat.beat++
+	b.wBeat.cnt = 0
+	if !ok {
+		b.wires.SetBool(ecbus.SigWBErr, true)
+		b.finishWrite(tr, cycle, true)
+		return
+	}
+	if b.wBeat.beat == tr.Words() {
+		b.finishWrite(tr, cycle, false)
+	}
+}
+
+func (b *Bus) finishWrite(tr *ecbus.Transaction, cycle uint64, err bool) {
+	tr.Done, tr.Err = true, err
+	tr.DataCycle = cycle
+	b.writeQ = b.writeQ[1:]
+	b.wBeat = beatState{}
+	b.outstanding[tr.Category()]--
+	if err {
+		b.stats.Errors++
+	} else {
+		b.stats.Completed++
+	}
+}

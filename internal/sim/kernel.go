@@ -1,0 +1,171 @@
+// Package sim provides the deterministic cycle-based simulation kernel
+// underlying all bus models in this repository.
+//
+// The kernel substitutes for the SystemC 2.0 scheduler used by the paper.
+// The paper's models are SC_METHOD processes sensitive to clock edges
+// only (masters and slaves trigger on the rising edge, the bus process on
+// the falling edge), so a two-edge clocked kernel with a deterministic
+// intra-edge ordering reproduces the relevant scheduling semantics without
+// delta cycles or dynamic sensitivity.
+//
+// Each simulated clock cycle executes three phases in order:
+//
+//  1. Rising  — masters and slaves run (issue/accept requests).
+//  2. Falling — bus processes run (protocol state machines advance).
+//  3. Post    — observers run (power estimators, tracers, probes).
+//
+// Within a phase, processes run in registration order, which makes every
+// simulation bit-reproducible.
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Phase identifies one of the three sub-steps of a simulated clock cycle.
+type Phase int
+
+// The three kernel phases, in execution order.
+const (
+	Rising Phase = iota
+	Falling
+	Post
+)
+
+// String returns the phase name.
+func (p Phase) String() string {
+	switch p {
+	case Rising:
+		return "rising"
+	case Falling:
+		return "falling"
+	case Post:
+		return "post"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Proc is a simulation process. It is invoked once per cycle during the
+// phase it was registered for. The cycle argument is the number of the
+// cycle being executed, starting at 0.
+type Proc func(cycle uint64)
+
+// Stopper is returned by processes that can request simulation stop; see
+// Kernel.Stop for the imperative variant used by most models.
+var ErrStopped = errors.New("sim: stopped")
+
+type procEntry struct {
+	name string
+	fn   Proc
+}
+
+// Kernel is a cycle-based simulation kernel. The zero value is ready to
+// use. Kernels are not safe for concurrent use; the entire simulation is
+// single-threaded and deterministic by design.
+type Kernel struct {
+	cycle    uint64
+	rising   []procEntry
+	falling  []procEntry
+	post     []procEntry
+	stopped  bool
+	started  bool
+	ClockPS  uint64 // clock period in picoseconds; 0 means unspecified
+	procsRun uint64
+}
+
+// New returns a kernel with the given clock period in picoseconds.
+// A period of 0 is allowed and simply leaves wall-time conversion
+// unavailable.
+func New(clockPS uint64) *Kernel {
+	return &Kernel{ClockPS: clockPS}
+}
+
+// At registers fn to run during phase ph every cycle. The name is used in
+// diagnostics only. Registration order within a phase is execution order.
+// Registering after Run has started is not allowed.
+func (k *Kernel) At(ph Phase, name string, fn Proc) {
+	if k.started {
+		panic("sim: cannot register process after Run")
+	}
+	e := procEntry{name: name, fn: fn}
+	switch ph {
+	case Rising:
+		k.rising = append(k.rising, e)
+	case Falling:
+		k.falling = append(k.falling, e)
+	case Post:
+		k.post = append(k.post, e)
+	default:
+		panic(fmt.Sprintf("sim: unknown phase %d", int(ph)))
+	}
+}
+
+// Cycle returns the number of fully or partially executed cycles. During a
+// callback it equals the index of the cycle being executed.
+func (k *Kernel) Cycle() uint64 { return k.cycle }
+
+// TimePS returns the simulated time in picoseconds, derived from the cycle
+// count and the clock period.
+func (k *Kernel) TimePS() uint64 { return k.cycle * k.ClockPS }
+
+// Stop requests the kernel to stop after the current cycle completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (k *Kernel) Stopped() bool { return k.stopped }
+
+// ProcsRun returns the total number of process invocations, a cheap
+// progress metric used by the simulation-performance benchmarks.
+func (k *Kernel) ProcsRun() uint64 { return k.procsRun }
+
+// Step executes exactly one clock cycle (all three phases) unless the
+// kernel is already stopped, and reports whether a cycle was executed.
+// A Stop issued during the cycle takes effect from the next Step.
+func (k *Kernel) Step() bool {
+	k.started = true
+	if k.stopped {
+		return false
+	}
+	c := k.cycle
+	for i := range k.rising {
+		k.rising[i].fn(c)
+	}
+	for i := range k.falling {
+		k.falling[i].fn(c)
+	}
+	for i := range k.post {
+		k.post[i].fn(c)
+	}
+	k.procsRun += uint64(len(k.rising) + len(k.falling) + len(k.post))
+	k.cycle++
+	return true
+}
+
+// Run executes up to maxCycles cycles, stopping early if Stop is called.
+// It returns the number of cycles actually executed.
+func (k *Kernel) Run(maxCycles uint64) uint64 {
+	var n uint64
+	for n < maxCycles && k.Step() {
+		n++
+	}
+	return n
+}
+
+// RunUntil executes cycles until done returns true (checked after each
+// cycle), Stop is called, or maxCycles elapse. It returns the number of
+// cycles executed and whether done was reached.
+func (k *Kernel) RunUntil(maxCycles uint64, done func() bool) (uint64, bool) {
+	var n uint64
+	for n < maxCycles {
+		if !k.Step() {
+			return n, done()
+		}
+		n++
+		if done() {
+			return n, true
+		}
+	}
+	return n, done()
+}

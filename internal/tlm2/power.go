@@ -1,0 +1,161 @@
+package tlm2
+
+import (
+	"repro/internal/ecbus"
+	"repro/internal/gatepower"
+	"repro/internal/logic"
+)
+
+// PowerModel is the paper's layer-2 energy model (§3.3): "Energy
+// estimation is also divided into two phases — address phase energy
+// estimation and data phase energy estimation. The bus process passes
+// the request to the corresponding energy estimation method after the
+// address phase is finished. The request data structure contains all
+// necessary data and delays to calculate all signal transitions defined
+// in the interface specification. The entire address phase for a burst
+// read or write is calculated at once."
+//
+// Structural sources of inaccuracy, as the paper lists them: the model
+// "does not allow an accurate count of transitions for control signals"
+// (missing interaction with the slave: every strobe is booked as a full
+// assert/deassert pair per beat, although back-to-back activity on the
+// real interface holds strobes asserted), and "it considers each
+// transaction phase on its own but does not consider interactions
+// between following transactions". Both make the layer-2 estimate
+// systematically high (Table 2: +14.7%).
+//
+// The power interface "comprises only one method to get the energy
+// consumed since the last method call" — EnergySince; energy appears
+// only when a phase finishes, which produces the sampling behaviour of
+// paper Fig. 6 (no cycle-accurate profile).
+// popcount4 counts set bits in a 4-bit byte-enable mask.
+func popcount4(v uint64) int {
+	n := 0
+	for i := 0; i < 4; i++ {
+		if v&(1<<i) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+type PowerModel struct {
+	table gatepower.CharTable
+
+	lastAddr  uint64
+	lastWData uint64
+	lastRData uint64
+
+	since float64
+	total float64
+
+	addrPhases uint64
+	dataPhases uint64
+}
+
+// NewPowerModel creates a layer-2 power model priced with the given
+// characterization table.
+func NewPowerModel(table gatepower.CharTable) *PowerModel {
+	return &PowerModel{table: table}
+}
+
+// EnergySince returns the energy in joules of all phases finished since
+// the last call.
+func (p *PowerModel) EnergySince() float64 {
+	e := p.since
+	p.since = 0
+	return e
+}
+
+// TotalEnergy returns the total estimated energy in joules.
+func (p *PowerModel) TotalEnergy() float64 { return p.total }
+
+// Phases returns how many address and data phases have been booked.
+func (p *PowerModel) Phases() (addr, data uint64) { return p.addrPhases, p.dataPhases }
+
+func (p *PowerModel) book(e float64) {
+	p.since += e
+	p.total += e
+}
+
+// pair books a full assert/deassert toggle of a one-bit signal.
+func (p *PowerModel) pair(id ecbus.SignalID) float64 {
+	return 2 * p.table.PerTransitionJ[id]
+}
+
+// addressPhaseEnergy books the whole address phase of a request at once.
+func (p *PowerModel) addressPhaseEnergy(tr *ecbus.Transaction) {
+	var e float64
+	// Handshake strobes: assumed to toggle for every transaction.
+	e += p.pair(ecbus.SigAValid)
+	e += p.pair(ecbus.SigARdy)
+	// Control value lines: booked as a toggle pair whenever the
+	// transaction asserts them (phase viewed in isolation).
+	if tr.Kind == ecbus.Fetch {
+		e += p.pair(ecbus.SigInstr)
+	}
+	if tr.Kind == ecbus.Write {
+		e += p.pair(ecbus.SigWrite)
+	}
+	if tr.Burst {
+		e += p.pair(ecbus.SigBurst)
+		e += p.pair(ecbus.SigBFirst)
+	}
+	// Address bus: actual Hamming distance from the previously issued
+	// address (the request carries the address, so this part is exact).
+	e += float64(logic.Hamming(p.lastAddr, tr.Addr, ecbus.AddrBits)) *
+		p.table.PerTransitionJ[ecbus.SigA]
+	p.lastAddr = tr.Addr
+	// Byte enables are a control group: without the slave interaction
+	// the model books an assertion of every active lane per phase,
+	// instead of the actual lane-to-lane Hamming distance.
+	be := uint64(0b1111)
+	if !tr.Burst {
+		b, _ := ecbus.ByteEnables(tr.Addr, tr.Width)
+		be = uint64(b)
+	}
+	e += float64(popcount4(be)) * p.table.PerTransitionJ[ecbus.SigBE]
+	p.addrPhases++
+	p.book(e)
+}
+
+// dataPhaseEnergy books the whole data phase of a request at once, after
+// it finished (the request's data words are final by then).
+func (p *PowerModel) dataPhaseEnergy(tr *ecbus.Transaction) {
+	var e float64
+	beats := len(tr.Data)
+	if tr.Kind.IsRead() {
+		// Strobe booked per beat — the overcount the paper describes.
+		e += float64(beats) * p.pair(ecbus.SigRdVal)
+		last := p.lastRData
+		for _, w := range tr.Data {
+			e += float64(logic.Hamming(last, uint64(w), ecbus.DataBits)) *
+				p.table.PerTransitionJ[ecbus.SigRData]
+			last = uint64(w)
+		}
+		p.lastRData = last
+	} else {
+		e += float64(beats) * p.pair(ecbus.SigWDRdy)
+		last := p.lastWData
+		for _, w := range tr.Data {
+			e += float64(logic.Hamming(last, uint64(w), ecbus.DataBits)) *
+				p.table.PerTransitionJ[ecbus.SigWData]
+			last = uint64(w)
+		}
+		p.lastWData = last
+	}
+	if tr.Burst {
+		e += p.pair(ecbus.SigBLast)
+	}
+	p.dataPhases++
+	p.book(e)
+}
+
+// errorEnergy books the error strobe of a failed request.
+func (p *PowerModel) errorEnergy(k ecbus.Kind) {
+	if k.IsRead() {
+		p.book(p.pair(ecbus.SigRBErr))
+	} else {
+		p.book(p.pair(ecbus.SigWBErr))
+	}
+}

@@ -1,0 +1,379 @@
+// Package tlm2 implements the paper's transaction-level layer-2 model of
+// the EC bus (§3.2): timed but not cycle accurate, data transferred by
+// pointer passing, a burst transfer performed as a single transaction.
+//
+// Master interface (paper): "There are only two data interface functions
+// as master interface, one for read access and one for write access.
+// Parameters are the data pointer, the number of bytes transferred, the
+// address, and an instruction bit, which indicates an instruction
+// fetch." These are Bus.Read and Bus.Write; an Access adapter with
+// layer-1 semantics is provided so the same masters and corpora drive
+// every layer.
+//
+// Internal structure (paper Fig. 4): one bus process sensitive to the
+// falling clock edge and one shared data structure for communication
+// between the interface functions and the bus process. "This model
+// requests the actual wait states of the slave when the request is
+// created during the first interface call" — so dynamic (state-dependent)
+// wait states are sampled early and may be stale, one structural source
+// of the layer's timing estimation error. The bus process decrements the
+// address wait counter until the address phase finishes, then the data
+// wait counter until the data phase finishes, with whole bursts counted
+// as one block; unlike layers 0/1, a data phase cannot complete in the
+// same cycle as its address phase, the other structural timing error
+// (Table 1 reports +0.5% for the layer-2 model).
+package tlm2
+
+import (
+	"repro/internal/ecbus"
+	"repro/internal/sim"
+)
+
+// reqState is the lifecycle position of a request in the shared list.
+type reqState int
+
+const (
+	stAddr reqState = iota
+	stData
+	stDone
+)
+
+// request is the entry of the shared request data structure.
+type request struct {
+	tr    *ecbus.Transaction
+	slave ecbus.Slave
+	err   bool
+
+	state   reqState
+	addrCnt int    // remaining address wait states
+	dataCnt int    // remaining data phase cycles after the first
+	joined  uint64 // cycle the request entered its data phase
+
+	readback []byte // native-interface read destination (pointer passing)
+}
+
+// Bus is the layer-2 EC bus model.
+type Bus struct {
+	m     *ecbus.Map
+	cycle uint64
+
+	// The shared request data structure (paper Fig. 4), indexed by
+	// lifecycle position: requests enter addrQ at creation, move to the
+	// read or write queue when their address phase finishes, and leave
+	// when their data phase completes. Address phases complete in
+	// creation order and data phases in order per direction, so plain
+	// FIFOs realize the "oldest request in state X" selection without
+	// scanning.
+	addrQ  []*request
+	readQ  []*request
+	writeQ []*request
+
+	outstanding [ecbus.NumCategories]int
+
+	power *PowerModel
+
+	stats Stats
+}
+
+// Stats aggregates bus activity counters.
+type Stats struct {
+	Accepted  uint64
+	Completed uint64
+	Errors    uint64
+	Rejected  uint64
+}
+
+// New creates a layer-2 bus over the address map and registers the bus
+// process on the kernel's falling edge.
+func New(k *sim.Kernel, m *ecbus.Map) *Bus {
+	b := &Bus{m: m, cycle: ^uint64(0)}
+	k.At(sim.Falling, "tlm2-bus", b.busProcess)
+	return b
+}
+
+// AttachPower connects the layer-2 per-phase energy model.
+func (b *Bus) AttachPower(p *PowerModel) *Bus {
+	b.power = p
+	return b
+}
+
+// Power returns the attached power model, or nil.
+func (b *Bus) Power() *PowerModel { return b.power }
+
+// Stats returns a copy of the activity counters.
+func (b *Bus) Stats() Stats { return b.stats }
+
+// Idle reports whether no request is in flight.
+func (b *Bus) Idle() bool {
+	return len(b.addrQ) == 0 && len(b.readQ) == 0 && len(b.writeQ) == 0
+}
+
+// Ticket tracks a pointer-interface request to completion.
+type Ticket struct {
+	tr *ecbus.Transaction
+}
+
+// Done reports whether the request has finished.
+func (t *Ticket) Done() bool { return t.tr.Done }
+
+// Err reports whether the request finished with a bus error.
+func (t *Ticket) Err() bool { return t.tr.Err }
+
+// EndCycle returns the cycle the request completed.
+func (t *Ticket) EndCycle() uint64 { return t.tr.DataCycle }
+
+// Read is the native layer-2 master read function: transfer nbytes from
+// addr into p (len(p) >= nbytes), instr marking instruction fetches. The
+// whole block is one transaction. It returns nil if the bus cannot
+// accept the request this cycle (outstanding limit; retry next cycle).
+func (b *Bus) Read(p []byte, nbytes int, addr uint64, instr bool) *Ticket {
+	kind := ecbus.Read
+	if instr {
+		kind = ecbus.Fetch
+	}
+	tr := blockTransaction(kind, addr, nbytes)
+	if st := b.Access(tr); st == ecbus.StateWait {
+		return nil // rejected: category full, retry next cycle
+	}
+	t := &Ticket{tr: tr}
+	b.bindReadback(tr, p, nbytes)
+	return t
+}
+
+// Write is the native layer-2 master write function: transfer nbytes
+// from p to addr as one transaction. Returns nil if the bus cannot
+// accept the request this cycle.
+func (b *Bus) Write(p []byte, nbytes int, addr uint64) *Ticket {
+	tr := blockTransaction(ecbus.Write, addr, nbytes)
+	for i := 0; i < nbytes; i++ {
+		tr.Data[i/4] |= uint32(p[i]) << (8 * (i % 4))
+	}
+	if st := b.Access(tr); st == ecbus.StateWait {
+		return nil
+	}
+	return &Ticket{tr: tr}
+}
+
+// bindReadback arranges for read data to land in the caller's buffer at
+// completion (pointer passing: no per-beat copies). The request was just
+// created, so it is the newest entry of the address queue.
+func (b *Bus) bindReadback(tr *ecbus.Transaction, p []byte, nbytes int) {
+	for i := len(b.addrQ) - 1; i >= 0; i-- {
+		if b.addrQ[i].tr == tr {
+			b.addrQ[i].readback = p[:nbytes]
+			return
+		}
+	}
+}
+
+// blockTransaction wraps an arbitrary-length block as one layer-2
+// transaction. Blocks longer than one word are burst-like; their word
+// count may exceed ecbus.BurstLen since layer 2 merges entire transfers.
+func blockTransaction(kind ecbus.Kind, addr uint64, nbytes int) *ecbus.Transaction {
+	words := (nbytes + 3) / 4
+	if words < 1 {
+		words = 1
+	}
+	w := ecbus.W32
+	if words == 1 {
+		switch nbytes {
+		case 1:
+			w = ecbus.W8
+		case 2:
+			w = ecbus.W16
+		}
+	}
+	return &ecbus.Transaction{
+		Kind:  kind,
+		Addr:  addr & ecbus.AddrMask,
+		Width: w,
+		Burst: words > 1,
+		Data:  make([]uint32, words),
+	}
+}
+
+// Access provides layer-1 Access semantics over the layer-2 engine so
+// the hierarchical framework can drive both layers with one master. The
+// first call creates the request in the shared list (sampling the slave
+// state immediately, per the paper); later calls poll.
+func (b *Bus) Access(tr *ecbus.Transaction) ecbus.BusState {
+	if tr.Done {
+		if tr.Err {
+			return ecbus.StateError
+		}
+		return ecbus.StateOK
+	}
+	if tr.IssueCycle != 0 || b.isQueued(tr) {
+		return ecbus.StateWait
+	}
+	cat := tr.Category()
+	if b.outstanding[cat] >= ecbus.MaxOutstanding {
+		b.stats.Rejected++
+		return ecbus.StateWait
+	}
+	if tr.Burst && len(tr.Data) != ecbus.BurstLen {
+		// Layer-2 native blocks may be any length; only canonical
+		// transactions are validated strictly.
+		if len(tr.Data) == 0 {
+			tr.Done, tr.Err = true, true
+			b.stats.Errors++
+			return ecbus.StateError
+		}
+	} else if err := tr.Validate(); err != nil {
+		tr.Done, tr.Err = true, true
+		b.stats.Errors++
+		return ecbus.StateError
+	}
+	r := &request{tr: tr}
+	b.sampleSlaveState(r)
+	b.outstanding[cat]++
+	tr.IssueCycle = b.cycle + 1
+	b.addrQ = append(b.addrQ, r)
+	b.stats.Accepted++
+	return ecbus.StateRequest
+}
+
+func (b *Bus) isQueued(tr *ecbus.Transaction) bool {
+	for _, q := range [][]*request{b.addrQ, b.readQ, b.writeQ} {
+		for _, r := range q {
+			if r.tr == tr {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sampleSlaveState requests the slave's wait states and rights at
+// request creation ("during the first interface call") — including any
+// dynamic extra wait, which may be stale by the time the address phase
+// actually starts.
+func (b *Bus) sampleSlaveState(r *request) {
+	sl, err := b.m.Check(r.tr.Kind, r.tr.Addr, len(r.tr.Data)*4)
+	if err != nil {
+		r.err = true
+		r.addrCnt = 0
+		return
+	}
+	r.slave = sl
+	cfg := sl.Config()
+	r.addrCnt = cfg.AddrWait + ecbus.ExtraWaitOf(sl, r.tr.Kind, r.tr.Addr)
+	dw := cfg.WriteWait
+	if r.tr.Kind.IsRead() {
+		dw = cfg.ReadWait
+	}
+	n := len(r.tr.Data)
+	// Whole data phase as one block: first beat after dw waits, each
+	// further beat after dw+1 cycles.
+	r.dataCnt = dw + (n-1)*(dw+1)
+}
+
+// busProcess advances the three phases each falling edge.
+func (b *Bus) busProcess(cycle uint64) {
+	b.cycle = cycle
+	b.addressPhase(cycle)
+	b.dataPhase(cycle, &b.readQ)
+	b.dataPhase(cycle, &b.writeQ)
+}
+
+// addressPhase serves the request at the head of the address queue.
+func (b *Bus) addressPhase(cycle uint64) {
+	if len(b.addrQ) == 0 {
+		return
+	}
+	r := b.addrQ[0]
+	if r.tr.IssueCycle > cycle {
+		return
+	}
+	if r.addrCnt > 0 {
+		r.addrCnt--
+		return
+	}
+	b.addrQ = b.addrQ[1:]
+	r.tr.AddrCycle = cycle
+	if b.power != nil {
+		b.power.addressPhaseEnergy(r.tr)
+	}
+	if r.err {
+		r.state = stDone
+		r.tr.Done, r.tr.Err = true, true
+		r.tr.DataCycle = cycle
+		b.outstanding[r.tr.Category()]--
+		b.stats.Errors++
+		if b.power != nil {
+			b.power.errorEnergy(r.tr.Kind)
+		}
+		return
+	}
+	r.state = stData
+	r.joined = cycle
+	if r.tr.Kind.IsRead() {
+		b.readQ = append(b.readQ, r)
+	} else {
+		b.writeQ = append(b.writeQ, r)
+	}
+}
+
+// dataPhase serves the request at the head of one direction queue. A
+// request that entered its data phase this cycle starts counting next
+// cycle (no same-cycle address+data completion at layer 2).
+func (b *Bus) dataPhase(cycle uint64, q *[]*request) {
+	if len(*q) == 0 {
+		return
+	}
+	r := (*q)[0]
+	if r.joined == cycle {
+		return
+	}
+	if r.dataCnt > 0 {
+		r.dataCnt--
+		return
+	}
+	*q = (*q)[1:]
+	b.completeData(r, cycle)
+}
+
+// completeData finishes a request's data phase: the block transfer is
+// performed at once (pointer passing) and the energy of the whole phase
+// is estimated in one step.
+func (b *Bus) completeData(r *request, cycle uint64) {
+	tr := r.tr
+	ok := true
+	w := tr.Width
+	if tr.Burst {
+		w = ecbus.W32
+	}
+	for i := range tr.Data {
+		addr := tr.Addr + uint64(4*i)
+		if tr.Kind.IsRead() {
+			var v uint32
+			v, ok = r.slave.ReadWord(addr, w)
+			tr.Data[i] = v
+		} else {
+			ok = r.slave.WriteWord(addr, tr.Data[i], w)
+		}
+		if !ok {
+			break
+		}
+	}
+	if r.readback != nil {
+		for i := range r.readback {
+			r.readback[i] = byte(tr.Data[i/4] >> (8 * (i % 4)))
+		}
+	}
+	if b.power != nil {
+		b.power.dataPhaseEnergy(tr)
+		if !ok {
+			b.power.errorEnergy(tr.Kind)
+		}
+	}
+	r.state = stDone
+	tr.Done, tr.Err = true, !ok
+	tr.DataCycle = cycle
+	b.outstanding[tr.Category()]--
+	if ok {
+		b.stats.Completed++
+	} else {
+		b.stats.Errors++
+	}
+}

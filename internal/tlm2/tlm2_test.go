@@ -1,0 +1,208 @@
+package tlm2
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ecbus"
+	"repro/internal/gatepower"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func bench() (*sim.Kernel, *Bus, *mem.RAM) {
+	k := sim.New(0)
+	fast := mem.NewRAM("fast", 0, 0x1000, 0, 0)
+	b := New(k, ecbus.MustMap(
+		fast,
+		mem.NewRAM("slow", 0x10000, 0x1000, 1, 2),
+	))
+	return k, b, fast
+}
+
+func TestNativeWriteRead(t *testing.T) {
+	k, b, _ := bench()
+	payload := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02, 0x03, 0x04}
+	var wt, rt *Ticket
+	got := make([]byte, 8)
+	k.At(sim.Rising, "m", func(c uint64) {
+		switch {
+		case c == 0:
+			wt = b.Write(payload, len(payload), 0x100)
+		case wt != nil && wt.Done() && rt == nil:
+			rt = b.Read(got, len(got), 0x100, false)
+		}
+	})
+	k.RunUntil(100, func() bool { return rt != nil && rt.Done() })
+	if rt == nil || !rt.Done() || rt.Err() || wt.Err() {
+		t.Fatal("native transfer failed")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("read back %x, want %x", got, payload)
+	}
+}
+
+func TestNativeBlockLongerThanBurst(t *testing.T) {
+	// Layer 2 merges entire transfers: a 32-byte block is one
+	// transaction with 8 beats of timing.
+	k, b, fast := bench()
+	src := make([]byte, 32)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	var wt *Ticket
+	k.At(sim.Rising, "m", func(c uint64) {
+		if c == 0 {
+			wt = b.Write(src, len(src), 0x200)
+		}
+	})
+	k.RunUntil(100, func() bool { return wt != nil && wt.Done() })
+	if wt.Err() {
+		t.Fatal("block write errored")
+	}
+	for i := 0; i < 8; i++ {
+		w, _ := fast.ReadWord(0x200+uint64(4*i), ecbus.W32)
+		want := uint32(src[4*i]) | uint32(src[4*i+1])<<8 | uint32(src[4*i+2])<<16 | uint32(src[4*i+3])<<24
+		if w != want {
+			t.Fatalf("word %d = %#x, want %#x", i, w, want)
+		}
+	}
+	// Timing: addr cycle 0, data block of 8 beats starting cycle 1.
+	if wt.EndCycle() != 8 {
+		t.Fatalf("block end cycle %d, want 8", wt.EndCycle())
+	}
+}
+
+func TestInstrFlagMapsToFetch(t *testing.T) {
+	k, b, _ := bench()
+	buf := make([]byte, 4)
+	var tk *Ticket
+	k.At(sim.Rising, "m", func(c uint64) {
+		if c == 0 {
+			tk = b.Read(buf, 4, 0x40, true)
+		}
+	})
+	k.RunUntil(50, func() bool { return tk != nil && tk.Done() })
+	if tk.tr.Kind != ecbus.Fetch {
+		t.Fatalf("kind = %v, want fetch", tk.tr.Kind)
+	}
+}
+
+func TestBurstIsSingleTransaction(t *testing.T) {
+	k, b, _ := bench()
+	tr, _ := ecbus.NewBurst(1, ecbus.Read, 0x300, nil)
+	core.RunScript(k, b, []core.Item{{Tr: tr}}, 100)
+	if st := b.Stats(); st.Accepted != 1 || st.Completed != 1 {
+		t.Fatalf("stats = %+v, want one transaction", st)
+	}
+	// Beats: addr ends cycle 0; 4-beat block occupies cycles 1..4.
+	if tr.DataCycle != 4 {
+		t.Fatalf("burst end %d, want 4", tr.DataCycle)
+	}
+}
+
+func TestNoSameCycleAddrData(t *testing.T) {
+	// Structural layer-2 property: even a zero-wait single completes one
+	// cycle after its address phase.
+	k, b, _ := bench()
+	tr, _ := ecbus.NewSingle(1, ecbus.Read, 0x10, ecbus.W32, 0)
+	core.RunScript(k, b, []core.Item{{Tr: tr}}, 100)
+	if tr.AddrCycle != 0 || tr.DataCycle != 1 {
+		t.Fatalf("addr/data = %d/%d, want 0/1", tr.AddrCycle, tr.DataCycle)
+	}
+}
+
+func TestStaleDynamicWaitSampling(t *testing.T) {
+	// The layer-2 model samples dynamic wait states at request creation.
+	// A read created while the EEPROM is programming books the full
+	// remaining stall even if the queue would have absorbed part of it —
+	// the documented source of layer-2 timing estimation error.
+	k := sim.New(0)
+	ee := mem.NewEEPROM("ee", 0, 0x8000, k)
+	b := New(k, ecbus.MustMap(ee))
+	w, _ := ecbus.NewSingle(1, ecbus.Write, 0x100, ecbus.W32, 5)
+	r, _ := ecbus.NewSingle(2, ecbus.Read, 0x100, ecbus.W32, 0)
+	m, _ := core.RunScript(k, b, []core.Item{{Tr: w}, {Tr: r, NotBefore: 10}}, 10000)
+	if !m.Done() || r.Err {
+		t.Fatal("EEPROM sequence failed")
+	}
+	if r.Data[0] != 5 {
+		t.Fatalf("read back %d, want 5", r.Data[0])
+	}
+	if r.AddrCycle <= w.DataCycle {
+		t.Fatal("read not stalled by programming at all")
+	}
+}
+
+func TestDecodeErrorTicket(t *testing.T) {
+	k, b, _ := bench()
+	buf := make([]byte, 4)
+	var tk *Ticket
+	k.At(sim.Rising, "m", func(c uint64) {
+		if c == 0 {
+			tk = b.Read(buf, 4, 0x5000, false)
+		}
+	})
+	k.RunUntil(50, func() bool { return tk != nil && tk.Done() })
+	if !tk.Err() {
+		t.Fatal("decode miss not reported")
+	}
+	if b.Stats().Errors != 1 {
+		t.Fatalf("errors = %d", b.Stats().Errors)
+	}
+}
+
+func TestRejectionWhenCategoryFull(t *testing.T) {
+	k, b, _ := bench()
+	var nilAt int
+	k.At(sim.Rising, "m", func(c uint64) {
+		if c != 0 {
+			return
+		}
+		for i := 0; i < 5; i++ {
+			buf := make([]byte, 4)
+			if tk := b.Read(buf, 4, 0x10000+uint64(4*i), false); tk == nil {
+				nilAt = i
+			}
+		}
+	})
+	k.Step()
+	if nilAt != 4 {
+		t.Fatalf("rejection at request %d, want 4 (MaxOutstanding)", nilAt)
+	}
+}
+
+func TestPowerBookedPerPhase(t *testing.T) {
+	table := gatepower.NewEstimator(gatepower.DefaultConfig()).Char()
+	k, b, _ := bench()
+	b.AttachPower(NewPowerModel(table))
+	tr, _ := ecbus.NewBurst(1, ecbus.Write, 0x400, []uint32{1, 2, 3, 4})
+	core.RunScript(k, b, []core.Item{{Tr: tr}}, 100)
+	addr, data := b.Power().Phases()
+	if addr != 1 || data != 1 {
+		t.Fatalf("phases = %d/%d, want 1/1", addr, data)
+	}
+	if b.Power().TotalEnergy() <= 0 {
+		t.Fatal("no energy booked")
+	}
+}
+
+func TestSequentialDataHammingChain(t *testing.T) {
+	// The data-phase estimate prices word-to-word Hamming distance:
+	// a burst of identical words costs less than alternating patterns.
+	table := gatepower.NewEstimator(gatepower.DefaultConfig()).Char()
+
+	run := func(words []uint32) float64 {
+		k, b, _ := bench()
+		b.AttachPower(NewPowerModel(table))
+		tr, _ := ecbus.NewBurst(1, ecbus.Write, 0x500, words)
+		core.RunScript(k, b, []core.Item{{Tr: tr}}, 100)
+		return b.Power().TotalEnergy()
+	}
+	flat := run([]uint32{7, 7, 7, 7})
+	wild := run([]uint32{0x00000000, 0xFFFFFFFF, 0x00000000, 0xFFFFFFFF})
+	if flat >= wild {
+		t.Fatalf("flat burst (%.3e) not cheaper than alternating burst (%.3e)", flat, wild)
+	}
+}

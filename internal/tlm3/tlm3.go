@@ -1,0 +1,239 @@
+// Package tlm3 implements the message layer — transaction level layer 3
+// in the layering the paper adopts from Haverinen et al. (§2): "Systems
+// at this level are untimed and execute event-driven. Data
+// representation may be of a very abstract data type and several data
+// items can be transferred by a single transaction between initiator
+// and target. This layer can be used for functional partitioning,
+// communication definition, or algorithm performance and behavior
+// control."
+//
+// The layer-3 bus transfers arbitrary byte messages in zero simulated
+// time, keeping only message statistics. Two refinement aids connect it
+// to the rest of the hierarchy:
+//
+//   - Estimate projects coarse cycle and energy figures from the message
+//     statistics alone (algorithm-level budgeting before any timing
+//     model exists);
+//   - Bridge replays layer-3 messages as real transactions on a layer-1
+//     or layer-2 bus ("bridging layer three or layer two components to
+//     cycle accurate systems").
+package tlm3
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ecbus"
+	"repro/internal/gatepower"
+	"repro/internal/sim"
+)
+
+// Stats aggregates message-layer activity.
+type Stats struct {
+	Messages uint64
+	Bytes    uint64
+	Reads    uint64
+	Writes   uint64
+}
+
+// Bus is the untimed message-layer bus: one method call is one message,
+// regardless of size.
+type Bus struct {
+	m     *ecbus.Map
+	stats Stats
+}
+
+// New creates a layer-3 bus over the address map.
+func New(m *ecbus.Map) *Bus { return &Bus{m: m} }
+
+// Stats returns a copy of the message counters.
+func (b *Bus) Stats() Stats { return b.stats }
+
+// Read transfers n bytes from addr as one message.
+func (b *Bus) Read(addr uint64, n int) ([]byte, error) {
+	if n <= 0 {
+		return nil, errors.New("tlm3: non-positive read length")
+	}
+	if _, err := b.m.Check(ecbus.Read, addr, n); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		a := addr + uint64(i)
+		sl := b.m.Decode(a)
+		w, ok := sl.ReadWord(a&^3, ecbus.W32)
+		if !ok {
+			return nil, fmt.Errorf("tlm3: read error at %#x", a)
+		}
+		out[i] = byte(w >> (8 * (a & 3)))
+	}
+	b.stats.Messages++
+	b.stats.Reads++
+	b.stats.Bytes += uint64(n)
+	return out, nil
+}
+
+// Write transfers data to addr as one message.
+func (b *Bus) Write(addr uint64, data []byte) error {
+	if len(data) == 0 {
+		return errors.New("tlm3: empty write")
+	}
+	if _, err := b.m.Check(ecbus.Write, addr, len(data)); err != nil {
+		return err
+	}
+	for i, v := range data {
+		a := addr + uint64(i)
+		sl := b.m.Decode(a)
+		// Byte-lane semantics: the address selects the lane, the data
+		// rides on that lane.
+		if !sl.WriteWord(a, uint32(v)<<(8*(a&3)), ecbus.W8) {
+			return fmt.Errorf("tlm3: write error at %#x", a)
+		}
+	}
+	b.stats.Messages++
+	b.stats.Writes++
+	b.stats.Bytes += uint64(len(data))
+	return nil
+}
+
+// Projection is a coarse budget derived from message statistics.
+type Projection struct {
+	Cycles  uint64
+	EnergyJ float64
+}
+
+// Estimate projects cycles and energy from the accumulated message
+// statistics, assuming the given average wait states and the
+// characterized bus prices: per message one address phase, per word one
+// data beat, address/data wires at half activity. It deliberately uses
+// nothing but layer-3 information — this is the accuracy available
+// before refinement.
+func (b *Bus) Estimate(char gatepower.CharTable, avgAddrWait, avgDataWait int) Projection {
+	words := (b.stats.Bytes + 3) / 4
+	cycles := b.stats.Messages*uint64(1+avgAddrWait) + words*uint64(1+avgDataWait)
+	energy := float64(b.stats.Messages)*(float64(ecbus.AddrBits)/2*char.PerTransitionJ[ecbus.SigA]+
+		2*char.PerTransitionJ[ecbus.SigAValid]+2*char.PerTransitionJ[ecbus.SigARdy]) +
+		float64(words)*(float64(ecbus.DataBits)/2*char.PerTransitionJ[ecbus.SigWData]+
+			2*char.PerTransitionJ[ecbus.SigWDRdy])
+	return Projection{Cycles: cycles, EnergyJ: energy}
+}
+
+// Message is one recorded layer-3 transfer, for bridging.
+type Message struct {
+	Write bool
+	Addr  uint64
+	Data  []byte // payload for writes; length for reads
+	Len   int
+}
+
+// Recorder wraps a Bus and additionally records every message.
+type Recorder struct {
+	*Bus
+	Log []Message
+}
+
+// NewRecorder wraps b.
+func NewRecorder(b *Bus) *Recorder { return &Recorder{Bus: b} }
+
+// Read implements the message interface, recording the message.
+func (r *Recorder) Read(addr uint64, n int) ([]byte, error) {
+	out, err := r.Bus.Read(addr, n)
+	if err == nil {
+		r.Log = append(r.Log, Message{Addr: addr, Len: n})
+	}
+	return out, err
+}
+
+// Write implements the message interface, recording the message.
+func (r *Recorder) Write(addr uint64, data []byte) error {
+	err := r.Bus.Write(addr, data)
+	if err == nil {
+		r.Log = append(r.Log, Message{Write: true, Addr: addr,
+			Data: append([]byte(nil), data...), Len: len(data)})
+	}
+	return err
+}
+
+// Bridge replays recorded layer-3 messages onto a timed bus layer
+// (1 or 2) via the shared Access interface: each message becomes a
+// sequence of canonical transactions (bursts where aligned, words
+// otherwise), giving the refined timing and energy of the same traffic.
+// It returns the cycle count consumed.
+func Bridge(k *sim.Kernel, bus core.Initiator, log []Message, maxCycles uint64) (uint64, error) {
+	var items []core.Item
+	id := uint64(0)
+	emit := func(m Message) error {
+		addr, n := m.Addr, m.Len
+		off := 0
+		for n > 0 {
+			kind := ecbus.Read
+			if m.Write {
+				kind = ecbus.Write
+			}
+			switch {
+			case n >= 16 && addr%16 == 0:
+				var words []uint32
+				if m.Write {
+					words = make([]uint32, 4)
+					for i := 0; i < 16; i++ {
+						words[i/4] |= uint32(m.Data[off+i]) << (8 * (i % 4))
+					}
+				}
+				id++
+				tr, err := ecbus.NewBurst(id, kind, addr, words)
+				if err != nil {
+					return err
+				}
+				items = append(items, core.Item{Tr: tr})
+				addr += 16
+				off += 16
+				n -= 16
+			case n >= 4 && addr%4 == 0:
+				var word uint32
+				if m.Write {
+					for i := 0; i < 4; i++ {
+						word |= uint32(m.Data[off+i]) << (8 * i)
+					}
+				}
+				id++
+				tr, err := ecbus.NewSingle(id, kind, addr, ecbus.W32, word)
+				if err != nil {
+					return err
+				}
+				items = append(items, core.Item{Tr: tr})
+				addr += 4
+				off += 4
+				n -= 4
+			default:
+				var bv uint32
+				if m.Write {
+					bv = uint32(m.Data[off]) << (8 * (addr & 3))
+				}
+				id++
+				tr, err := ecbus.NewSingle(id, kind, addr, ecbus.W8, bv)
+				if err != nil {
+					return err
+				}
+				items = append(items, core.Item{Tr: tr})
+				addr++
+				off++
+				n--
+			}
+		}
+		return nil
+	}
+	for _, m := range log {
+		if err := emit(m); err != nil {
+			return 0, err
+		}
+	}
+	master, cycles := core.RunScript(k, bus, items, maxCycles)
+	if !master.Done() {
+		return cycles, errors.New("tlm3: bridge replay did not complete")
+	}
+	if master.Errors() > 0 {
+		return cycles, fmt.Errorf("tlm3: %d bridged transactions errored", master.Errors())
+	}
+	return cycles, nil
+}

@@ -1,0 +1,204 @@
+package tlm3
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ecbus"
+	"repro/internal/gatepower"
+	"repro/internal/mem"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/tlm1"
+	"repro/internal/tlm2"
+)
+
+func busMap() *ecbus.Map {
+	return ecbus.MustMap(
+		mem.NewRAM("ram", 0, 0x2000, 0, 0),
+		mem.NewRAM("slow", 0x10000, 0x1000, 1, 2),
+	)
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	b := New(busMap())
+	msg := []byte("smart card message layer")
+	if err := b.Write(0x105, msg); err != nil { // deliberately unaligned
+		t.Fatal(err)
+	}
+	got, err := b.Read(0x105, len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read back %q", got)
+	}
+	st := b.Stats()
+	if st.Messages != 2 || st.Bytes != uint64(2*len(msg)) || st.Reads != 1 || st.Writes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMessageRoundTripProperty(t *testing.T) {
+	b := New(busMap())
+	f := func(off uint16, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if len(data) > 128 {
+			data = data[:128]
+		}
+		addr := uint64(off % 0x1E00)
+		if err := b.Write(addr, data); err != nil {
+			return false
+		}
+		got, err := b.Read(addr, len(data))
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageErrors(t *testing.T) {
+	b := New(busMap())
+	if _, err := b.Read(0x5000, 4); err == nil {
+		t.Fatal("decode hole read succeeded")
+	}
+	if err := b.Write(0x1FFE, []byte{1, 2, 3, 4}); err == nil {
+		t.Fatal("write crossing slave end succeeded")
+	}
+	if _, err := b.Read(0x100, 0); err == nil {
+		t.Fatal("zero-length read accepted")
+	}
+	if err := b.Write(0x100, nil); err == nil {
+		t.Fatal("empty write accepted")
+	}
+	if b.Stats().Messages != 0 {
+		t.Fatal("failed messages counted")
+	}
+}
+
+func TestEstimateScalesWithTraffic(t *testing.T) {
+	char := platform.DefaultCharTable()
+	small := New(busMap())
+	small.Write(0x100, make([]byte, 16))
+	big := New(busMap())
+	for i := 0; i < 10; i++ {
+		big.Write(0x100+uint64(32*i), make([]byte, 32))
+	}
+	ps := small.Estimate(char, 0, 0)
+	pb := big.Estimate(char, 0, 0)
+	if pb.Cycles <= ps.Cycles || pb.EnergyJ <= ps.EnergyJ {
+		t.Fatalf("estimate not monotone: %+v vs %+v", ps, pb)
+	}
+	// Wait states raise the cycle estimate, not the energy.
+	pw := big.Estimate(char, 2, 2)
+	if pw.Cycles <= pb.Cycles || pw.EnergyJ != pb.EnergyJ {
+		t.Fatalf("wait-state projection wrong: %+v vs %+v", pw, pb)
+	}
+}
+
+// TestEstimateBallpark: the layer-3 projection must land within a small
+// factor of the refined layer-2 measurement for bus-dominated traffic —
+// coarse, but usable for algorithm-level budgeting.
+func TestEstimateBallpark(t *testing.T) {
+	char := platform.DefaultCharTable()
+
+	l3 := NewRecorder(New(busMap()))
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i * 37)
+	}
+	for i := 0; i < 8; i++ {
+		if err := l3.Write(uint64(0x200+64*i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	proj := l3.Estimate(char, 0, 0)
+
+	k := sim.New(0)
+	b2 := tlm2.New(k, busMap()).AttachPower(tlm2.NewPowerModel(char))
+	cycles, err := Bridge(k, b2, l3.Log, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := b2.Power().TotalEnergy()
+
+	ratioC := float64(proj.Cycles) / float64(cycles)
+	ratioE := proj.EnergyJ / measured
+	t.Logf("layer-3 projection vs layer-2: cycles %.2fx, energy %.2fx", ratioC, ratioE)
+	if ratioC < 0.3 || ratioC > 3 {
+		t.Errorf("cycle projection off by %.2fx", ratioC)
+	}
+	if ratioE < 0.3 || ratioE > 3 {
+		t.Errorf("energy projection off by %.2fx", ratioE)
+	}
+}
+
+// TestBridgeDataFidelity: bridging layer-3 messages onto layer 1
+// produces exactly the same memory contents as the layer-3 run itself.
+func TestBridgeDataFidelity(t *testing.T) {
+	// Run the messages at layer 3 against one memory.
+	m3 := busMap()
+	l3 := NewRecorder(New(m3))
+	blob := []byte("bridged down to cycle accuracy!!")
+	if err := l3.Write(0x300, blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := l3.Write(0x341, blob[:7]); err != nil { // unaligned tail path
+		t.Fatal(err)
+	}
+	if _, err := l3.Read(0x300, 8); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bridge the log onto a fresh layer-1 system.
+	m1 := busMap()
+	k := sim.New(0)
+	b1 := tlm1.New(k, m1)
+	cycles, err := Bridge(k, b1, l3.Log, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles == 0 {
+		t.Fatal("bridge consumed no time")
+	}
+
+	check := New(m1)
+	got, err := check.Read(0x300, len(blob))
+	if err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("bridged memory mismatch: %q (%v)", got, err)
+	}
+	got, err = check.Read(0x341, 7)
+	if err != nil || !bytes.Equal(got, blob[:7]) {
+		t.Fatalf("unaligned bridged write mismatch: %q (%v)", got, err)
+	}
+}
+
+func TestBridgeUsesBursts(t *testing.T) {
+	l3 := NewRecorder(New(busMap()))
+	if err := l3.Write(0x400, make([]byte, 64)); err != nil { // 16-byte aligned
+		t.Fatal(err)
+	}
+	k := sim.New(0)
+	b1 := tlm1.New(k, busMap())
+	if _, err := Bridge(k, b1, l3.Log, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	st := b1.Stats()
+	if st.Accepted != 4 { // 64 aligned bytes = 4 bursts
+		t.Fatalf("bridge issued %d transactions, want 4 bursts", st.Accepted)
+	}
+}
+
+func TestEstimateUsesCharPrices(t *testing.T) {
+	b := New(busMap())
+	b.Write(0x100, make([]byte, 32))
+	cheap := b.Estimate(gatepower.CharTable{}, 0, 0)
+	real := b.Estimate(platform.DefaultCharTable(), 0, 0)
+	if cheap.EnergyJ != 0 || real.EnergyJ <= 0 {
+		t.Fatalf("char pricing not applied: %g / %g", cheap.EnergyJ, real.EnergyJ)
+	}
+}
