@@ -197,9 +197,11 @@ func BenchmarkFigure6_Sampling(b *testing.B) {
 func benchCaseStudy(b *testing.B, layer int, org javacard.Organization) {
 	b.Helper()
 	char := platform.DefaultCharTable()
-	w := javacard.Workload{Name: "stack-churn", Make: func() (javacard.Program, *javacard.MemoryManager, *javacard.Firewall) {
-		return javacard.StackChurn(8, 10), javacard.NewMemoryManager(), javacard.NewFirewall()
-	}}
+	w := javacard.Workload{
+		Name:    "stack-churn",
+		Program: func() javacard.Program { return javacard.StackChurn(8, 10) },
+		Runtime: javacard.DefaultRuntime,
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, err := explore.Run(explore.Config{Layer: layer, Org: org, AddrMap: "near"}, w, char)
@@ -212,6 +214,29 @@ func benchCaseStudy(b *testing.B, layer int, org javacard.Organization) {
 func BenchmarkCaseStudy_L1_Halfword(b *testing.B) { benchCaseStudy(b, 1, javacard.OrgHalf) }
 func BenchmarkCaseStudy_L1_Burst(b *testing.B)    { benchCaseStudy(b, 1, javacard.OrgBurst) }
 func BenchmarkCaseStudy_L2_Halfword(b *testing.B) { benchCaseStudy(b, 2, javacard.OrgHalf) }
+
+// Full §4.3 sweep (2 layers × 4 organizations × 2 maps × 3 workloads =
+// 48 configurations) per iteration, serial vs parallel — the
+// exploration-throughput metric the TL models exist for. The table
+// output is asserted identical across worker counts, so the speedup is
+// free of result drift.
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	platform.DefaultCharTable() // hoist the one-time characterization
+	wls := javacard.Workloads()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := explore.SweepWith(explore.SweepOpts{Workers: workers},
+			[]int{1, 2}, javacard.Organizations, explore.AddrMaps, wls)
+		if err != nil || len(results) != 2*len(javacard.Organizations)*len(explore.AddrMaps)*len(wls) {
+			b.Fatalf("sweep failed: %d results, %v", len(results), err)
+		}
+	}
+	b.ReportMetric(float64(2*len(javacard.Organizations)*len(explore.AddrMaps)*len(wls))*float64(b.N)/b.Elapsed().Seconds(), "configs/s")
+}
+
+func BenchmarkSweep_Serial(b *testing.B)   { benchSweep(b, 1) }
+func BenchmarkSweep_Parallel(b *testing.B) { benchSweep(b, 0) }
 
 // Ablation: the layer-1 power model's per-cycle transition counting vs
 // the layer-2 per-phase booking — the cost difference behind Table 3's

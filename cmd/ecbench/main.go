@@ -10,6 +10,8 @@
 //	ecbench -figure 6    # the sampling figure
 //	ecbench -explore     # the case-study sweep only
 //	ecbench -n 200000    # transactions per Table-3 measurement
+//	ecbench -workers 1   # serial exploration sweep (default: one per CPU)
+//	ecbench -progress    # stream sweep rows to stderr as configs finish
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/explore"
 )
 
 func main() {
@@ -25,6 +28,8 @@ func main() {
 	figure := flag.Int("figure", 0, "print only figure 6")
 	exploreOnly := flag.Bool("explore", false, "print only the case-study exploration")
 	n := flag.Int("n", 100000, "transactions per Table-3 measurement run")
+	workers := flag.Int("workers", 0, "exploration sweep workers; 0 = one per CPU")
+	progress := flag.Bool("progress", false, "stream exploration rows to stderr as they complete")
 	flag.Parse()
 
 	all := *table == 0 && *figure == 0 && !*exploreOnly
@@ -45,7 +50,17 @@ func main() {
 		fmt.Println(bench.Figure6())
 	}
 	if all || *exploreOnly {
-		text, err := bench.Exploration()
+		opts := explore.SweepOpts{Workers: *workers}
+		if *progress {
+			opts.OnResult = func(r explore.Result, err error) {
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ecbench: %v\n", err)
+					return
+				}
+				fmt.Fprint(os.Stderr, explore.Row(r))
+			}
+		}
+		text, err := bench.ExplorationWith(opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ecbench:", err)
 			os.Exit(1)

@@ -7,6 +7,8 @@
 //	jcexplore                 # full sweep, table + Pareto frontier
 //	jcexplore -layer 2        # only the timed layer (fastest)
 //	jcexplore -workload wallet
+//	jcexplore -workers 1      # serial sweep (default: one worker per CPU)
+//	jcexplore -progress       # stream rows to stderr as configs finish
 package main
 
 import (
@@ -21,6 +23,8 @@ import (
 func main() {
 	layer := flag.Int("layer", 0, "restrict to one bus layer (1 or 2); 0 = both")
 	workload := flag.String("workload", "", "restrict to one workload (arith-loop, stack-churn, wallet)")
+	workers := flag.Int("workers", 0, "parallel sweep workers; 0 = one per CPU")
+	progress := flag.Bool("progress", false, "stream per-configuration rows to stderr as they complete")
 	flag.Parse()
 
 	layers := []int{1, 2}
@@ -42,10 +46,24 @@ func main() {
 		workloads = filtered
 	}
 
-	results, err := explore.Sweep(layers, javacard.Organizations, explore.AddrMaps, workloads)
+	opts := explore.SweepOpts{Workers: *workers}
+	if *progress {
+		opts.OnResult = func(r explore.Result, err error) {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "jcexplore: %v\n", err)
+				return
+			}
+			fmt.Fprint(os.Stderr, explore.Row(r))
+		}
+	}
+	results, err := explore.SweepWith(opts, layers, javacard.Organizations, explore.AddrMaps, workloads)
 	if err != nil {
+		// Partial-failure semantics: report every failed configuration
+		// but still print whatever completed.
 		fmt.Fprintln(os.Stderr, "jcexplore:", err)
-		os.Exit(1)
+		if len(results) == 0 {
+			os.Exit(1)
+		}
 	}
 	fmt.Println("Java Card VM HW/SW interface exploration (paper 4.3)")
 	fmt.Println()

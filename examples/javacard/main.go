@@ -27,9 +27,11 @@ func main() {
 	// stack behind the cycle-accurate bus via the master adapter.
 	char := platform.DefaultCharTable()
 	r, err := explore.Run(explore.Config{Layer: 1, Org: javacard.OrgHalf, AddrMap: "near"},
-		javacard.Workload{Name: "wallet", Make: func() (javacard.Program, *javacard.MemoryManager, *javacard.Firewall) {
-			return javacard.Wallet(1000, 7, 40)
-		}}, char)
+		javacard.Workload{
+			Name:    "wallet",
+			Program: func() javacard.Program { return javacard.WalletProgram(1000, 7, 40) },
+			Runtime: javacard.WalletRuntime,
+		}, char)
 	if err != nil {
 		log.Fatal(err)
 	}

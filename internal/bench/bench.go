@@ -261,9 +261,16 @@ func Figure6() string {
 	return sb.String()
 }
 
-// Exploration reproduces the §4.3 case-study table over the full sweep.
+// Exploration reproduces the §4.3 case-study table over the full sweep
+// with default sweep options (one worker per CPU).
 func Exploration() (string, error) {
-	results, err := explore.Sweep([]int{1, 2}, javacard.Organizations, explore.AddrMaps, javacard.Workloads())
+	return ExplorationWith(explore.SweepOpts{})
+}
+
+// ExplorationWith is Exploration with caller-tuned sweep options, so
+// cmd/ecbench can set the worker count and stream rows as they land.
+func ExplorationWith(opts explore.SweepOpts) (string, error) {
+	results, err := explore.SweepWith(opts, []int{1, 2}, javacard.Organizations, explore.AddrMaps, javacard.Workloads())
 	if err != nil {
 		return "", err
 	}

@@ -255,8 +255,8 @@ func (t *Transaction) String() string {
 // NewSingle builds a validated single-word transaction. Write data is the
 // low Width bytes of data placed on the correct byte lanes.
 func NewSingle(id uint64, kind Kind, addr uint64, w Width, data uint32) (*Transaction, error) {
-	t := &Transaction{ID: id, Kind: kind, Addr: addr & AddrMask, Width: w, Data: []uint32{data}}
-	if err := t.Validate(); err != nil {
+	t := &Transaction{}
+	if err := t.ResetSingle(id, kind, addr, w, data); err != nil {
 		return nil, err
 	}
 	return t, nil
@@ -273,4 +273,38 @@ func NewBurst(id uint64, kind Kind, addr uint64, data []uint32) (*Transaction, e
 		return nil, err
 	}
 	return t, nil
+}
+
+// ResetSingle reinitializes t in place as a single-word transaction,
+// clearing the result fields and reusing the Data slice. It is the
+// allocation-free variant of NewSingle for blocking masters that pool
+// one transaction object across calls. A transaction may only be reset
+// once its previous use has completed (Done, or never issued): the bus
+// models drop their reference to a transaction when it finishes, so a
+// completed object is exclusively the master's again.
+func (t *Transaction) ResetSingle(id uint64, kind Kind, addr uint64, w Width, data uint32) error {
+	if cap(t.Data) < 1 {
+		t.Data = make([]uint32, 1)
+	}
+	t.Data = t.Data[:1]
+	t.Data[0] = data
+	t.ID, t.Kind, t.Addr, t.Width, t.Burst = id, kind, addr&AddrMask, w, false
+	t.Done, t.Err = false, false
+	t.IssueCycle, t.AddrCycle, t.DataCycle = 0, 0, 0
+	return t.Validate()
+}
+
+// ResetBurst reinitializes t in place as a burst transaction under the
+// same pooling contract as ResetSingle. The Data slice is resized to
+// BurstLen (reusing capacity); for writes the caller fills it before
+// issuing the transaction.
+func (t *Transaction) ResetBurst(id uint64, kind Kind, addr uint64) error {
+	if cap(t.Data) < BurstLen {
+		t.Data = make([]uint32, BurstLen)
+	}
+	t.Data = t.Data[:BurstLen]
+	t.ID, t.Kind, t.Addr, t.Width, t.Burst = id, kind, addr&AddrMask, W32, true
+	t.Done, t.Err = false, false
+	t.IssueCycle, t.AddrCycle, t.DataCycle = 0, 0, 0
+	return t.Validate()
 }

@@ -150,3 +150,47 @@ func TestValidatePayloadSize(t *testing.T) {
 		t.Fatal("two-word single transaction accepted")
 	}
 }
+
+func TestResetSingleClearsResultStateAndReusesData(t *testing.T) {
+	tr, _ := NewSingle(1, Write, 0x100, W32, 0xDEAD)
+	// Simulate a completed run through a bus model.
+	tr.Done, tr.Err = true, true
+	tr.IssueCycle, tr.AddrCycle, tr.DataCycle = 5, 6, 9
+	data := &tr.Data[0]
+	if err := tr.ResetSingle(2, Read, 0x204, W16, 0); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Done || tr.Err || tr.IssueCycle != 0 || tr.AddrCycle != 0 || tr.DataCycle != 0 {
+		t.Fatalf("result state not cleared: %+v", tr)
+	}
+	if tr.ID != 2 || tr.Kind != Read || tr.Addr != 0x204 || tr.Width != W16 || tr.Burst {
+		t.Fatalf("identity fields wrong: %+v", tr)
+	}
+	if &tr.Data[0] != data {
+		t.Fatal("ResetSingle reallocated the Data slice")
+	}
+	if err := tr.ResetSingle(3, Read, 0x205, W16, 0); err == nil {
+		t.Fatal("misaligned reset accepted")
+	}
+}
+
+func TestResetBurstResizesPooledData(t *testing.T) {
+	tr, _ := NewSingle(1, Write, 0x100, W8, 0xAB)
+	if err := tr.ResetBurst(2, Write, 0x200); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Burst || len(tr.Data) != BurstLen || tr.Width != W32 {
+		t.Fatalf("burst shape wrong: %+v", tr)
+	}
+	// Back to a single: the burst-capacity slice must be reused.
+	data := &tr.Data[0]
+	if err := tr.ResetSingle(3, Read, 0x104, W32, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Data) != 1 || &tr.Data[0] != data {
+		t.Fatalf("single reset did not reuse pooled slice (len %d)", len(tr.Data))
+	}
+	if err := tr.ResetBurst(4, Read, 0x204); err == nil {
+		t.Fatal("unaligned burst reset accepted")
+	}
+}

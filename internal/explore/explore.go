@@ -7,13 +7,24 @@
 // abstraction layer (1 or 2) — and reports cycles and estimated energy
 // per configuration, which is exactly the evaluation the energy-aware
 // transaction-level models exist to make fast.
+//
+// Every configuration evaluation constructs its own kernel, bus, power
+// model and VM, so the cross product is embarrassingly parallel: Sweep
+// fans configurations out over a bounded worker pool and returns the
+// results in deterministic input order regardless of completion order.
+// The only state shared between workers is immutable — the assembled
+// workload program, the preloaded code ROM (reads are pure) and the
+// characterization table (passed by value).
 package explore
 
 import (
 	"errors"
 	"fmt"
+	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/ecbus"
@@ -34,6 +45,10 @@ const (
 	NearBase = 0x0000_1000
 	FarBase  = 0x0002_AAA0
 )
+
+// romSize is the code ROM window; method bodies alias onto it, so every
+// workload program must fit.
+const romSize = 0x1000
 
 // AddrMaps names the explored address maps.
 var AddrMaps = []string{"near", "far"}
@@ -69,24 +84,40 @@ func (r Result) EnergyPerStep() float64 {
 	return r.BusEnergyJ / float64(r.Steps)
 }
 
+// ErrFetchTimeout reports a code fetch whose bus transaction never
+// reached a terminal state within javacard.TransactionRetryLimit kernel
+// steps — a protocol deadlock in the modelled bus, not a slow slave.
+type ErrFetchTimeout struct {
+	Addr  uint64 // bus address of the abandoned fetch
+	Cycle uint64 // kernel cycle at which the master gave up
+}
+
+// Error implements error.
+func (e *ErrFetchTimeout) Error() string {
+	return fmt.Sprintf("explore: fetch at %#x never completed (gave up at cycle %d after %d bus steps)",
+		e.Addr, e.Cycle, javacard.TransactionRetryLimit)
+}
+
 // blockingMaster issues single transactions to completion by stepping
-// the kernel (the untimed interpreter's view of the bus).
+// the kernel (the untimed interpreter's view of the bus). It pools one
+// transaction object: each fetch runs to completion before the next, so
+// the bus never retains the object across calls.
 type blockingMaster struct {
 	k   *sim.Kernel
 	bus core.Initiator
 	ids uint64
 	n   uint64
+	tr  ecbus.Transaction
 }
 
 func (m *blockingMaster) read8(addr uint64) error {
 	m.ids++
-	tr, err := ecbus.NewSingle(m.ids, ecbus.Fetch, addr, ecbus.W8, 0)
-	if err != nil {
+	if err := m.tr.ResetSingle(m.ids, ecbus.Fetch, addr, ecbus.W8, 0); err != nil {
 		return err
 	}
 	m.n++
-	for i := 0; i < 100000; i++ {
-		st := m.bus.Access(tr)
+	for i := 0; i < javacard.TransactionRetryLimit; i++ {
+		st := m.bus.Access(&m.tr)
 		if st == ecbus.StateOK {
 			return nil
 		}
@@ -95,24 +126,56 @@ func (m *blockingMaster) read8(addr uint64) error {
 		}
 		m.k.Step()
 	}
-	return errors.New("explore: fetch never completed")
+	return &ErrFetchTimeout{Addr: addr, Cycle: m.k.Cycle()}
+}
+
+// prepared is the per-workload state hoisted out of the sweep loop: the
+// assembled program and the loaded code ROM. Both are immutable once
+// built (ROM reads are pure and the bus rejects writes before they
+// reach the slave), so one copy is shared read-only by all workers.
+type prepared struct {
+	w    javacard.Workload
+	prog javacard.Program
+	rom  *mem.ROM
+}
+
+func prepare(w javacard.Workload) (prepared, error) {
+	prog := w.Program()
+	rom := mem.NewROM("code", 0, romSize, 0, 0)
+	if err := rom.Load(0, prog.Main); err != nil {
+		return prepared{}, err
+	}
+	return prepared{w: w, prog: prog, rom: rom}, nil
 }
 
 // Run evaluates one configuration on one workload.
 func Run(cfg Config, w javacard.Workload, char gatepower.CharTable) (Result, error) {
-	prog, mm, fw := w.Make()
+	p, err := prepare(w)
+	if err != nil {
+		return Result{}, err
+	}
+	r, err := runPrepared(cfg, p, char)
+	if err != nil {
+		return Result{}, fmt.Errorf("explore %v/%s: %w", cfg, w.Name, err)
+	}
+	return r, nil
+}
 
+// runPrepared evaluates one configuration against prepared workload
+// state. It builds a fully private simulation context — kernel, bus,
+// power model, adapter, VM — and therefore may run concurrently with
+// other calls sharing the same prepared value.
+func runPrepared(cfg Config, p prepared, char gatepower.CharTable) (Result, error) {
 	k := sim.New(0)
 	base := uint64(NearBase)
 	if cfg.AddrMap == "far" {
 		base = FarBase
 	}
-	rom := mem.NewROM("code", 0, 0x1000, 0, 0)
-	if err := rom.Load(0, prog.Main); err != nil {
+	hs := javacard.NewHardStack("stack", base)
+	bmap, err := ecbus.NewMap(p.rom, hs)
+	if err != nil {
 		return Result{}, err
 	}
-	hs := javacard.NewHardStack("stack", base)
-	bmap := ecbus.MustMap(rom, hs)
 
 	var bus core.Initiator
 	var energy func() float64
@@ -129,22 +192,23 @@ func Run(cfg Config, w javacard.Workload, char gatepower.CharTable) (Result, err
 
 	adapter := javacard.NewMasterAdapter(k, bus, base, cfg.Org)
 	fetcher := &blockingMaster{k: k, bus: bus}
-	vm := javacard.NewVM(prog, adapter, mm, fw)
+	mm, fw := p.w.Runtime()
+	vm := javacard.NewVM(p.prog, adapter, mm, fw)
 	vm.FetchHook = func(pc int) {
 		// Interleave the interpreter's code fetch with the stack
 		// traffic. Method bodies alias onto the main image window; the
 		// traffic pattern, not the fetched value, is what matters here.
-		_ = fetcher.read8(uint64(pc) % 0x1000)
+		_ = fetcher.read8(uint64(pc) % romSize)
 	}
 	if err := vm.Run(10_000_000); err != nil {
-		return Result{}, fmt.Errorf("explore %v/%s: %w", cfg, w.Name, err)
+		return Result{}, err
 	}
 	if err := adapter.Flush(); err != nil {
 		return Result{}, err
 	}
 	return Result{
 		Config:       cfg,
-		Workload:     w.Name,
+		Workload:     p.w.Name,
 		Cycles:       k.Cycle(),
 		BusEnergyJ:   energy(),
 		Transactions: adapter.Transactions + fetcher.n,
@@ -152,48 +216,169 @@ func Run(cfg Config, w javacard.Workload, char gatepower.CharTable) (Result, err
 	}, nil
 }
 
+// SweepOpts tunes the parallel sweep engine.
+type SweepOpts struct {
+	// Workers is the number of concurrent configuration evaluations;
+	// <= 0 selects runtime.GOMAXPROCS(0). The result order does not
+	// depend on the worker count.
+	Workers int
+	// OnResult, when set, streams each configuration's outcome as it
+	// lands, in completion order (nondeterministic under Workers > 1).
+	// Calls are serialized, so the callback needs no locking of its
+	// own. Failed configurations are reported with the zero Result and
+	// a non-nil error.
+	OnResult func(Result, error)
+}
+
 // Sweep evaluates the full cross product of layers × organizations ×
-// address maps × workloads.
+// address maps × workloads with default options (one worker per
+// available CPU). See SweepWith.
 func Sweep(layers []int, orgs []javacard.Organization, maps []string, workloads []javacard.Workload) ([]Result, error) {
-	char := platform.DefaultCharTable()
-	var out []Result
+	return SweepWith(SweepOpts{}, layers, orgs, maps, workloads)
+}
+
+// SweepWith evaluates the cross product over a bounded worker pool.
+// Results are returned in input (cross-product) order regardless of
+// completion order, so the output is byte-identical for any worker
+// count. A failing configuration does not abort the sweep: its error is
+// recorded and the remaining points still run, so the call returns the
+// partial results together with the joined per-configuration errors.
+func SweepWith(opts SweepOpts, layers []int, orgs []javacard.Organization, maps []string, workloads []javacard.Workload) ([]Result, error) {
+	type job struct {
+		idx int
+		cfg Config
+		p   prepared
+	}
+	var jobs []job
+	var prepErrs []error
 	for _, w := range workloads {
+		p, err := prepare(w)
+		if err != nil {
+			prepErrs = append(prepErrs, fmt.Errorf("explore %s: %w", w.Name, err))
+			continue
+		}
 		for _, l := range layers {
 			for _, o := range orgs {
 				for _, m := range maps {
-					r, err := Run(Config{Layer: l, Org: o, AddrMap: m}, w, char)
-					if err != nil {
-						return nil, err
-					}
-					out = append(out, r)
+					jobs = append(jobs, job{idx: len(jobs), cfg: Config{Layer: l, Org: o, AddrMap: m}, p: p})
 				}
 			}
 		}
 	}
-	return out, nil
+
+	// Characterize once before the fan-out so workers share the cached
+	// table instead of racing to build it (DefaultCharTable is
+	// once-guarded either way; this keeps the cost out of the pool).
+	char := platform.DefaultCharTable()
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	results := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+	jobCh := make(chan job)
+	var cbMu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				r, err := runPrepared(j.cfg, j.p, char)
+				if err != nil {
+					err = fmt.Errorf("explore %v/%s: %w", j.cfg, j.p.w.Name, err)
+				}
+				results[j.idx], errs[j.idx] = r, err
+				if opts.OnResult != nil {
+					cbMu.Lock()
+					opts.OnResult(r, err)
+					cbMu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	wg.Wait()
+
+	out := make([]Result, 0, len(jobs))
+	joined := prepErrs
+	for i := range jobs {
+		if errs[i] != nil {
+			joined = append(joined, errs[i])
+			continue
+		}
+		out = append(out, results[i])
+	}
+	return out, errors.Join(joined...)
 }
 
 // Pareto returns the results not dominated in (Cycles, BusEnergyJ)
-// within each workload — the frontier the designer picks from.
+// within each workload — the frontier the designer picks from. It runs
+// in O(n log n): per workload, sort by (cycles, energy) and scan with
+// the running energy minimum; a point is on the frontier iff it lowers
+// the minimum (or exactly duplicates the point that set it, since equal
+// points do not dominate each other). Output preserves input order.
 func Pareto(results []Result) []Result {
-	var front []Result
-	for _, r := range results {
-		dominated := false
-		for _, o := range results {
-			if o.Workload != r.Workload {
-				continue
-			}
-			if o.Cycles <= r.Cycles && o.BusEnergyJ <= r.BusEnergyJ &&
-				(o.Cycles < r.Cycles || o.BusEnergyJ < r.BusEnergyJ) {
-				dominated = true
-				break
-			}
+	order := make([]int, len(results))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := &results[order[a]], &results[order[b]]
+		if ra.Workload != rb.Workload {
+			return ra.Workload < rb.Workload
 		}
-		if !dominated {
+		if ra.Cycles != rb.Cycles {
+			return ra.Cycles < rb.Cycles
+		}
+		return ra.BusEnergyJ < rb.BusEnergyJ
+	})
+	keep := make([]bool, len(results))
+	curWL := ""
+	bestE := math.Inf(1)
+	var bestC uint64
+	started := false
+	for _, idx := range order {
+		r := &results[idx]
+		if !started || r.Workload != curWL {
+			started, curWL = true, r.Workload
+			bestE, bestC = math.Inf(1), 0
+		}
+		switch {
+		case r.BusEnergyJ < bestE:
+			bestE, bestC = r.BusEnergyJ, r.Cycles
+			keep[idx] = true
+		case r.BusEnergyJ == bestE && r.Cycles == bestC:
+			keep[idx] = true
+		}
+	}
+	var front []Result
+	for i, r := range results {
+		if keep[i] {
 			front = append(front, r)
 		}
 	}
 	return front
+}
+
+// rowFmt lays out one table row; the header in Table must match.
+const rowFmt = "%-12s %-22s %10d %12.1f %8d %14.2f\n"
+
+// Row renders one result in the exploration table's row format, for
+// streaming sweep progress (SweepOpts.OnResult) in the same shape as
+// the final table.
+func Row(r Result) string {
+	return fmt.Sprintf(rowFmt,
+		r.Workload, r.Config.String(), r.Cycles, r.BusEnergyJ*1e12,
+		r.Transactions, r.EnergyPerStep()*1e12)
 }
 
 // Table renders results as the case-study exploration table.
@@ -209,9 +394,7 @@ func Table(results []Result) string {
 	fmt.Fprintf(&sb, "%-12s %-22s %10s %12s %8s %14s\n",
 		"workload", "config", "cycles", "energy[pJ]", "tx", "energy/bc[pJ]")
 	for _, r := range rows {
-		fmt.Fprintf(&sb, "%-12s %-22s %10d %12.1f %8d %14.2f\n",
-			r.Workload, r.Config.String(), r.Cycles, r.BusEnergyJ*1e12,
-			r.Transactions, r.EnergyPerStep()*1e12)
+		sb.WriteString(Row(r))
 	}
 	return sb.String()
 }

@@ -1,7 +1,10 @@
 package explore
 
 import (
+	"errors"
+	"math/rand"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/javacard"
@@ -9,9 +12,11 @@ import (
 )
 
 func churn() javacard.Workload {
-	return javacard.Workload{Name: "stack-churn", Make: func() (javacard.Program, *javacard.MemoryManager, *javacard.Firewall) {
-		return javacard.StackChurn(8, 10), javacard.NewMemoryManager(), javacard.NewFirewall()
-	}}
+	return javacard.Workload{
+		Name:    "stack-churn",
+		Program: func() javacard.Program { return javacard.StackChurn(8, 10) },
+		Runtime: javacard.DefaultRuntime,
+	}
 }
 
 func TestRunSingleConfig(t *testing.T) {
@@ -136,5 +141,143 @@ func TestSweepAndTable(t *testing.T) {
 func TestRunRejectsBadLayer(t *testing.T) {
 	if _, err := Run(Config{Layer: 0, Org: javacard.OrgHalf, AddrMap: "near"}, churn(), platform.DefaultCharTable()); err == nil {
 		t.Fatal("layer 0 exploration should be rejected (no TLM power model)")
+	}
+}
+
+// arith returns a second small workload so the determinism test covers
+// the per-workload prepare/share path with more than one shared image.
+func arith() javacard.Workload {
+	return javacard.Workload{
+		Name:    "arith-loop",
+		Program: func() javacard.Program { return javacard.ArithLoop(20) },
+		Runtime: javacard.DefaultRuntime,
+	}
+}
+
+func TestSweepParallelDeterministic(t *testing.T) {
+	// The parallel sweep must return results in input order, so its
+	// rendered table is byte-identical to the serial sweep's.
+	layers := []int{1, 2}
+	wls := []javacard.Workload{churn(), arith()}
+	serial, err := SweepWith(SweepOpts{Workers: 1}, layers, javacard.Organizations, AddrMaps, wls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := SweepWith(SweepOpts{Workers: 8}, layers, javacard.Organizations, AddrMaps, wls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("result %d differs:\nserial:   %+v\nparallel: %+v", i, serial[i], parallel[i])
+		}
+	}
+	if ts, tp := Table(serial), Table(parallel); ts != tp {
+		t.Fatalf("tables not byte-identical:\n--- workers=1 ---\n%s--- workers=8 ---\n%s", ts, tp)
+	}
+}
+
+func TestSweepStreamsEveryConfiguration(t *testing.T) {
+	var streamed atomic.Int64
+	_, err := SweepWith(SweepOpts{
+		Workers:  4,
+		OnResult: func(Result, error) { streamed.Add(1) },
+	}, []int{1, 2}, javacard.Organizations, AddrMaps, []javacard.Workload{churn()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(2 * len(javacard.Organizations) * len(AddrMaps))
+	if streamed.Load() != want {
+		t.Fatalf("OnResult fired %d times, want %d", streamed.Load(), want)
+	}
+}
+
+func TestSweepContinuesPastFailures(t *testing.T) {
+	// Layer 3 is unsupported, so half the cross product fails; the sweep
+	// must still deliver every layer-1 result plus a joined error naming
+	// the failed configurations.
+	results, err := SweepWith(SweepOpts{Workers: 4}, []int{1, 3}, javacard.Organizations, AddrMaps,
+		[]javacard.Workload{churn()})
+	if err == nil {
+		t.Fatal("expected joined error for unsupported layer")
+	}
+	if !strings.Contains(err.Error(), "unsupported layer 3") {
+		t.Fatalf("error does not name the failing layer: %v", err)
+	}
+	want := len(javacard.Organizations) * len(AddrMaps)
+	if len(results) != want {
+		t.Fatalf("partial results %d, want %d (the layer-1 half)", len(results), want)
+	}
+	for _, r := range results {
+		if r.Layer != 1 {
+			t.Fatalf("unexpected result from failed layer: %+v", r)
+		}
+	}
+}
+
+func TestFetchTimeoutErrorType(t *testing.T) {
+	e := &ErrFetchTimeout{Addr: 0xABC, Cycle: 42}
+	var target *ErrFetchTimeout
+	if !errors.As(error(e), &target) {
+		t.Fatal("ErrFetchTimeout not matchable with errors.As")
+	}
+	msg := e.Error()
+	for _, want := range []string{"0xabc", "42"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("message %q missing %q", msg, want)
+		}
+	}
+}
+
+// paretoQuadratic is the original O(n²) frontier, kept as the reference
+// for the equivalence test of the sort-and-scan implementation.
+func paretoQuadratic(results []Result) []Result {
+	var front []Result
+	for _, r := range results {
+		dominated := false
+		for _, o := range results {
+			if o.Workload != r.Workload {
+				continue
+			}
+			if o.Cycles <= r.Cycles && o.BusEnergyJ <= r.BusEnergyJ &&
+				(o.Cycles < r.Cycles || o.BusEnergyJ < r.BusEnergyJ) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, r)
+		}
+	}
+	return front
+}
+
+func TestParetoMatchesQuadraticReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	workloads := []string{"a", "b", "c"}
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(120)
+		results := make([]Result, n)
+		for i := range results {
+			// Small value ranges force plenty of ties and exact
+			// duplicates, the cases where dominance is subtle.
+			results[i] = Result{
+				Workload:   workloads[rng.Intn(len(workloads))],
+				Cycles:     uint64(rng.Intn(12)),
+				BusEnergyJ: float64(rng.Intn(12)) * 1e-12,
+			}
+		}
+		got, want := Pareto(results), paretoQuadratic(results)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: frontier size %d, reference %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: frontier[%d] = %+v, reference %+v", trial, i, got[i], want[i])
+			}
+		}
 	}
 }

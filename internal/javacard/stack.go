@@ -208,6 +208,12 @@ func (o Organization) String() string {
 // Organizations lists all SFR protocols.
 var Organizations = []Organization{OrgByte, OrgHalf, OrgPacked, OrgBurst}
 
+// TransactionRetryLimit bounds the kernel steps a blocking master waits
+// for one bus transaction to complete before declaring the bus wedged.
+// Generously above any legal wait-state combination of the modelled
+// slaves; reaching it means a protocol deadlock, not a slow slave.
+const TransactionRetryLimit = 100_000
+
 // MasterAdapter implements Stack by translating interface calls into bus
 // transactions (Fig. 7b, "MA"): the untimed interpreter calls it, and it
 // advances the clocked bus simulation until each transaction completes.
@@ -219,6 +225,14 @@ type MasterAdapter struct {
 
 	ids  uint64
 	pend []int16 // burst batching buffer (OrgBurst)
+
+	// Pooled transaction objects: every adapter call runs its
+	// transaction to completion before returning, after which the bus
+	// holds no reference to it, so one single and one burst object can
+	// be reset and reused for the adapter's lifetime instead of
+	// allocating per operand-stack access.
+	str ecbus.Transaction
+	btr ecbus.Transaction
 
 	Transactions uint64
 }
@@ -232,16 +246,15 @@ func NewMasterAdapter(k *sim.Kernel, bus core.Initiator, base uint64, org Organi
 // do runs one bus transaction to completion, stepping the kernel.
 func (a *MasterAdapter) do(kind ecbus.Kind, addr uint64, w ecbus.Width, data uint32) (uint32, error) {
 	a.ids++
-	tr, err := ecbus.NewSingle(a.ids, kind, addr, w, data)
-	if err != nil {
+	if err := a.str.ResetSingle(a.ids, kind, addr, w, data); err != nil {
 		return 0, err
 	}
-	return a.run(tr)
+	return a.run(&a.str)
 }
 
 func (a *MasterAdapter) run(tr *ecbus.Transaction) (uint32, error) {
 	a.Transactions++
-	for i := 0; i < 100000; i++ {
+	for i := 0; i < TransactionRetryLimit; i++ {
 		st := a.bus.Access(tr)
 		if st == ecbus.StateOK {
 			return tr.Data[0], nil
@@ -292,17 +305,15 @@ func (a *MasterAdapter) flush() error {
 		return nil
 	}
 	if len(a.pend) == 4 {
-		words := make([]uint32, 4)
-		for i, v := range a.pend {
-			words[i] = uint32(uint16(v))
-		}
-		a.pend = a.pend[:0]
 		a.ids++
-		tr, err := ecbus.NewBurst(a.ids, ecbus.Write, a.base+RegBurst, words)
-		if err != nil {
+		if err := a.btr.ResetBurst(a.ids, ecbus.Write, a.base+RegBurst); err != nil {
 			return err
 		}
-		_, err = a.run(tr)
+		for i, v := range a.pend {
+			a.btr.Data[i] = uint32(uint16(v))
+		}
+		a.pend = a.pend[:0]
+		_, err := a.run(&a.btr)
 		return err
 	}
 	// Partial batch: drain with halfword pushes.

@@ -115,11 +115,11 @@ func StackChurn(depth, rounds int16) Program {
 // WalletObj is the balance object id of the wallet workload.
 const WalletObj = 1
 
-// Wallet returns the applet-like workload: a balance object guarded by
-// the firewall, debited by repeated static-method invocations. The
-// credit/debit methods exercise invoke/return, field access and
-// branches. Final balance lands in static 0.
-func Wallet(initial, debit int16, times int16) (Program, *MemoryManager, *Firewall) {
+// WalletProgram assembles the applet-like workload: a balance object
+// guarded by the firewall, debited by repeated static-method
+// invocations. The credit/debit methods exercise invoke/return, field
+// access and branches. Final balance lands in static 0.
+func WalletProgram(initial, debit int16, times int16) Program {
 	// method 0: debit(amount) -> balance -= amount if balance >= amount
 	debitM := NewBuilder().
 		Op(OpGetF, WalletObj, 0). // balance
@@ -147,30 +147,60 @@ func Wallet(initial, debit int16, times int16) (Program, *MemoryManager, *Firewa
 		Op(OpHalt).
 		MustBuild()
 
+	return Program{Main: main, Methods: []Method{{Code: debitM, NArgs: 1}}, Statics: 1}
+}
+
+// WalletRuntime builds the wallet's fresh per-run services: the balance
+// object and its firewall ownership.
+func WalletRuntime() (*MemoryManager, *Firewall) {
 	mm := NewMemoryManager()
 	mm.Alloc(WalletObj, 1)
 	fw := NewFirewall()
 	fw.Own(WalletObj, 1)
-	return Program{Main: main, Methods: []Method{{Code: debitM, NArgs: 1}}, Statics: 1}, mm, fw
+	return mm, fw
 }
 
-// Workload names a case-study workload for the exploration harness.
+// Wallet returns the wallet program together with fresh runtime state —
+// the functional-model view used by examples and tests.
+func Wallet(initial, debit int16, times int16) (Program, *MemoryManager, *Firewall) {
+	mm, fw := WalletRuntime()
+	return WalletProgram(initial, debit, times), mm, fw
+}
+
+// DefaultRuntime builds empty per-run services for workloads that
+// allocate nothing up front.
+func DefaultRuntime() (*MemoryManager, *Firewall) {
+	return NewMemoryManager(), NewFirewall()
+}
+
+// Workload names a case-study workload for the exploration harness. The
+// program assembly is split from the runtime state so the exploration
+// engine can assemble the (immutable) program once per sweep and share
+// it read-only across worker goroutines, while every configuration
+// evaluation still gets its own mutable heap and firewall.
 type Workload struct {
 	Name string
-	Make func() (Program, *MemoryManager, *Firewall)
+	// Program assembles the workload's bytecode image. It must be
+	// deterministic and the returned Program must not be mutated by the
+	// caller: sweeps share one copy across concurrent evaluations.
+	Program func() Program
+	// Runtime builds the mutable per-run services (object heap and
+	// applet firewall); it is called once per configuration evaluation.
+	Runtime func() (*MemoryManager, *Firewall)
+}
+
+// Make materializes the program together with fresh runtime state — the
+// single-run view used by the functional model.
+func (w Workload) Make() (Program, *MemoryManager, *Firewall) {
+	mm, fw := w.Runtime()
+	return w.Program(), mm, fw
 }
 
 // Workloads returns the standard case-study workload set.
 func Workloads() []Workload {
 	return []Workload{
-		{Name: "arith-loop", Make: func() (Program, *MemoryManager, *Firewall) {
-			return ArithLoop(60), NewMemoryManager(), NewFirewall()
-		}},
-		{Name: "stack-churn", Make: func() (Program, *MemoryManager, *Firewall) {
-			return StackChurn(8, 20), NewMemoryManager(), NewFirewall()
-		}},
-		{Name: "wallet", Make: func() (Program, *MemoryManager, *Firewall) {
-			return Wallet(1000, 7, 40)
-		}},
+		{Name: "arith-loop", Program: func() Program { return ArithLoop(60) }, Runtime: DefaultRuntime},
+		{Name: "stack-churn", Program: func() Program { return StackChurn(8, 20) }, Runtime: DefaultRuntime},
+		{Name: "wallet", Program: func() Program { return WalletProgram(1000, 7, 40) }, Runtime: WalletRuntime},
 	}
 }
