@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build test vet race bench verify
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/explore/... ./internal/sim/...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1s .
+
+# verify is the pre-merge gate: tier-1 tests, vet, the race gate and a
+# one-iteration benchmark smoke. Keep it green before every commit.
+verify:
+	./scripts/verify.sh

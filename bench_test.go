@@ -62,7 +62,7 @@ func benchLayer(b *testing.B, layer int, energy bool) {
 			rb := rtlbus.New(k, newMap())
 			if energy {
 				est := gatepower.NewEstimator(gatepower.DefaultConfig())
-				k.At(sim.Post, "gp", func(uint64) { est.Observe(rb.Wires()) })
+				k.AtObserver(sim.Post, "gp", func(uint64) { est.Observe(rb.Wires()) }, est.ObserveIdle)
 			}
 			bus = rb
 		case 1:
@@ -130,7 +130,7 @@ func BenchmarkTable2_GateLevelEstimation(b *testing.B) {
 		k := sim.New(0)
 		rb := rtlbus.New(k, newMap())
 		est := gatepower.NewEstimator(gatepower.DefaultConfig())
-		k.At(sim.Post, "gp", func(uint64) { est.Observe(rb.Wires()) })
+		k.AtObserver(sim.Post, "gp", func(uint64) { est.Observe(rb.Wires()) }, est.ObserveIdle)
 		b.StartTimer()
 		m, _ := core.RunScript(k, rb, items, 10_000_000)
 		if !m.Done() || est.TotalEnergy() <= 0 {
@@ -318,6 +318,108 @@ func BenchmarkLayer3MessageBus(b *testing.B) {
 		}
 	}
 	b.SetBytes(int64(len(payload)))
+}
+
+// Idle-cycle fast-forward: a sparse workload (transactions separated by
+// long quiet gaps) where the kernel jumps between events instead of
+// executing every cycle. The skipped-fraction metric shows how much of
+// the simulated time was fast-forwarded.
+func BenchmarkKernel_IdleSkip(b *testing.B) {
+	char := platform.DefaultCharTable()
+	const n, gap = 512, 200
+	var skipped, total uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		var items []core.Item
+		for j := 0; j < n; j++ {
+			tr, err := ecbus.NewSingle(uint64(j+1), ecbus.Read, lay.Slow+uint64(4*(j%16)), ecbus.W32, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			items = append(items, core.Item{Tr: tr, NotBefore: uint64(j) * gap})
+		}
+		k := sim.New(0)
+		bus := tlm1.New(k, newMap()).AttachPower(tlm1.NewPowerModel(char))
+		b.StartTimer()
+		m, cycles := core.RunScript(k, bus, items, 10_000_000)
+		if !m.Done() {
+			b.Fatal("run incomplete")
+		}
+		skipped += k.SkippedCycles()
+		total += cycles
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e3, "kT/s")
+	b.ReportMetric(100*float64(skipped)/float64(total), "%skipped")
+}
+
+// Gate-level estimator observation cost at the two extremes: Sparse is
+// the all-idle cycle (dirty mask empty, early-out), Dense has every
+// interface signal toggling (full dirty iteration).
+func BenchmarkObserve_Sparse(b *testing.B) {
+	est := gatepower.NewEstimator(gatepower.DefaultConfig())
+	var w ecbus.Bundle
+	est.Observe(&w) // settle
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.Observe(&w)
+	}
+}
+
+func BenchmarkObserve_Dense(b *testing.B) {
+	est := gatepower.NewEstimator(gatepower.DefaultConfig())
+	var w ecbus.Bundle
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flip := ^uint64(0) * uint64(i&1)
+		for id := ecbus.SignalID(0); id < ecbus.NumSignals; id++ {
+			w.Set(id, flip)
+		}
+		est.Observe(&w)
+	}
+}
+
+// Ring-queue churn: back-to-back bursts rotating through the layer-1
+// request, read and write queues with maximum occupancy turnover.
+func BenchmarkTL1_QueueChurn(b *testing.B) {
+	k := sim.New(0)
+	bus := tlm1.New(k, newMap())
+	const inFlight = 8
+	trs := make([]*ecbus.Transaction, inFlight)
+	for i := range trs {
+		kind := ecbus.Read
+		if i%2 == 1 {
+			kind = ecbus.Write
+		}
+		tr, err := ecbus.NewBurst(uint64(i+1), kind, lay.Fast+uint64(16*i), make([]uint32, ecbus.BurstLen))
+		if err != nil {
+			b.Fatal(err)
+		}
+		trs[i] = tr
+	}
+	id := uint64(inFlight)
+	completed := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tr := range trs {
+			if st := bus.Access(tr); st.Done() {
+				completed++
+				id++
+				kind := ecbus.Read
+				if id%2 == 1 {
+					kind = ecbus.Write
+				}
+				if err := tr.ResetBurst(id, kind, lay.Fast+uint64(16*(id%8))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		k.Step()
+	}
+	if completed == 0 && b.N >= 100 {
+		b.Fatal("no transactions completed")
+	}
+	b.ReportMetric(float64(completed)/float64(b.N), "tx/cycle")
 }
 
 // TestBenchHarnessSmoke keeps `go test ./...` covering this file's

@@ -12,12 +12,15 @@
 //	ecbench -n 200000    # transactions per Table-3 measurement
 //	ecbench -workers 1   # serial exploration sweep (default: one per CPU)
 //	ecbench -progress    # stream sweep rows to stderr as configs finish
+//	ecbench -cpuprofile cpu.prof -memprofile mem.prof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bench"
 	"repro/internal/explore"
@@ -30,7 +33,37 @@ func main() {
 	n := flag.Int("n", 100000, "transactions per Table-3 measurement run")
 	workers := flag.Int("workers", 0, "exploration sweep workers; 0 = one per CPU")
 	progress := flag.Bool("progress", false, "stream exploration rows to stderr as they complete")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ecbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ecbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ecbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ecbench:", err)
+			}
+		}()
+	}
 
 	all := *table == 0 && *figure == 0 && !*exploreOnly
 

@@ -9,12 +9,15 @@
 //	jcexplore -workload wallet
 //	jcexplore -workers 1      # serial sweep (default: one worker per CPU)
 //	jcexplore -progress       # stream rows to stderr as configs finish
+//	jcexplore -cpuprofile cpu.prof -memprofile mem.prof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/explore"
 	"repro/internal/javacard"
@@ -25,7 +28,37 @@ func main() {
 	workload := flag.String("workload", "", "restrict to one workload (arith-loop, stack-churn, wallet)")
 	workers := flag.Int("workers", 0, "parallel sweep workers; 0 = one per CPU")
 	progress := flag.Bool("progress", false, "stream per-configuration rows to stderr as they complete")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jcexplore:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "jcexplore:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jcexplore:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "jcexplore:", err)
+			}
+		}()
+	}
 
 	layers := []int{1, 2}
 	if *layer != 0 {

@@ -44,7 +44,7 @@ func runLayer(layer int, items []core.Item, energy bool, char gatepower.CharTabl
 		b := rtlbus.New(k, newMap())
 		if energy {
 			est := gatepower.NewEstimator(gatepower.DefaultConfig())
-			k.At(sim.Post, "gp", func(uint64) { est.Observe(b.Wires()) })
+			k.AtObserver(sim.Post, "gp", func(uint64) { est.Observe(b.Wires()) }, est.ObserveIdle)
 			get = est.TotalEnergy
 		}
 		bus = b
@@ -75,7 +75,7 @@ func CharTable() gatepower.CharTable {
 	k := sim.New(0)
 	b := rtlbus.New(k, newMap())
 	est := gatepower.NewEstimator(gatepower.DefaultConfig())
-	k.At(sim.Post, "gp", func(uint64) { est.Observe(b.Wires()) })
+	k.AtObserver(sim.Post, "gp", func(uint64) { est.Observe(b.Wires()) }, est.ObserveIdle)
 	m, _ := core.RunScript(k, b, core.CharCorpus(lay, 400), 10_000_000)
 	if !m.Done() {
 		panic("bench: characterization did not complete")

@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The reported artifacts (Table 1, Table 2, Figure 6) must be
+// byte-identical between the reference and the optimized per-cycle hot
+// path: the performance work must not change any published number.
+// Table 3 is wall-clock throughput and is inherently non-deterministic,
+// so it is exercised (not compared) elsewhere.
+
+func captureArtifacts() (t1, t2, f6 string) {
+	_, t1 = Table1()
+	_, t2 = Table2()
+	f6 = Figure6()
+	return
+}
+
+func TestReportedArtifactsModeInvariant(t *testing.T) {
+	core.SetReference(true)
+	rt1, rt2, rf6 := captureArtifacts()
+	core.SetReference(false)
+	ot1, ot2, of6 := captureArtifacts()
+
+	if rt1 != ot1 {
+		t.Errorf("Table 1 differs between modes:\nreference:\n%s\noptimized:\n%s", rt1, ot1)
+	}
+	if rt2 != ot2 {
+		t.Errorf("Table 2 differs between modes:\nreference:\n%s\noptimized:\n%s", rt2, ot2)
+	}
+	if rf6 != of6 {
+		t.Errorf("Figure 6 differs between modes:\nreference:\n%s\noptimized:\n%s", rf6, of6)
+	}
+}

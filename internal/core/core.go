@@ -81,9 +81,37 @@ type ScriptMaster struct {
 // NewScriptMaster creates a script master over bus and registers it on
 // the kernel's rising edge.
 func NewScriptMaster(k *sim.Kernel, bus Initiator, items []Item) *ScriptMaster {
-	m := &ScriptMaster{bus: bus, items: items, MaxInFlight: 3 * ecbus.MaxOutstanding}
-	k.At(sim.Rising, "script-master", m.tick)
+	m := &ScriptMaster{
+		bus:         bus,
+		items:       items,
+		MaxInFlight: 3 * ecbus.MaxOutstanding,
+		inflight:    make([]*ecbus.Transaction, 0, 3*ecbus.MaxOutstanding),
+		completed:   make([]*ecbus.Transaction, 0, len(items)),
+	}
+	k.AtHinted(sim.Rising, "script-master", m.tick, m.hint, nil)
 	return m
+}
+
+// hint reports the earliest future cycle the master needs to run. Ticks
+// where the master can issue a request, must retry a rejected one, or
+// can harvest a finished transaction execute normally; ticks where it
+// would only poll unfinished transactions (a side-effect-free Access
+// returning StateWait) are skippable.
+func (m *ScriptMaster) hint(now uint64) uint64 {
+	next := sim.NoEvent
+	if m.next < len(m.items) && len(m.inflight) < m.MaxInFlight {
+		if nb := m.items[m.next].NotBefore; nb <= now {
+			return now // can issue (or must retry a rejection) this cycle
+		} else {
+			next = nb
+		}
+	}
+	for _, tr := range m.inflight {
+		if tr.Done {
+			return now // completion to harvest
+		}
+	}
+	return next
 }
 
 // Serialized makes the master wait for each transaction to finish before

@@ -1,0 +1,215 @@
+package core_test
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ecbus"
+	"repro/internal/gatepower"
+	"repro/internal/rtlbus"
+	"repro/internal/sim"
+	"repro/internal/tlm1"
+	"repro/internal/tlm2"
+	"repro/internal/trace"
+)
+
+// The golden-equivalence layer: every observable output of a simulation
+// must be byte-identical between the reference path (full-scan energy
+// models, no idle-cycle skipping) and the optimized path (dirty-mask
+// iteration, precomputed tables, ring queues, idle fast-forward).
+// Timing fields and cycle counts are compared exactly; energy figures
+// are compared as raw IEEE-754 bit patterns, so even a last-ulp drift
+// from reordered float arithmetic fails the test.
+
+// goldenCapture is everything observable from one run.
+type goldenCapture struct {
+	cycles  uint64
+	done    bool
+	errors  int
+	timing  string // per-transaction timing fields, in completion order
+	energy  string // every energy figure as hex float bits
+	trace   string // trace.Save bytes of the recorded transaction stream
+	skipped uint64 // diagnostics only, NOT compared
+}
+
+func f64bits(v float64) string { return fmt.Sprintf("%016x", math.Float64bits(v)) }
+
+// goldenRun drives items through a fresh platform of the given layer in
+// the current reference/optimized mode and captures all outputs.
+func goldenRun(t *testing.T, layer int, items []core.Item, char gatepower.CharTable) goldenCapture {
+	t.Helper()
+	k := sim.New(0)
+	var bus core.Initiator
+	var energy func(sb *strings.Builder)
+	switch layer {
+	case 0:
+		b := rtlbus.New(k, testMap())
+		est := gatepower.NewEstimator(gatepower.DefaultConfig())
+		k.AtObserver(sim.Post, "gp", func(uint64) { est.Observe(b.Wires()) }, est.ObserveIdle)
+		bus = b
+		energy = func(sb *strings.Builder) {
+			sb.WriteString(f64bits(est.TotalEnergy()))
+			sb.WriteString(f64bits(est.InterfaceEnergy()))
+			fmt.Fprintf(sb, "cycles=%d", est.Cycles())
+			bd := est.Breakdown()
+			sb.WriteString(bd.String())
+			ct := est.Char()
+			for id := ecbus.SignalID(0); id < ecbus.NumSignals; id++ {
+				sb.WriteString(f64bits(ct.PerTransitionJ[id]))
+				st := est.SignalStats(id)
+				fmt.Fprintf(sb, "r%d f%d ", st.Rises, st.Falls)
+			}
+		}
+	case 1:
+		b := tlm1.New(k, testMap()).AttachPower(tlm1.NewPowerModel(char))
+		bus = b
+		energy = func(sb *strings.Builder) {
+			p := b.Power()
+			sb.WriteString(f64bits(p.TotalEnergy()))
+			sb.WriteString(f64bits(p.EnergyLastCycle()))
+			fmt.Fprintf(sb, "tr=%d", p.Transitions())
+		}
+	default:
+		b := tlm2.New(k, testMap()).AttachPower(tlm2.NewPowerModel(char))
+		bus = b
+		energy = func(sb *strings.Builder) {
+			p := b.Power()
+			sb.WriteString(f64bits(p.TotalEnergy()))
+			a, d := p.Phases()
+			fmt.Fprintf(sb, "a=%d d=%d", a, d)
+		}
+	}
+
+	rec := trace.NewRecorder(bus)
+	m, n := core.RunScript(k, rec, items, 1_000_000)
+
+	var cap goldenCapture
+	cap.cycles = n
+	cap.done = m.Done()
+	cap.errors = m.Errors()
+	cap.skipped = k.SkippedCycles()
+
+	var tb strings.Builder
+	for _, tr := range m.Completed() {
+		fmt.Fprintf(&tb, "%d:%d/%d/%d/%v/%v\n",
+			tr.ID, tr.IssueCycle, tr.AddrCycle, tr.DataCycle, tr.Done, tr.Err)
+	}
+	cap.timing = tb.String()
+
+	var eb strings.Builder
+	energy(&eb)
+	cap.energy = eb.String()
+
+	var sb strings.Builder
+	if err := trace.Save(&sb, rec.Records()); err != nil {
+		t.Fatalf("trace save: %v", err)
+	}
+	cap.trace = sb.String()
+	return cap
+}
+
+// withReference runs fn with the reference path selected, restoring the
+// optimized default afterwards even on test failure.
+func withReference(t *testing.T, fn func()) {
+	t.Helper()
+	core.SetReference(true)
+	defer core.SetReference(false)
+	fn()
+}
+
+func goldenCorpora() map[string][]core.Item {
+	c := map[string][]core.Item{
+		"verification": core.VerificationCorpus(lay),
+		"perf":         core.PerfCorpus(lay, 256),
+		"char":         core.CharCorpus(lay, 120),
+	}
+	for seed := uint64(1); seed <= 4; seed++ {
+		c[fmt.Sprintf("random-%d", seed)] = core.RandomCorpus(seed, 200, lay)
+	}
+	return c
+}
+
+// TestGoldenEquivalence runs the full corpus matrix through every layer
+// in both modes and requires byte-identical captures.
+func TestGoldenEquivalence(t *testing.T) {
+	char := characterize(t)
+	for name, items := range goldenCorpora() {
+		for layer := 0; layer <= 2; layer++ {
+			t.Run(fmt.Sprintf("%s/layer%d", name, layer), func(t *testing.T) {
+				var ref goldenCapture
+				withReference(t, func() {
+					ref = goldenRun(t, layer, core.CloneItems(items), char)
+				})
+				opt := goldenRun(t, layer, core.CloneItems(items), char)
+
+				if !ref.done || !opt.done {
+					t.Fatalf("incomplete run: ref=%v opt=%v", ref.done, opt.done)
+				}
+				if ref.cycles != opt.cycles {
+					t.Errorf("cycles: ref %d, opt %d (opt skipped %d)", ref.cycles, opt.cycles, opt.skipped)
+				}
+				if ref.errors != opt.errors {
+					t.Errorf("errors: ref %d, opt %d", ref.errors, opt.errors)
+				}
+				if ref.timing != opt.timing {
+					t.Errorf("transaction timing diverged:\nref:\n%s\nopt:\n%s", ref.timing, opt.timing)
+				}
+				if ref.energy != opt.energy {
+					t.Errorf("energy bits diverged:\nref: %s\nopt: %s", ref.energy, opt.energy)
+				}
+				if ref.trace != opt.trace {
+					t.Errorf("trace bytes diverged")
+				}
+				if ref.skipped != 0 {
+					t.Errorf("reference path skipped %d cycles; must execute every cycle", ref.skipped)
+				}
+			})
+		}
+	}
+}
+
+// TestGoldenVCDEquivalence compares full per-cycle VCD wire dumps of the
+// layer-0 model between modes. Attaching a VCD writer (an unhinted proc)
+// pins the kernel to cycle-by-cycle execution, so this isolates the
+// dirty-mask estimator and Bundle plumbing from idle skipping.
+func TestGoldenVCDEquivalence(t *testing.T) {
+	items := core.VerificationCorpus(lay)
+	run := func() string {
+		k := sim.New(0)
+		b := rtlbus.New(k, testMap())
+		var sb strings.Builder
+		v := trace.NewVCD(&sb)
+		k.At(sim.Post, "vcd", func(uint64) { v.Observe(b.Wires()) })
+		m, _ := core.RunScript(k, b, core.CloneItems(items), 1_000_000)
+		if !m.Done() {
+			t.Fatal("run incomplete")
+		}
+		if err := v.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	var ref string
+	withReference(t, func() { ref = run() })
+	opt := run()
+	if ref != opt {
+		t.Fatal("VCD dumps differ between reference and optimized modes")
+	}
+}
+
+// TestGoldenIdleSkipActuallySkips guards the performance property: on a
+// corpus with idle gaps and wait states, the optimized path must
+// fast-forward a nonzero number of cycles (otherwise the equivalence
+// above is vacuous for the skip machinery).
+func TestGoldenIdleSkipActuallySkips(t *testing.T) {
+	char := characterize(t)
+	for layer := 0; layer <= 2; layer++ {
+		c := goldenRun(t, layer, core.VerificationCorpus(lay), char)
+		if c.skipped == 0 {
+			t.Errorf("layer %d: no cycles skipped on the verification corpus", layer)
+		}
+	}
+}

@@ -44,9 +44,9 @@ func TestTL1AdapterWireTrajectory(t *testing.T) {
 		}
 		for c := range wires0 {
 			for id := ecbus.SignalID(0); id < ecbus.SigSel; id++ {
-				if wires0[c][id] != wires1[c][id] {
+				if wires0[c].Get(id) != wires1[c].Get(id) {
 					t.Fatalf("seed %d cycle %d: %v = %#x at layer 0, %#x reconstructed",
-						seed, c, id, wires0[c][id], wires1[c][id])
+						seed, c, id, wires0[c].Get(id), wires1[c].Get(id))
 				}
 			}
 		}
@@ -92,8 +92,8 @@ func TestTL1AdapterWireTrajectoryWithErrors(t *testing.T) {
 			sawErrStrobe = true
 		}
 		for id := ecbus.SignalID(0); id < ecbus.SigSel; id++ {
-			if wires0[c][id] != wires1[c][id] {
-				t.Fatalf("cycle %d: %v mismatch (%#x vs %#x)", c, id, wires0[c][id], wires1[c][id])
+			if wires0[c].Get(id) != wires1[c].Get(id) {
+				t.Fatalf("cycle %d: %v mismatch (%#x vs %#x)", c, id, wires0[c].Get(id), wires1[c].Get(id))
 			}
 		}
 	}

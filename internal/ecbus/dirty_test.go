@@ -1,0 +1,100 @@
+package ecbus
+
+import "testing"
+
+// The dirty-mask contract (see Bundle): Set/SetBool mark a signal dirty
+// only when the stored value actually changes; TakeDirty returns and
+// clears the accumulated mask; dirty is a superset of real transitions
+// for the single per-cycle consumer.
+
+func TestDirtySetOnlyOnChange(t *testing.T) {
+	var b Bundle
+	if b.Dirty() != 0 {
+		t.Fatal("fresh bundle dirty")
+	}
+	b.Set(SigA, 0x1234)
+	if b.Dirty() != 1<<uint(SigA) {
+		t.Fatalf("dirty = %#x after first Set", b.Dirty())
+	}
+	if got := b.TakeDirty(); got != 1<<uint(SigA) {
+		t.Fatalf("TakeDirty = %#x", got)
+	}
+	if b.Dirty() != 0 {
+		t.Fatal("TakeDirty did not clear")
+	}
+	// Re-driving the identical value must not re-mark.
+	b.Set(SigA, 0x1234)
+	if b.Dirty() != 0 {
+		t.Fatal("identical Set marked dirty")
+	}
+	b.SetBool(SigAValid, false) // already false
+	if b.Dirty() != 0 {
+		t.Fatal("identical SetBool marked dirty")
+	}
+	b.SetBool(SigAValid, true)
+	if b.Dirty() != 1<<uint(SigAValid) {
+		t.Fatalf("dirty = %#x after SetBool change", b.Dirty())
+	}
+}
+
+// A value written away and back within one cycle leaves the signal dirty
+// with old == new — the consumer must treat dirty as a superset of
+// transitions, not as proof of one.
+func TestDirtySupersetOfTransitions(t *testing.T) {
+	var b Bundle
+	b.Set(SigRData, 7)
+	b.TakeDirty()
+	b.Set(SigRData, 9)
+	b.Set(SigRData, 7) // back to the consumer-visible old value
+	if b.Dirty()&(1<<uint(SigRData)) == 0 {
+		t.Fatal("write-away-and-back lost the dirty bit")
+	}
+	if b.Get(SigRData) != 7 {
+		t.Fatal("value not restored")
+	}
+}
+
+func TestDirtyMaskedWriteNoChange(t *testing.T) {
+	var b Bundle
+	b.Set(SigBE, 0xF)
+	b.TakeDirty()
+	// 0x1F masks to 0xF — no stored change, no dirty bit.
+	b.Set(SigBE, 0x1F)
+	if b.Dirty() != 0 {
+		t.Fatalf("masked-equal Set marked dirty (value %#x)", b.Get(SigBE))
+	}
+}
+
+func TestMarkAllDirty(t *testing.T) {
+	var b Bundle
+	b.MarkAllDirty()
+	want := uint32(1)<<uint(NumSignals) - 1
+	if b.Dirty() != want {
+		t.Fatalf("MarkAllDirty = %#x, want %#x", b.Dirty(), want)
+	}
+}
+
+func TestMaskOfMatchesSignalTable(t *testing.T) {
+	for id := SignalID(0); id < NumSignals; id++ {
+		w := Signals[id].Bits
+		var want uint64
+		if w >= 64 {
+			want = ^uint64(0)
+		} else {
+			want = uint64(1)<<uint(w) - 1
+		}
+		if MaskOf(id) != want {
+			t.Errorf("MaskOf(%v) = %#x, want %#x", id, MaskOf(id), want)
+		}
+	}
+}
+
+func TestSnapshotIndependent(t *testing.T) {
+	var b Bundle
+	b.Set(SigA, 0xABC)
+	s := b.Snapshot()
+	b.Set(SigA, 0xDEF)
+	if s[SigA] != 0xABC {
+		t.Fatal("snapshot aliases live storage")
+	}
+}

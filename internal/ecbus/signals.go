@@ -86,41 +86,98 @@ func TotalWires() int {
 	return n
 }
 
-// Bundle is one cycle's value of every EC interface signal group. Values
-// wider than their Bits are a modelling error; Normalize masks them.
-type Bundle [NumSignals]uint64
+// signalMask holds the width mask of every signal group, precomputed so
+// the per-cycle Set path never rebuilds it.
+var signalMask = func() (m [NumSignals]uint64) {
+	for i, s := range Signals {
+		if s.Bits >= 64 {
+			m[i] = ^uint64(0)
+		} else {
+			m[i] = (uint64(1) << uint(s.Bits)) - 1
+		}
+	}
+	return m
+}()
+
+// MaskOf returns the precomputed width mask of signal id.
+func MaskOf(id SignalID) uint64 { return signalMask[id] }
+
+// Bundle is one cycle's value of every EC interface signal group, plus a
+// dirty mask recording which groups have been written to a *different*
+// value since the mask was last taken.
+//
+// Dirty-mask contract: Set and SetBool are the only write paths; they
+// mark a signal dirty exactly when its value changes. A per-cycle
+// consumer (the gate-level estimator, the layer-1 transition counter)
+// calls TakeDirty once per observation, iterates only the returned bits,
+// and thereby stays aligned with its own previous-value snapshot. The
+// mask is a superset of the actual transitions: a signal written away
+// and back within one cycle is dirty but equal, so consumers still
+// compare values. Values wider than the group width are impossible
+// through this API; Normalize remains for defensive masking.
+type Bundle struct {
+	v     [NumSignals]uint64
+	dirty uint32
+}
 
 // Normalize masks every group to its width and returns the bundle.
+// Groups whose value changes are marked dirty.
 func (b *Bundle) Normalize() *Bundle {
-	for i := range b {
-		w := Signals[i].Bits
-		if w < 64 {
-			b[i] &= (uint64(1) << uint(w)) - 1
+	for i := range b.v {
+		if m := b.v[i] & signalMask[i]; m != b.v[i] {
+			b.v[i] = m
+			b.dirty |= 1 << uint(i)
 		}
 	}
 	return b
 }
 
-// Set assigns value v (masked to the group width) to signal id.
+// Set assigns value v (masked to the group width) to signal id, marking
+// it dirty if the value changed.
 func (b *Bundle) Set(id SignalID, v uint64) {
-	w := Signals[id].Bits
-	if w < 64 {
-		v &= (uint64(1) << uint(w)) - 1
+	v &= signalMask[id]
+	if b.v[id] != v {
+		b.v[id] = v
+		b.dirty |= 1 << uint(id)
 	}
-	b[id] = v
 }
 
-// SetBool assigns a single-bit signal.
+// SetBool assigns a single-bit signal, marking it dirty if it changed.
 func (b *Bundle) SetBool(id SignalID, v bool) {
+	var x uint64
 	if v {
-		b[id] = 1
-	} else {
-		b[id] = 0
+		x = 1
+	}
+	if b.v[id] != x {
+		b.v[id] = x
+		b.dirty |= 1 << uint(id)
 	}
 }
 
 // Get returns the value of signal id.
-func (b *Bundle) Get(id SignalID) uint64 { return b[id] }
+func (b *Bundle) Get(id SignalID) uint64 { return b.v[id] }
 
 // Bool returns a single-bit signal as bool.
-func (b *Bundle) Bool(id SignalID) bool { return b[id] != 0 }
+func (b *Bundle) Bool(id SignalID) bool { return b.v[id] != 0 }
+
+// Snapshot returns a copy of the raw signal values.
+func (b *Bundle) Snapshot() [NumSignals]uint64 { return b.v }
+
+// Dirty returns the dirty mask (bit i set = signal i written to a new
+// value since the last TakeDirty).
+func (b *Bundle) Dirty() uint32 { return b.dirty }
+
+// TakeDirty returns the dirty mask and clears it. The per-cycle consumer
+// that maintains a previous-value snapshot owns this call; a bundle must
+// have exactly one such consumer.
+func (b *Bundle) TakeDirty() uint32 {
+	d := b.dirty
+	b.dirty = 0
+	return d
+}
+
+// MarkAllDirty flags every signal dirty, forcing the next delta-driven
+// observation to scan the full bundle.
+func (b *Bundle) MarkAllDirty() {
+	b.dirty = 1<<uint(NumSignals) - 1
+}

@@ -160,14 +160,17 @@ func TestBundleSetGet(t *testing.T) {
 
 func TestBundleNormalize(t *testing.T) {
 	var b Bundle
-	for i := range b {
-		b[i] = ^uint64(0)
+	for i := range b.v {
+		b.v[i] = ^uint64(0)
 	}
 	b.Normalize()
-	for i := range b {
+	for i := range b.v {
 		w := Signals[i].Bits
-		if w < 64 && b[i] != (uint64(1)<<uint(w))-1 {
-			t.Fatalf("signal %v not normalized: %#x", SignalID(i), b[i])
+		if w < 64 && b.v[i] != (uint64(1)<<uint(w))-1 {
+			t.Fatalf("signal %v not normalized: %#x", SignalID(i), b.v[i])
+		}
+		if b.Dirty()&(1<<uint(i)) == 0 && w < 64 {
+			t.Fatalf("signal %v normalized but not marked dirty", SignalID(i))
 		}
 	}
 }

@@ -28,12 +28,24 @@ package gatepower
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/ecbus"
 	"repro/internal/logic"
 )
+
+// referencePath selects the straightforward full-scan observation loop
+// instead of the delta-driven one for estimators constructed while it is
+// set. Flipped by core.SetReference; the golden-equivalence tests prove
+// both paths produce byte-identical results.
+var referencePath atomic.Bool
+
+// SetReferencePath switches newly constructed estimators between the
+// reference (full-scan) and optimized (dirty-mask) observation paths.
+func SetReferencePath(on bool) { referencePath.Store(on) }
 
 // WireSpec holds the layout-derived parasitics of one signal group.
 type WireSpec struct {
@@ -118,9 +130,25 @@ func (s SigStats) Transitions() uint64 { return s.Rises + s.Falls }
 // Estimator observes the wire bundle cycle by cycle and integrates
 // energy. Register Observe in the kernel's Post phase, after the bus
 // process has driven the cycle's wire values.
+//
+// The default observation path is delta-driven: it consumes the bundle's
+// dirty mask (Bundle.TakeDirty) and prices only signals that were
+// written this cycle, using per-signal constants precomputed at
+// construction. An estimator is therefore the bundle's single dirty-mask
+// consumer and must observe it every cycle (or be notified of skipped
+// idle cycles via ObserveIdle). The reference path (SetReferencePath)
+// performs the original full scan; both produce bit-identical energies.
 type Estimator struct {
-	cfg  Config
-	prev ecbus.Bundle // previous cycle's wires; all-zero at reset, as on silicon
+	cfg       Config
+	prev      [ecbus.NumSignals]uint64 // previous cycle's wires; all-zero at reset, as on silicon
+	reference bool
+
+	// Construction-time lookup tables for the per-cycle hot path.
+	bitE     [ecbus.NumSignals]float64 // bitEnergy(id)
+	mask     [ecbus.NumSignals]uint64  // width mask of id
+	sigBits  [ecbus.NumSignals]int     // width of id
+	clockJ   float64                   // clock-tree energy per cycle
+	decoderJ float64                   // decoder energy per glitching wire
 
 	cycles  uint64
 	perSig  [ecbus.NumSignals]SigStats
@@ -132,17 +160,73 @@ type Estimator struct {
 // NewEstimator returns an estimator over the given extracted netlist
 // configuration.
 func NewEstimator(cfg Config) *Estimator {
-	return &Estimator{cfg: cfg}
+	e := &Estimator{cfg: cfg, reference: referencePath.Load()}
+	for id := ecbus.SignalID(0); id < ecbus.NumSignals; id++ {
+		e.bitE[id] = cfg.bitEnergy(id)
+		e.mask[id] = ecbus.MaskOf(id)
+		e.sigBits[id] = ecbus.Signals[id].Bits
+	}
+	// Whole-cycle constants keep the exact float expression shapes of the
+	// per-cycle reference code so repeated addition stays bit-identical.
+	e.clockJ = 2 * 0.5 * cfg.ClockCapFF * 1e-15 * cfg.VddVolts * cfg.VddVolts
+	e.decoderJ = 0.5 * cfg.DecoderWireCapFF * 1e-15 * cfg.VddVolts * cfg.VddVolts
+	return e
 }
 
 // Observe integrates one cycle's wire state. The reset reference is the
 // all-zero bundle, matching the power-on state of the wires.
 func (e *Estimator) Observe(b *ecbus.Bundle) {
+	if e.reference {
+		e.observeReference(b)
+		return
+	}
+	e.cycles++
+	e.clock += e.clockJ
+	e.leakage += e.cfg.LeakagePerCycleJ
+	dirty := b.TakeDirty()
+	if dirty == 0 {
+		return // all idle: no wire was written to a new value
+	}
+	oldA := e.prev[ecbus.SigA]
+	for m := dirty; m != 0; m &= m - 1 {
+		id := ecbus.SignalID(bits.TrailingZeros32(m))
+		old, new := e.prev[id], b.Get(id)
+		if old == new {
+			continue // written away and back within the cycle
+		}
+		rises := logic.RisesMasked(old, new, e.mask[id])
+		falls := logic.FallsMasked(old, new, e.mask[id])
+		be := e.bitE[id]
+		energy := float64(rises)*be*e.cfg.KRise + float64(falls)*be*e.cfg.KFall
+		if e.sigBits[id] > 1 {
+			opp := logic.CoupledOppositeMasked(old, new, e.mask[id])
+			same := logic.CoupledSameMasked(old, new, e.mask[id])
+			energy += (float64(opp) - 0.5*float64(same)) * e.cfg.CouplingK * be
+		}
+		st := &e.perSig[id]
+		st.Rises += uint64(rises)
+		st.Falls += uint64(falls)
+		st.EnergyJ += energy
+		e.prev[id] = new
+	}
+	// Decoder glitching: combinational address-decoder wires toggle
+	// (possibly several times) whenever the address inputs change. The
+	// address can only have changed if it is dirty.
+	if dirty&(1<<uint(ecbus.SigA)) != 0 {
+		if ham := logic.HammingMasked(oldA, b.Get(ecbus.SigA), e.mask[ecbus.SigA]); ham > 0 {
+			e.decoder += float64(ham) * e.cfg.GlitchWiresPerAddrBit * e.decoderJ
+		}
+	}
+}
+
+// observeReference is the original full-scan observation loop, kept
+// verbatim as the golden reference for the delta-driven path.
+func (e *Estimator) observeReference(b *ecbus.Bundle) {
 	e.cycles++
 	e.clock += 2 * 0.5 * e.cfg.ClockCapFF * 1e-15 * e.cfg.VddVolts * e.cfg.VddVolts
 	e.leakage += e.cfg.LeakagePerCycleJ
 	for id := ecbus.SignalID(0); id < ecbus.NumSignals; id++ {
-		old, new := e.prev[id], b[id]
+		old, new := e.prev[id], b.Get(id)
 		if old == new {
 			continue
 		}
@@ -161,13 +245,23 @@ func (e *Estimator) Observe(b *ecbus.Bundle) {
 		st.Falls += uint64(falls)
 		st.EnergyJ += energy
 	}
-	// Decoder glitching: combinational address-decoder wires toggle
-	// (possibly several times) whenever the address inputs change.
-	if ham := logic.Hamming(e.prev[ecbus.SigA], b[ecbus.SigA], ecbus.AddrBits); ham > 0 {
+	if ham := logic.Hamming(e.prev[ecbus.SigA], b.Get(ecbus.SigA), ecbus.AddrBits); ham > 0 {
 		de := 0.5 * e.cfg.DecoderWireCapFF * 1e-15 * e.cfg.VddVolts * e.cfg.VddVolts
 		e.decoder += float64(ham) * e.cfg.GlitchWiresPerAddrBit * de
 	}
-	e.prev = *b
+	e.prev = b.Snapshot()
+}
+
+// ObserveIdle books n cycles during which no wire changed — the kernel's
+// idle-skip fast-forward path. Clock and leakage are integrated by
+// repeated addition, exactly as n individual Observe calls would, so the
+// accumulated floats stay bit-identical to the unskipped run.
+func (e *Estimator) ObserveIdle(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		e.cycles++
+		e.clock += e.clockJ
+		e.leakage += e.cfg.LeakagePerCycleJ
+	}
 }
 
 // Cycles returns the number of observed cycles.

@@ -1,0 +1,108 @@
+package logic
+
+import "testing"
+
+// Width edge cases: every transition counter must return 0 at width 0,
+// behave like the full 64-bit comparison at width 64 (and above, since
+// Mask clamps), and agree with its precomputed-mask variant everywhere.
+
+func TestTransitionCountersWidthZero(t *testing.T) {
+	old, new := ^uint64(0), uint64(0)
+	if Hamming(old, new, 0) != 0 {
+		t.Error("Hamming width 0 nonzero")
+	}
+	if Rises(old, new, 0) != 0 || Falls(old, new, 0) != 0 {
+		t.Error("Rises/Falls width 0 nonzero")
+	}
+	if CoupledSame(old, new, 0) != 0 || CoupledOpposite(old, new, 0) != 0 {
+		t.Error("coupling width 0 nonzero")
+	}
+	if Hamming(old, new, -3) != 0 {
+		t.Error("negative width not clamped to empty mask")
+	}
+}
+
+func TestTransitionCountersWidth64(t *testing.T) {
+	old := uint64(0xAAAA_AAAA_AAAA_AAAA)
+	new := uint64(0x5555_5555_5555_5555)
+	if got := Hamming(old, new, 64); got != 64 {
+		t.Errorf("Hamming width 64 = %d, want 64", got)
+	}
+	if got := Rises(old, new, 64); got != 32 {
+		t.Errorf("Rises width 64 = %d, want 32", got)
+	}
+	if got := Falls(old, new, 64); got != 32 {
+		t.Errorf("Falls width 64 = %d, want 32", got)
+	}
+	// All 63 adjacent pairs switch in opposite directions.
+	if got := CoupledOpposite(old, new, 64); got != 63 {
+		t.Errorf("CoupledOpposite width 64 = %d, want 63", got)
+	}
+	if got := CoupledSame(old, new, 64); got != 0 {
+		t.Errorf("CoupledSame width 64 = %d, want 0", got)
+	}
+	// All-ones to all-zeros: every pair falls together.
+	if got := CoupledSame(^uint64(0), 0, 64); got != 63 {
+		t.Errorf("CoupledSame all-fall = %d, want 63", got)
+	}
+	// Width above 64 clamps to the full word.
+	if Hamming(old, new, 65) != Hamming(old, new, 64) {
+		t.Error("width > 64 not clamped")
+	}
+}
+
+// TestMaskedVariantsAgree checks the precomputed-mask fast paths used by
+// the per-cycle estimators against the width-taking originals over
+// random values and all widths.
+func TestMaskedVariantsAgree(t *testing.T) {
+	r := NewLFSR(0xfeed)
+	for i := 0; i < 200; i++ {
+		old, new := Mix64(r.Next()), Mix64(r.Next())
+		for _, w := range []int{0, 1, 2, 7, 31, 32, 36, 63, 64} {
+			m := Mask(w)
+			if Hamming(old, new, w) != HammingMasked(old, new, m) {
+				t.Fatalf("HammingMasked disagrees at width %d", w)
+			}
+			if Rises(old, new, w) != RisesMasked(old, new, m) {
+				t.Fatalf("RisesMasked disagrees at width %d", w)
+			}
+			if Falls(old, new, w) != FallsMasked(old, new, m) {
+				t.Fatalf("FallsMasked disagrees at width %d", w)
+			}
+			if CoupledSame(old, new, w) != CoupledSameMasked(old, new, m) {
+				t.Fatalf("CoupledSameMasked disagrees at width %d", w)
+			}
+			if CoupledOpposite(old, new, w) != CoupledOppositeMasked(old, new, m) {
+				t.Fatalf("CoupledOppositeMasked disagrees at width %d", w)
+			}
+		}
+	}
+}
+
+// TestClassifyZTransitions covers every transition involving the
+// high-impedance state, including the data bit being ignored while Z.
+func TestClassifyZTransitions(t *testing.T) {
+	const b = 3
+	m := uint64(1) << b
+	cases := []struct {
+		name       string
+		oldV, newV uint64
+		oldZ, newZ uint64
+		want       TransitionKind
+	}{
+		{"Z to Z ignores data", 0, m, m, m, NoChange},
+		{"Z to 1", 0, m, m, 0, FromZ1},
+		{"Z to 0", m, 0, m, 0, FromZ0},
+		{"1 to Z", m, m, 0, m, ToZ},
+		{"0 to Z", 0, 0, 0, m, ToZ},
+		{"rise", 0, m, 0, 0, Rise},
+		{"fall", m, 0, 0, 0, Fall},
+		{"steady 1", m, m, 0, 0, NoChange},
+		{"steady 0", 0, 0, 0, 0, NoChange},
+	}
+	for _, c := range cases {
+		if got := Classify(c.oldV, c.newV, c.oldZ, c.newZ, b); got != c.want {
+			t.Errorf("%s: Classify = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

@@ -48,7 +48,13 @@ func (t TransitionKind) String() string {
 // Hamming returns the number of differing bits between a and b restricted
 // to the low `width` bits. Width must be in [0, 64].
 func Hamming(a, b uint64, width int) int {
-	return bits.OnesCount64((a ^ b) & Mask(width))
+	return HammingMasked(a, b, Mask(width))
+}
+
+// HammingMasked is Hamming with a caller-precomputed width mask, for hot
+// loops that would otherwise rebuild the mask every cycle.
+func HammingMasked(a, b, mask uint64) int {
+	return bits.OnesCount64((a ^ b) & mask)
 }
 
 // Mask returns a mask with the low `width` bits set. Width is clamped to
@@ -66,13 +72,23 @@ func Mask(width int) uint64 {
 // Rises returns the number of 0->1 transitions between old and new within
 // the low `width` bits.
 func Rises(old, new uint64, width int) int {
-	return bits.OnesCount64(^old & new & Mask(width))
+	return RisesMasked(old, new, Mask(width))
+}
+
+// RisesMasked is Rises with a caller-precomputed width mask.
+func RisesMasked(old, new, mask uint64) int {
+	return bits.OnesCount64(^old & new & mask)
 }
 
 // Falls returns the number of 1->0 transitions between old and new within
 // the low `width` bits.
 func Falls(old, new uint64, width int) int {
-	return bits.OnesCount64(old & ^new & Mask(width))
+	return FallsMasked(old, new, Mask(width))
+}
+
+// FallsMasked is Falls with a caller-precomputed width mask.
+func FallsMasked(old, new, mask uint64) int {
+	return bits.OnesCount64(old & ^new & mask)
 }
 
 // CoupledSame returns the number of adjacent bit pairs that transition in
@@ -81,16 +97,27 @@ func Falls(old, new uint64, width int) int {
 // switching reduces effective Miller capacitance; opposite-direction
 // switching increases it. Width must be >= 2 for a nonzero result.
 func CoupledSame(old, new uint64, width int) int {
-	r := ^old & new & Mask(width)
-	f := old & ^new & Mask(width)
+	return CoupledSameMasked(old, new, Mask(width))
+}
+
+// CoupledSameMasked is CoupledSame with a caller-precomputed width mask.
+func CoupledSameMasked(old, new, mask uint64) int {
+	r := ^old & new & mask
+	f := old & ^new & mask
 	return bits.OnesCount64(r&(r>>1)) + bits.OnesCount64(f&(f>>1))
 }
 
 // CoupledOpposite counts adjacent bit pairs switching in opposite
 // directions between old and new within the low `width` bits.
 func CoupledOpposite(old, new uint64, width int) int {
-	r := ^old & new & Mask(width)
-	f := old & ^new & Mask(width)
+	return CoupledOppositeMasked(old, new, Mask(width))
+}
+
+// CoupledOppositeMasked is CoupledOpposite with a caller-precomputed
+// width mask.
+func CoupledOppositeMasked(old, new, mask uint64) int {
+	r := ^old & new & mask
+	f := old & ^new & mask
 	return bits.OnesCount64(r&(f>>1)) + bits.OnesCount64(f&(r>>1))
 }
 

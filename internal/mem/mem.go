@@ -194,6 +194,12 @@ func (e *EEPROM) ExtraWait(_ ecbus.Kind, _ uint64) int {
 // Programs returns the number of programming operations performed.
 func (e *EEPROM) Programs() uint64 { return e.programs }
 
+// BusyUntil returns the first cycle at which the device is no longer in
+// a self-timed programming cycle (0 when never programmed). Exposed for
+// idle-skip tests: the stall is a pure function of the kernel cycle, so
+// fast-forwarding across it must not change the sampled wait states.
+func (e *EEPROM) BusyUntil() uint64 { return e.busyUntil }
+
 // Flash models the 64 kB program flash: fast reads, slow block-oriented
 // writes with a shorter self-timed phase than EEPROM.
 type Flash struct {
@@ -234,3 +240,7 @@ func (f *Flash) ExtraWait(_ ecbus.Kind, _ uint64) int {
 	}
 	return int(f.busyUntil - now)
 }
+
+// BusyUntil returns the first cycle at which the device is no longer in
+// a self-timed programming phase (0 when never programmed).
+func (f *Flash) BusyUntil() uint64 { return f.busyUntil }

@@ -91,14 +91,81 @@ type Stats struct {
 }
 
 // New creates a layer-0 bus over the address map and registers its bus
-// process on the kernel's falling edge.
+// process on the kernel's falling edge, with a quiescence hint so the
+// kernel can fast-forward pure wait-state countdowns and idle gaps.
 func New(k *sim.Kernel, m *ecbus.Map) *Bus {
 	// cycle starts at all-ones so that a request issued on the rising
 	// edge of cycle 0 (before the first falling tick updates the cycle
 	// counter) is stamped IssueCycle 0.
 	b := &Bus{m: m, cycle: ^uint64(0)}
-	k.At(sim.Falling, "rtlbus", b.tick)
+	k.AtHinted(sim.Falling, "rtlbus", b.tick, b.hint, b.onSkip)
 	return b
+}
+
+// hint reports the earliest future cycle with bus activity. It returns
+// now whenever this cycle's tick changes wire state: a pulse wire left
+// high must fall, a phase starts or completes, or a data beat delivers.
+// During a pure countdown the wires are re-driven with identical values,
+// so those cycles are skippable.
+func (b *Bus) hint(now uint64) uint64 {
+	w := &b.wires
+	if w.Bool(ecbus.SigARdy) || w.Bool(ecbus.SigRdVal) || w.Bool(ecbus.SigWDRdy) ||
+		w.Bool(ecbus.SigRBErr) || w.Bool(ecbus.SigWBErr) {
+		return now // a pulse wire must fall this cycle
+	}
+	next := sim.NoEvent
+	if len(b.addrQ) > 0 {
+		tr := b.addrQ[0]
+		switch {
+		case tr.IssueCycle > now:
+			next = tr.IssueCycle
+		case !b.addrNew || b.addrCnt >= b.addrWaits:
+			return now // phase start or completion tick
+		default:
+			next = now + uint64(b.addrWaits-b.addrCnt)
+		}
+	}
+	if len(b.readQ) > 0 {
+		if !b.rBeat.fresh || b.rBeat.cnt >= b.rBeat.waits {
+			return now // phase start or beat delivery tick
+		}
+		if c := now + uint64(b.rBeat.waits-b.rBeat.cnt); c < next {
+			next = c
+		}
+	}
+	if len(b.writeQ) > 0 {
+		if !b.wBeat.fresh || b.wBeat.cnt < b.wBeat.waits {
+			// Write countdown ticks drive the write data bus; the first
+			// such tick may change SigWData, so only a started countdown
+			// whose data is already driven is skippable. cnt==0 means the
+			// current data word may not be on the wires yet.
+			if !b.wBeat.fresh || b.wBeat.cnt == 0 {
+				return now
+			}
+			if c := now + uint64(b.wBeat.waits-b.wBeat.cnt); c < next {
+				next = c
+			}
+		} else {
+			return now // beat delivery tick
+		}
+	}
+	return next
+}
+
+// onSkip advances the bus state across n fast-forwarded cycles exactly
+// as n pure-countdown ticks would have.
+func (b *Bus) onSkip(n uint64) {
+	b.cycle += n
+	if len(b.addrQ) > 0 && b.addrNew && b.addrCnt < b.addrWaits {
+		b.addrCnt += int(n)
+		b.stats.AddrCycles += n // each skipped tick had an active address phase
+	}
+	if len(b.readQ) > 0 && b.rBeat.fresh && b.rBeat.cnt < b.rBeat.waits {
+		b.rBeat.cnt += int(n)
+	}
+	if len(b.writeQ) > 0 && b.wBeat.fresh && b.wBeat.cnt > 0 && b.wBeat.cnt < b.wBeat.waits {
+		b.wBeat.cnt += int(n)
+	}
 }
 
 // Access is the master-side non-blocking interface, shared semantics with

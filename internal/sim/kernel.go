@@ -21,7 +21,34 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
+
+// NoEvent is returned by a Hint to declare that the process needs no
+// future cycle at all (fully quiescent).
+const NoEvent = ^uint64(0)
+
+// Hint reports the earliest cycle at which the process needs to execute
+// again, given that `now` is the next cycle to run. Returning a value
+// <= now means "I must run now"; NoEvent means "never, as things stand".
+// Hints must be conservative: claiming a later cycle than the process
+// actually needs would change simulation results. A hint is evaluated
+// before the cycle's procs run, so it sees the post-state of the
+// previous cycle.
+type Hint func(now uint64) uint64
+
+// SkipFunc is notified when the kernel fast-forwards n idle cycles so the
+// process can advance internal counters (wait-state countdowns, per-cycle
+// energy integration) as if the cycles had executed.
+type SkipFunc func(n uint64)
+
+// idleSkipDisabled globally disables the idle-cycle fast-forward; set by
+// core.SetReference so the reference path executes every cycle.
+var idleSkipDisabled atomic.Bool
+
+// SetIdleSkipDisabled globally enables/disables idle-cycle skipping in
+// Run and RunUntil. Used by the golden-equivalence reference mode.
+func SetIdleSkipDisabled(off bool) { idleSkipDisabled.Store(off) }
 
 // Phase identifies one of the three sub-steps of a simulated clock cycle.
 type Phase int
@@ -73,6 +100,16 @@ type Kernel struct {
 	started  bool
 	ClockPS  uint64 // clock period in picoseconds; 0 means unspecified
 	procsRun uint64
+
+	// Idle-cycle fast-forward state. Skipping is possible only when every
+	// registered proc supplied a hint (unhinted == 0): a proc without a
+	// hint might need any cycle, so its presence pins the kernel to
+	// cycle-by-cycle execution — existing callers are unaffected.
+	hints    []Hint
+	skippers []SkipFunc
+	unhinted int
+	skipped  uint64 // cycles fast-forwarded
+	skips    uint64 // fast-forward events
 }
 
 // New returns a kernel with the given clock period in picoseconds.
@@ -84,8 +121,44 @@ func New(clockPS uint64) *Kernel {
 
 // At registers fn to run during phase ph every cycle. The name is used in
 // diagnostics only. Registration order within a phase is execution order.
-// Registering after Run has started is not allowed.
+// Registering after Run has started is not allowed. A proc registered
+// with At has no quiescence hint and therefore disables idle-cycle
+// skipping for the whole kernel; use AtHinted or AtObserver for procs
+// that can declare their next needed cycle.
 func (k *Kernel) At(ph Phase, name string, fn Proc) {
+	k.register(ph, name, fn)
+	k.unhinted++
+}
+
+// AtHinted registers fn like At, plus a quiescence hint and an optional
+// skip callback. The hint is evaluated before each cycle in Run/RunUntil;
+// when every registered proc is hinted and all hints agree the next
+// needed cycle is in the future, the kernel jumps there directly, calling
+// each non-nil SkipFunc (in registration order) with the number of cycles
+// skipped.
+func (k *Kernel) AtHinted(ph Phase, name string, fn Proc, hint Hint, onSkip SkipFunc) {
+	k.register(ph, name, fn)
+	if hint == nil {
+		panic("sim: AtHinted requires a hint; use At or AtObserver")
+	}
+	k.hints = append(k.hints, hint)
+	if onSkip != nil {
+		k.skippers = append(k.skippers, onSkip)
+	}
+}
+
+// AtObserver registers fn as a pure observer: it never requires a cycle
+// of its own (it only watches cycles others cause), so it does not
+// constrain idle skipping. Its SkipFunc, if non-nil, is invoked on every
+// fast-forward so per-cycle integration (clock, leakage) stays exact.
+func (k *Kernel) AtObserver(ph Phase, name string, fn Proc, onSkip SkipFunc) {
+	k.register(ph, name, fn)
+	if onSkip != nil {
+		k.skippers = append(k.skippers, onSkip)
+	}
+}
+
+func (k *Kernel) register(ph Phase, name string, fn Proc) {
 	if k.started {
 		panic("sim: cannot register process after Run")
 	}
@@ -143,11 +216,70 @@ func (k *Kernel) Step() bool {
 	return true
 }
 
+// SkippedCycles returns the number of cycles fast-forwarded by the
+// idle-skip machinery (they are included in cycle counts and Run totals).
+func (k *Kernel) SkippedCycles() uint64 { return k.skipped }
+
+// IdleSkips returns the number of fast-forward events performed.
+func (k *Kernel) IdleSkips() uint64 { return k.skips }
+
+// canSkip reports whether idle-cycle fast-forwarding is permitted for
+// this run: every proc must be hinted and the global kill switch off.
+func (k *Kernel) canSkip() bool {
+	return k.unhinted == 0 && len(k.hints) > 0 && !idleSkipDisabled.Load()
+}
+
+// nextEvent returns the earliest cycle any hinted proc needs, or NoEvent.
+// It returns now as soon as any hint demands the current cycle, so the
+// common busy case costs one cheap hint call.
+func (k *Kernel) nextEvent() uint64 {
+	now := k.cycle
+	next := NoEvent
+	for _, h := range k.hints {
+		v := h(now)
+		if v <= now {
+			return now
+		}
+		if v < next {
+			next = v
+		}
+	}
+	return next
+}
+
+// skip fast-forwards n cycles: the cycle counter jumps and each skip
+// callback advances its process state as if the cycles had executed.
+func (k *Kernel) skip(n uint64) {
+	k.cycle += n
+	k.skipped += n
+	k.skips++
+	for _, f := range k.skippers {
+		f(n)
+	}
+}
+
 // Run executes up to maxCycles cycles, stopping early if Stop is called.
-// It returns the number of cycles actually executed.
+// It returns the number of cycles actually executed; fast-forwarded idle
+// cycles count as executed.
 func (k *Kernel) Run(maxCycles uint64) uint64 {
+	k.started = true
+	canSkip := k.canSkip()
 	var n uint64
-	for n < maxCycles && k.Step() {
+	for n < maxCycles {
+		if canSkip && !k.stopped {
+			if t := k.nextEvent(); t > k.cycle {
+				s := t - k.cycle // NoEvent yields a huge span, clamped below
+				if rem := maxCycles - n; s > rem {
+					s = rem
+				}
+				k.skip(s)
+				n += s
+				continue
+			}
+		}
+		if !k.Step() {
+			break
+		}
 		n++
 	}
 	return n
@@ -155,10 +287,33 @@ func (k *Kernel) Run(maxCycles uint64) uint64 {
 
 // RunUntil executes cycles until done returns true (checked after each
 // cycle), Stop is called, or maxCycles elapse. It returns the number of
-// cycles executed and whether done was reached.
+// cycles executed (fast-forwarded idle cycles included) and whether done
+// was reached.
+//
+// Idle skipping only jumps to a *finite* next-event cycle here: done()
+// can only change state as a consequence of procs running, so its value
+// is constant across skipped cycles — but with no future event at all
+// the kernel steps cycle by cycle, preserving the exact cycle count at
+// which a pre-satisfied or cycle-dependent done() is honoured.
 func (k *Kernel) RunUntil(maxCycles uint64, done func() bool) (uint64, bool) {
+	k.started = true
+	canSkip := k.canSkip()
 	var n uint64
 	for n < maxCycles {
+		if canSkip && n > 0 && !k.stopped {
+			if t := k.nextEvent(); t != NoEvent && t > k.cycle {
+				s := t - k.cycle
+				if rem := maxCycles - n; s > rem {
+					s = rem
+				}
+				k.skip(s)
+				n += s
+				if done() {
+					return n, true
+				}
+				continue
+			}
+		}
 		if !k.Step() {
 			return n, done()
 		}

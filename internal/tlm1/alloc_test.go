@@ -1,0 +1,48 @@
+package tlm1_test
+
+import (
+	"testing"
+
+	"repro/internal/ecbus"
+	"repro/internal/gatepower"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/tlm1"
+)
+
+// The layer-1 bus process must be allocation-free in steady state: the
+// ring queues hold value-type entries in fixed arrays, so pumping
+// transactions through an already-constructed bus performs zero heap
+// allocations (construction and transaction creation excluded).
+func TestBusProcessZeroSteadyStateAllocs(t *testing.T) {
+	k := sim.New(0)
+	b := tlm1.New(k, ecbus.MustMap(
+		mem.NewRAM("fast", 0, 0x1000, 0, 0),
+		mem.NewRAM("slow", 0x10000, 0x1000, 1, 2),
+	)).AttachPower(tlm1.NewPowerModel(gatepower.CharTable{}))
+
+	tr, err := ecbus.NewSingle(1, ecbus.Write, 0x10000, ecbus.W32, 0xDEADBEEF)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	id := uint64(1)
+	pump := func() {
+		id++
+		if err := tr.ResetSingle(id, ecbus.Write, 0x10000+4*(id%8), ecbus.W32, uint32(id)*0x9E37); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 64; i++ {
+			if st := b.Access(tr); st.Done() {
+				return
+			}
+			k.Step()
+		}
+		t.Fatal("transaction did not complete")
+	}
+	pump() // warm up (lazy state, kernel start)
+
+	if avg := testing.AllocsPerRun(100, pump); avg != 0 {
+		t.Fatalf("steady-state allocations per transaction = %v, want 0", avg)
+	}
+}

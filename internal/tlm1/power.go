@@ -1,10 +1,35 @@
 package tlm1
 
 import (
+	"math/bits"
+	"sync/atomic"
+
 	"repro/internal/ecbus"
 	"repro/internal/gatepower"
 	"repro/internal/logic"
 )
+
+// referencePath selects the straightforward full-scan energy calculation
+// for power models constructed while it is set. Flipped by
+// core.SetReference; golden-equivalence tests prove both paths produce
+// byte-identical energies.
+var referencePath atomic.Bool
+
+// SetReferencePath switches newly constructed power models between the
+// reference (full-scan) and optimized (dirty-mask) transition counters.
+func SetReferencePath(on bool) { referencePath.Store(on) }
+
+// interfaceMask precomputes the width mask of every priced interface
+// signal (all signals below SigSel).
+var interfaceMask = func() (m [ecbus.NumSignals]uint64) {
+	for id := ecbus.SignalID(0); id < ecbus.NumSignals; id++ {
+		m[id] = ecbus.MaskOf(id)
+	}
+	return m
+}()
+
+// interfaceDirty is the dirty-mask subset covering the priced signals.
+const interfaceDirty = uint32(1)<<uint(ecbus.SigSel) - 1
 
 // PowerModel is the paper's layer-1 energy model (§3.3, Fig. 5): a
 // dedicated module that "defines for each bus interface signal a member
@@ -25,7 +50,9 @@ import (
 type PowerModel struct {
 	table gatepower.CharTable
 
-	old, new ecbus.Bundle
+	old       [ecbus.NumSignals]uint64
+	new       ecbus.Bundle
+	reference bool
 
 	lastCycle float64
 	since     float64
@@ -37,7 +64,7 @@ type PowerModel struct {
 // NewPowerModel creates a layer-1 power model priced with the given
 // characterization table.
 func NewPowerModel(table gatepower.CharTable) *PowerModel {
-	return &PowerModel{table: table}
+	return &PowerModel{table: table, reference: referencePath.Load()}
 }
 
 // EnergyLastCycle returns the energy in joules dissipated during the
@@ -125,21 +152,52 @@ func (p *PowerModel) driveError(k ecbus.Kind) {
 	}
 }
 
+// strobesHigh reports whether any strobe signal is still high and must
+// fall next cycle — the bus may not declare quiescence while a pending
+// falling transition carries energy.
+func (p *PowerModel) strobesHigh() bool {
+	return p.new.Bool(ecbus.SigARdy) || p.new.Bool(ecbus.SigRdVal) ||
+		p.new.Bool(ecbus.SigWDRdy) || p.new.Bool(ecbus.SigRBErr) ||
+		p.new.Bool(ecbus.SigWBErr)
+}
+
+// skipCycles accounts for fast-forwarded idle cycles: no signal changes,
+// so each skipped cycle dissipates zero energy — exactly what calcEnergy
+// computes for an unchanged bundle.
+func (p *PowerModel) skipCycles() {
+	p.lastCycle = 0
+}
+
 // calcEnergy is the energy calculation the bus process invokes after the
 // write phase: recognize bit transitions between the old and new signal
 // values and price them with the characterized average energy per
-// transition.
+// transition. The default path iterates only signals marked dirty by
+// this cycle's phase drivers; the reference path scans all of them.
 func (p *PowerModel) calcEnergy() {
 	var e float64
-	for id := ecbus.SignalID(0); id < ecbus.SigSel; id++ {
-		if p.old[id] == p.new[id] {
-			continue
+	if p.reference {
+		for id := ecbus.SignalID(0); id < ecbus.SigSel; id++ {
+			if p.old[id] == p.new.Get(id) {
+				continue
+			}
+			n := logic.Hamming(p.old[id], p.new.Get(id), ecbus.Signals[id].Bits)
+			e += float64(n) * p.table.PerTransitionJ[id]
+			p.transitions += uint64(n)
 		}
-		n := logic.Hamming(p.old[id], p.new[id], ecbus.Signals[id].Bits)
-		e += float64(n) * p.table.PerTransitionJ[id]
-		p.transitions += uint64(n)
+		p.old = p.new.Snapshot()
+	} else {
+		for m := p.new.TakeDirty() & interfaceDirty; m != 0; m &= m - 1 {
+			id := ecbus.SignalID(bits.TrailingZeros32(m))
+			new := p.new.Get(id)
+			if p.old[id] == new {
+				continue
+			}
+			n := logic.HammingMasked(p.old[id], new, interfaceMask[id])
+			e += float64(n) * p.table.PerTransitionJ[id]
+			p.transitions += uint64(n)
+			p.old[id] = new
+		}
 	}
-	p.old = p.new
 	p.lastCycle = e
 	p.since += e
 	p.total += e

@@ -46,15 +46,59 @@ type entry struct {
 	beatCnt int
 }
 
+// qCap is the ring-buffer capacity of each request queue. The EC
+// protocol caps outstanding transactions at ecbus.MaxOutstanding per
+// category (3 categories, 12 total in flight), so 16 — the next power of
+// two — statically bounds every queue.
+const qCap = 16
+
+// ring is a fixed-capacity FIFO of value-type entries: steady-state bus
+// operation allocates nothing.
+type ring struct {
+	buf  [qCap]entry
+	head int
+	n    int
+}
+
+func (r *ring) empty() bool { return r.n == 0 }
+
+// front returns the head entry; valid until the next popFront.
+func (r *ring) front() *entry { return &r.buf[r.head] }
+
+func (r *ring) pushBack(e entry) {
+	if r.n == qCap {
+		panic("tlm1: request queue overflow (protocol cap exceeded)")
+	}
+	r.buf[(r.head+r.n)&(qCap-1)] = e
+	r.n++
+}
+
+// popFront removes the head entry, zeroing its slot so transaction and
+// slave references are not retained.
+func (r *ring) popFront() {
+	r.buf[r.head] = entry{}
+	r.head = (r.head + 1) & (qCap - 1)
+	r.n--
+}
+
+func (r *ring) contains(tr *ecbus.Transaction) bool {
+	for i := 0; i < r.n; i++ {
+		if r.buf[(r.head+i)&(qCap-1)].tr == tr {
+			return true
+		}
+	}
+	return false
+}
+
 // Bus is the layer-1 EC bus model (bus interface unit view plus bus
 // controller with address decoder).
 type Bus struct {
 	m     *ecbus.Map
 	cycle uint64
 
-	requestQ []*entry // accepted, address phase pending
-	readQ    []*entry // address done, read beats pending
-	writeQ   []*entry // address done, write beats pending
+	requestQ ring // accepted, address phase pending
+	readQ    ring // address done, read beats pending
+	writeQ   ring // address done, write beats pending
 
 	addrStarted bool
 	addrCnt     int
@@ -76,11 +120,79 @@ type Stats struct {
 }
 
 // New creates a layer-1 bus over the address map and registers the bus
-// process on the kernel's falling edge.
+// process on the kernel's falling edge, with a quiescence hint so the
+// kernel can fast-forward pure wait-state countdowns and idle gaps.
 func New(k *sim.Kernel, m *ecbus.Map) *Bus {
 	b := &Bus{m: m, cycle: ^uint64(0)}
-	k.At(sim.Falling, "tlm1-bus", b.busProcess)
+	k.AtHinted(sim.Falling, "tlm1-bus", b.busProcess, b.hint, b.onSkip)
 	return b
+}
+
+// hint reports the earliest future cycle with bus activity: the
+// completion tick of the head address phase or data beat. It returns now
+// whenever this cycle's tick does externally visible work — a phase
+// start, a completion, or clearing a strobe signal left high by the
+// previous cycle.
+func (b *Bus) hint(now uint64) uint64 {
+	if b.power != nil && b.power.strobesHigh() {
+		return now // a strobe must fall this cycle; its energy is priced then
+	}
+	next := sim.NoEvent
+	if !b.requestQ.empty() {
+		e := b.requestQ.front()
+		switch {
+		case e.tr.IssueCycle > now:
+			next = e.tr.IssueCycle
+		case !b.addrStarted || b.addrCnt >= e.aw:
+			return now // phase start or completion tick
+		default:
+			next = now + uint64(e.aw-b.addrCnt)
+		}
+	}
+	if !b.readQ.empty() {
+		e := b.readQ.front()
+		if e.beatCnt >= e.dw {
+			return now // beat delivery tick
+		}
+		if c := now + uint64(e.dw-e.beatCnt); c < next {
+			next = c
+		}
+	}
+	if !b.writeQ.empty() {
+		e := b.writeQ.front()
+		if e.beatCnt >= e.dw {
+			return now
+		}
+		if c := now + uint64(e.dw-e.beatCnt); c < next {
+			next = c
+		}
+	}
+	return next
+}
+
+// onSkip advances the bus state across n fast-forwarded cycles exactly as
+// n ticks of pure countdown would have: the cycle stamp, the head
+// counters of each unit, and the power model's last-cycle energy.
+func (b *Bus) onSkip(n uint64) {
+	b.cycle += n
+	if !b.requestQ.empty() && b.addrStarted {
+		if e := b.requestQ.front(); b.addrCnt < e.aw {
+			b.addrCnt += int(n)
+		}
+	}
+	if !b.readQ.empty() {
+		if e := b.readQ.front(); e.beatCnt < e.dw {
+			e.beatCnt += int(n)
+		}
+	}
+	if !b.writeQ.empty() {
+		if e := b.writeQ.front(); e.beatCnt < e.dw {
+			e.beatCnt += int(n)
+		}
+	}
+	if b.power != nil {
+		b.power.skipCycles()
+	}
 }
 
 // AttachPower connects the dedicated power-estimation module; the bus
@@ -99,7 +211,7 @@ func (b *Bus) Stats() Stats { return b.stats }
 
 // Idle reports whether no request is in flight.
 func (b *Bus) Idle() bool {
-	return len(b.requestQ) == 0 && len(b.readQ) == 0 && len(b.writeQ) == 0
+	return b.requestQ.empty() && b.readQ.empty() && b.writeQ.empty()
 }
 
 // Access is the non-blocking master interface (both the instruction and
@@ -130,20 +242,13 @@ func (b *Bus) Access(tr *ecbus.Transaction) ecbus.BusState {
 	}
 	b.outstanding[cat]++
 	tr.IssueCycle = b.cycle + 1
-	b.requestQ = append(b.requestQ, &entry{tr: tr})
+	b.requestQ.pushBack(entry{tr: tr})
 	b.stats.Accepted++
 	return ecbus.StateRequest
 }
 
 func (b *Bus) isQueued(tr *ecbus.Transaction) bool {
-	for _, q := range [][]*entry{b.requestQ, b.readQ, b.writeQ} {
-		for _, e := range q {
-			if e.tr == tr {
-				return true
-			}
-		}
-	}
-	return false
+	return b.requestQ.contains(tr) || b.readQ.contains(tr) || b.writeQ.contains(tr)
 }
 
 // busProcess is the falling-edge SC_METHOD equivalent.
@@ -183,10 +288,10 @@ func (b *Bus) getSlaveState(e *entry) {
 
 // addressPhase is the serialized address FSM.
 func (b *Bus) addressPhase(cycle uint64) {
-	if len(b.requestQ) == 0 {
+	if b.requestQ.empty() {
 		return
 	}
-	e := b.requestQ[0]
+	e := b.requestQ.front()
 	if e.tr.IssueCycle > cycle {
 		return
 	}
@@ -203,18 +308,19 @@ func (b *Bus) addressPhase(cycle uint64) {
 		return
 	}
 	e.tr.AddrCycle = cycle
-	b.requestQ = b.requestQ[1:]
+	ent := *e // copy out before the slot is recycled
+	b.requestQ.popFront()
 	b.addrStarted = false
 	if b.power != nil {
 		b.power.addressAccepted()
 	}
 	switch {
-	case e.err:
-		b.completeError(e, cycle)
-	case e.tr.Kind.IsRead():
-		b.readQ = append(b.readQ, e)
+	case ent.err:
+		b.completeError(&ent, cycle)
+	case ent.tr.Kind.IsRead():
+		b.readQ.pushBack(ent)
 	default:
-		b.writeQ = append(b.writeQ, e)
+		b.writeQ.pushBack(ent)
 	}
 }
 
@@ -231,10 +337,10 @@ func (b *Bus) completeError(e *entry, cycle uint64) {
 // readPhase serves one read beat per cycle from the head of the read
 // queue.
 func (b *Bus) readPhase(cycle uint64) {
-	if len(b.readQ) == 0 {
+	if b.readQ.empty() {
 		return
 	}
-	e := b.readQ[0]
+	e := b.readQ.front()
 	if e.beatCnt < e.dw {
 		e.beatCnt++
 		return
@@ -265,12 +371,13 @@ func (b *Bus) readPhase(cycle uint64) {
 func (b *Bus) finishRead(e *entry, cycle uint64, err bool) {
 	e.tr.Done, e.tr.Err = true, err
 	e.tr.DataCycle = cycle
-	b.readQ = b.readQ[1:]
 	b.outstanding[e.tr.Category()]--
+	kind := e.tr.Kind
+	b.readQ.popFront() // invalidates e
 	if err {
 		b.stats.Errors++
 		if b.power != nil {
-			b.power.driveError(e.tr.Kind)
+			b.power.driveError(kind)
 		}
 	} else {
 		b.stats.Completed++
@@ -280,10 +387,10 @@ func (b *Bus) finishRead(e *entry, cycle uint64, err bool) {
 // writePhase serves one write beat per cycle from the head of the write
 // queue.
 func (b *Bus) writePhase(cycle uint64) {
-	if len(b.writeQ) == 0 {
+	if b.writeQ.empty() {
 		return
 	}
-	e := b.writeQ[0]
+	e := b.writeQ.front()
 	i := e.beat
 	if b.power != nil {
 		// The master drives the write data bus while the beat pends.
@@ -317,12 +424,13 @@ func (b *Bus) writePhase(cycle uint64) {
 func (b *Bus) finishWrite(e *entry, cycle uint64, err bool) {
 	e.tr.Done, e.tr.Err = true, err
 	e.tr.DataCycle = cycle
-	b.writeQ = b.writeQ[1:]
 	b.outstanding[e.tr.Category()]--
+	kind := e.tr.Kind
+	b.writeQ.popFront() // invalidates e
 	if err {
 		b.stats.Errors++
 		if b.power != nil {
-			b.power.driveError(e.tr.Kind)
+			b.power.driveError(kind)
 		}
 	} else {
 		b.stats.Completed++

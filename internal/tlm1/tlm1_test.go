@@ -1,4 +1,4 @@
-package tlm1
+package tlm1_test
 
 import (
 	"testing"
@@ -8,11 +8,12 @@ import (
 	"repro/internal/gatepower"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/tlm1"
 )
 
-func bench() (*sim.Kernel, *Bus) {
+func bench() (*sim.Kernel, *tlm1.Bus) {
 	k := sim.New(0)
-	b := New(k, ecbus.MustMap(
+	b := tlm1.New(k, ecbus.MustMap(
 		mem.NewRAM("fast", 0, 0x1000, 0, 0),
 		mem.NewRAM("slow", 0x10000, 0x1000, 1, 2),
 	))
@@ -135,7 +136,7 @@ func TestErrorReturnsStateError(t *testing.T) {
 func TestPowerModelCycleProfile(t *testing.T) {
 	table := gatepower.NewEstimator(gatepower.DefaultConfig()).Char()
 	k, b := bench()
-	b.AttachPower(NewPowerModel(table))
+	b.AttachPower(tlm1.NewPowerModel(table))
 	tr := single(1, ecbus.Write, 0x10020, ecbus.W32, 0xFFFFFFFF)
 	m := core.NewScriptMaster(k, b, []core.Item{{Tr: tr}})
 
@@ -174,7 +175,7 @@ func TestPowerDisabledByDefault(t *testing.T) {
 func TestIdleBusNoEnergyAfterSettle(t *testing.T) {
 	table := gatepower.NewEstimator(gatepower.DefaultConfig()).Char()
 	k, b := bench()
-	b.AttachPower(NewPowerModel(table))
+	b.AttachPower(tlm1.NewPowerModel(table))
 	tr := single(1, ecbus.Read, 0x40, ecbus.W32, 0)
 	m, _ := core.RunScript(k, b, []core.Item{{Tr: tr}}, 100)
 	if !m.Done() {

@@ -84,11 +84,75 @@ type Stats struct {
 }
 
 // New creates a layer-2 bus over the address map and registers the bus
-// process on the kernel's falling edge.
+// process on the kernel's falling edge, with a quiescence hint so the
+// kernel can fast-forward pure wait-state countdowns and idle gaps.
 func New(k *sim.Kernel, m *ecbus.Map) *Bus {
 	b := &Bus{m: m, cycle: ^uint64(0)}
-	k.At(sim.Falling, "tlm2-bus", b.busProcess)
+	k.AtHinted(sim.Falling, "tlm2-bus", b.busProcess, b.hint, b.onSkip)
 	return b
+}
+
+// hint reports the earliest future cycle with bus activity: phase
+// completions (which move requests, book energy and touch slaves) must
+// execute, while pure countdown ticks only decrement a counter and can
+// be fast-forwarded. The layer-2 power model books energy per phase, so
+// skipped countdown cycles dissipate nothing by construction.
+func (b *Bus) hint(now uint64) uint64 {
+	next := sim.NoEvent
+	if len(b.addrQ) > 0 {
+		r := b.addrQ[0]
+		switch {
+		case r.tr.IssueCycle > now:
+			next = r.tr.IssueCycle
+		case r.addrCnt > 0:
+			next = now + uint64(r.addrCnt)
+		default:
+			return now // completion tick
+		}
+	}
+	if len(b.readQ) > 0 {
+		r := b.readQ[0]
+		if r.joined >= now || r.dataCnt == 0 {
+			return now // no-op join tick or completion tick
+		}
+		if c := now + uint64(r.dataCnt); c < next {
+			next = c
+		}
+	}
+	if len(b.writeQ) > 0 {
+		r := b.writeQ[0]
+		if r.joined >= now || r.dataCnt == 0 {
+			return now
+		}
+		if c := now + uint64(r.dataCnt); c < next {
+			next = c
+		}
+	}
+	return next
+}
+
+// onSkip decrements the head counters across n fast-forwarded cycles
+// exactly as n countdown ticks would have. The kernel never skips past a
+// completion (hint returns now on those cycles), so n is bounded by the
+// remaining counts.
+func (b *Bus) onSkip(n uint64) {
+	first := b.cycle + 1 // first fast-forwarded cycle
+	b.cycle += n
+	if len(b.addrQ) > 0 {
+		if r := b.addrQ[0]; r.tr.IssueCycle <= first && r.addrCnt > 0 {
+			r.addrCnt -= int(n)
+		}
+	}
+	if len(b.readQ) > 0 {
+		if r := b.readQ[0]; r.joined < first && r.dataCnt > 0 {
+			r.dataCnt -= int(n)
+		}
+	}
+	if len(b.writeQ) > 0 {
+		if r := b.writeQ[0]; r.joined < first && r.dataCnt > 0 {
+			r.dataCnt -= int(n)
+		}
+	}
 }
 
 // AttachPower connects the layer-2 per-phase energy model.

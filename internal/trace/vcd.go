@@ -45,7 +45,7 @@ func (v *VCDWriter) Observe(b *ecbus.Bundle) {
 	}
 	wroteTime := false
 	for id := ecbus.SignalID(0); id < ecbus.NumSignals; id++ {
-		if !v.first && v.prev[id] == b[id] {
+		if !v.first && v.prev.Get(id) == b.Get(id) {
 			continue
 		}
 		if !wroteTime {
@@ -53,9 +53,9 @@ func (v *VCDWriter) Observe(b *ecbus.Bundle) {
 			wroteTime = true
 		}
 		if id.Bits() == 1 {
-			_, v.err = fmt.Fprintf(v.w, "%d%s\n", b[id]&1, vcdID(id))
+			_, v.err = fmt.Fprintf(v.w, "%d%s\n", b.Get(id)&1, vcdID(id))
 		} else {
-			_, v.err = fmt.Fprintf(v.w, "b%b %s\n", b[id], vcdID(id))
+			_, v.err = fmt.Fprintf(v.w, "b%b %s\n", b.Get(id), vcdID(id))
 		}
 	}
 	v.prev = *b

@@ -1,0 +1,22 @@
+#!/bin/sh
+# verify.sh — the full pre-merge gate:
+#   tier-1 (build + all tests), vet, the race gate for the concurrent
+#   packages, and a 1-iteration benchmark smoke so every benchmark
+#   keeps compiling and running.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: build + tests"
+go build ./...
+go test ./...
+
+echo "== vet"
+go vet ./...
+
+echo "== race gate (explore, sim)"
+go test -race ./internal/explore/... ./internal/sim/...
+
+echo "== benchmark smoke (1 iteration each)"
+go test -run '^$' -bench . -benchtime 1x ./... > /dev/null
+
+echo "verify: OK"
