@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench verify
+.PHONY: all build test vet race faultsmoke bench verify
 
 all: build
 
@@ -14,7 +14,10 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/explore/... ./internal/sim/...
+	$(GO) test -race ./internal/explore/... ./internal/sim/... ./internal/fault/...
+
+faultsmoke:
+	$(GO) run ./cmd/ecbench -fault grind
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1s .

@@ -9,6 +9,7 @@
 //	ecbench -table 2     # one table
 //	ecbench -figure 6    # the sampling figure
 //	ecbench -explore     # the case-study sweep only
+//	ecbench -fault grind # the fault-robustness table only (plans: none, flaky, storm, grind)
 //	ecbench -n 200000    # transactions per Table-3 measurement
 //	ecbench -workers 1   # serial exploration sweep (default: one per CPU)
 //	ecbench -progress    # stream sweep rows to stderr as configs finish
@@ -30,6 +31,7 @@ func main() {
 	table := flag.Int("table", 0, "print only table 1, 2 or 3")
 	figure := flag.Int("figure", 0, "print only figure 6")
 	exploreOnly := flag.Bool("explore", false, "print only the case-study exploration")
+	faultPlan := flag.String("fault", "", "print only the fault-robustness table for this plan (none, flaky, storm, grind)")
 	n := flag.Int("n", 100000, "transactions per Table-3 measurement run")
 	workers := flag.Int("workers", 0, "exploration sweep workers; 0 = one per CPU")
 	progress := flag.Bool("progress", false, "stream exploration rows to stderr as they complete")
@@ -65,7 +67,7 @@ func main() {
 		}()
 	}
 
-	all := *table == 0 && *figure == 0 && !*exploreOnly
+	all := *table == 0 && *figure == 0 && !*exploreOnly && *faultPlan == ""
 
 	if all || *table == 1 {
 		_, text := bench.Table1()
@@ -81,6 +83,14 @@ func main() {
 	}
 	if all || *figure == 6 {
 		fmt.Println(bench.Figure6())
+	}
+	if *faultPlan != "" {
+		_, text, err := bench.FaultTable(*faultPlan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ecbench:", err)
+			os.Exit(2)
+		}
+		fmt.Println(text)
 	}
 	if all || *exploreOnly {
 		opts := explore.SweepOpts{Workers: *workers}

@@ -7,6 +7,7 @@
 //	jcexplore                 # full sweep, table + Pareto frontier
 //	jcexplore -layer 2        # only the timed layer (fastest)
 //	jcexplore -workload wallet
+//	jcexplore -faults none,flaky  # add fault-plan sweep axis
 //	jcexplore -workers 1      # serial sweep (default: one worker per CPU)
 //	jcexplore -progress       # stream rows to stderr as configs finish
 //	jcexplore -cpuprofile cpu.prof -memprofile mem.prof
@@ -18,14 +19,17 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"repro/internal/explore"
+	"repro/internal/fault"
 	"repro/internal/javacard"
 )
 
 func main() {
 	layer := flag.Int("layer", 0, "restrict to one bus layer (1 or 2); 0 = both")
 	workload := flag.String("workload", "", "restrict to one workload (arith-loop, stack-churn, wallet)")
+	faults := flag.String("faults", "", "comma-separated fault plans as an extra sweep axis (none, flaky, storm, grind)")
 	workers := flag.Int("workers", 0, "parallel sweep workers; 0 = one per CPU")
 	progress := flag.Bool("progress", false, "stream per-configuration rows to stderr as they complete")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -80,6 +84,16 @@ func main() {
 	}
 
 	opts := explore.SweepOpts{Workers: *workers}
+	if *faults != "" {
+		for _, name := range strings.Split(*faults, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := fault.Named(name); !ok {
+				fmt.Fprintf(os.Stderr, "jcexplore: unknown fault plan %q (have %v)\n", name, fault.Names)
+				os.Exit(2)
+			}
+			opts.Faults = append(opts.Faults, name)
+		}
+	}
 	if *progress {
 		opts.OnResult = func(r explore.Result, err error) {
 			if err != nil {

@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ecbus"
 	"repro/internal/explore"
+	"repro/internal/fault"
 	"repro/internal/gatepower"
 	"repro/internal/javacard"
 	"repro/internal/mem"
@@ -259,6 +260,107 @@ func Figure6() string {
 	sb.WriteString("  Energy appears only when a phase finishes; a data phase still in\n")
 	sb.WriteString("  progress at the sampling instant is not included (paper Fig. 6).\n")
 	return sb.String()
+}
+
+// newFaultMap is newMap with every slave wrapped in a fresh injector
+// applying plan.
+func newFaultMap(plan fault.Plan) *ecbus.Map {
+	return ecbus.MustMap(
+		fault.Wrap(mem.NewRAM("fast", lay.Fast, 0x1000, 0, 0), plan),
+		fault.Wrap(mem.NewRAM("slow", lay.Slow, 0x1000, 1, 2), plan),
+	)
+}
+
+// FaultRetry is the master retry policy used by the fault table runs.
+var FaultRetry = core.RetryPolicy{MaxRetries: 8, Backoff: 1}
+
+// FaultRow is one abstraction level's result under a fault plan.
+type FaultRow struct {
+	Level       string
+	Cycles      uint64
+	DCyclesPct  float64 // vs the same layer's clean run
+	EnergyPJ    float64
+	DEnergyPct  float64
+	Errors      int // transactions errored after exhausting retries
+	Retries     int // total re-issues
+	CheckerMsgs int // protocol violations flagged (layer 0 only)
+}
+
+// runLayerFault drives the corpus into a fresh bus of the given layer
+// under a fault plan with the FaultRetry master policy.
+func runLayerFault(layer int, items []core.Item, char gatepower.CharTable, plan fault.Plan) (FaultRow, error) {
+	k := sim.New(0)
+	bmap := newFaultMap(plan)
+	var bus core.Initiator
+	get := func() float64 { return 0 }
+	switch layer {
+	case 0:
+		b := rtlbus.New(k, bmap)
+		est := gatepower.NewEstimator(gatepower.DefaultConfig())
+		k.AtObserver(sim.Post, "gp", func(uint64) { est.Observe(b.Wires()) }, est.ObserveIdle)
+		get = est.TotalEnergy
+		bus = b
+	case 1:
+		b := tlm1.New(k, bmap).AttachPower(tlm1.NewPowerModel(char))
+		get = b.Power().TotalEnergy
+		bus = b
+	default:
+		b := tlm2.New(k, bmap).AttachPower(tlm2.NewPowerModel(char))
+		get = b.Power().TotalEnergy
+		bus = b
+	}
+	m := core.NewScriptMaster(k, bus, items)
+	m.Retry = FaultRetry
+	n, _ := k.RunUntil(10_000_000, m.Done)
+	if !m.Done() {
+		return FaultRow{}, fmt.Errorf("bench: layer-%d fault run did not complete", layer)
+	}
+	return FaultRow{
+		Cycles: n, EnergyPJ: get() * 1e12,
+		Errors: m.Errors(), Retries: m.TotalRetries(),
+	}, nil
+}
+
+// FaultTable runs the back-to-back Table-3 workload (256 transactions)
+// under a named fault plan at every abstraction level and reports the
+// timing/energy deltas against each layer's own clean run — the
+// robustness companion to Tables 1/2. The pipelined perf corpus is used
+// instead of the sparse verification corpus so wait-state storms and
+// retries show up in the cycle count rather than being absorbed by
+// issue gaps.
+func FaultTable(planName string) ([]FaultRow, string, error) {
+	plan, ok := fault.Named(planName)
+	if !ok {
+		return nil, "", fmt.Errorf("bench: unknown fault plan %q (have %v)", planName, fault.Names)
+	}
+	char := CharTable()
+	items := func() []core.Item { return core.PerfCorpus(lay, 256) }
+	names := []string{"Gate-level model", "Layer one model", "Layer two model"}
+	rows := make([]FaultRow, 0, 3)
+	for layer := 0; layer <= 2; layer++ {
+		clean, err := runLayerFault(layer, items(), char, fault.Plan{})
+		if err != nil {
+			return nil, "", err
+		}
+		r, err := runLayerFault(layer, items(), char, plan)
+		if err != nil {
+			return nil, "", err
+		}
+		r.Level = names[layer]
+		r.DCyclesPct = 100 * (float64(r.Cycles)/float64(clean.Cycles) - 1)
+		r.DEnergyPct = 100 * (r.EnergyPJ/clean.EnergyPJ - 1)
+		rows = append(rows, r)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fault table: 256-transaction perf corpus under plan %q (retry %d, backoff %d)\n",
+		planName, FaultRetry.MaxRetries, FaultRetry.Backoff)
+	fmt.Fprintf(&sb, "  %-20s %10s %9s %12s %9s %7s %8s\n",
+		"Abstraction Level", "Cycles", "ΔCyc", "Energy[pJ]", "ΔEnergy", "errors", "retries")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-20s %10d %+8.2f%% %12.2f %+8.2f%% %7d %8d\n",
+			r.Level, r.Cycles, r.DCyclesPct, r.EnergyPJ, r.DEnergyPct, r.Errors, r.Retries)
+	}
+	return rows, sb.String(), nil
 }
 
 // Exploration reproduces the §4.3 case-study table over the full sweep

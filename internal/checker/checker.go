@@ -13,10 +13,25 @@
 //	A3  AValid never deasserts before ARdy (requests are not dropped).
 //	D1  RdVal and RBErr never asserted together.
 //	D2  WDRdy and WBErr never asserted together.
-//	D3  Read data beats only while reads are outstanding; write
-//	    accepts only while writes are outstanding (needs transaction
-//	    hints; enabled when a tracker is attached).
+//	D3  Data beats only while a transaction of that direction is
+//	    outstanding; a burst never delivers more beats than its length
+//	    (an errored burst must terminate at the failing beat).
+//	E1  Error strobes only during an active data phase of the matching
+//	    direction, or on the acceptance cycle of the failing address
+//	    phase; an error with no matching outstanding request is flagged.
+//	O1  Wire-visible data-phase occupancy per category never exceeds
+//	    ecbus.MaxOutstanding.
 //	B1  BFirst only with Burst during address phases.
+//
+// The checker reconstructs outstanding transactions from the wires
+// alone: every ARdy enqueues the accepted request (direction, category
+// and burst length read off the address-phase wires) into a per-
+// direction FIFO, the EC data units serve each direction strictly in
+// order, and beats/errors retire FIFO heads. One wire-level ambiguity
+// is unavoidable: a same-cycle coincidence of an address-phase abort
+// and a data-phase error on the same direction cannot be split apart;
+// the checker attributes the pulse to the oldest outstanding
+// transaction (and otherwise to the aborted acceptance).
 package checker
 
 import (
@@ -37,6 +52,14 @@ func (v Violation) String() string {
 	return fmt.Sprintf("cycle %d: %s: %s", v.Cycle, v.Rule, v.Info)
 }
 
+// pendingTx is a transaction the checker reconstructed from its
+// address-phase wires, awaiting its data beats.
+type pendingTx struct {
+	cat   ecbus.Category
+	words int // expected beats
+	beats int // delivered so far
+}
+
 // Checker watches the EC wire bundle.
 type Checker struct {
 	prev  ecbus.Bundle
@@ -46,6 +69,12 @@ type Checker struct {
 	inAddrPhase bool
 	heldA       uint64
 	heldCtl     [4]uint64 // Instr, Write, Burst, BE
+
+	// Wire-reconstructed outstanding transactions, FIFO per direction.
+	readTx  []pendingTx
+	writeTx []pendingTx
+
+	occupancy [ecbus.NumCategories]int
 
 	violations []Violation
 }
@@ -128,4 +157,104 @@ func (c *Checker) Observe(b *ecbus.Bundle) {
 	if b.Bool(ecbus.SigBFirst) && !b.Bool(ecbus.SigBurst) && avalid {
 		c.flag("B1", "BFirst without Burst during address phase")
 	}
+
+	c.trackTransactions(b, ardy)
+}
+
+// trackTransactions reconstructs the outstanding-transaction state and
+// enforces the D3/E1/O1 rules. An accepted address phase is enqueued
+// before this cycle's beats and errors are matched: the bus serves
+// address unit first, so a zero-wait transaction may legally accept and
+// deliver its first beat within one cycle.
+func (c *Checker) trackTransactions(b *ecbus.Bundle, ardy bool) {
+	accepted := false
+	var tx pendingTx
+	var toWrite bool
+	if ardy {
+		accepted = true
+		toWrite = b.Bool(ecbus.SigWrite)
+		words := 1
+		if b.Bool(ecbus.SigBurst) {
+			words = ecbus.BurstLen
+		}
+		cat := ecbus.CatDataRead
+		switch {
+		case toWrite:
+			cat = ecbus.CatWrite
+		case b.Bool(ecbus.SigInstr):
+			cat = ecbus.CatInstrRead
+		}
+		tx = pendingTx{cat: cat, words: words}
+	}
+
+	// Error strobes retire the oldest outstanding transaction of their
+	// direction; with none outstanding they must mark the abort of an
+	// address phase accepted this very cycle (decode or rights error).
+	if b.Bool(ecbus.SigRBErr) {
+		switch {
+		case len(c.readTx) > 0:
+			c.retire(&c.readTx)
+		case accepted && !toWrite:
+			accepted = false // address-phase abort: never enters a data phase
+		default:
+			c.flag("E1", "RBErr with no outstanding read and no aborted acceptance")
+		}
+	}
+	if b.Bool(ecbus.SigWBErr) {
+		switch {
+		case len(c.writeTx) > 0:
+			c.retire(&c.writeTx)
+		case accepted && toWrite:
+			accepted = false
+		default:
+			c.flag("E1", "WBErr with no outstanding write and no aborted acceptance")
+		}
+	}
+
+	if accepted {
+		q := &c.readTx
+		if toWrite {
+			q = &c.writeTx
+		}
+		*q = append(*q, tx)
+		c.occupancy[tx.cat]++
+		if c.occupancy[tx.cat] > ecbus.MaxOutstanding {
+			c.flag("O1", "%v data-phase occupancy %d exceeds limit %d",
+				tx.cat, c.occupancy[tx.cat], ecbus.MaxOutstanding)
+		}
+	}
+
+	if b.Bool(ecbus.SigRdVal) {
+		c.beat(&c.readTx, "read")
+	}
+	if b.Bool(ecbus.SigWDRdy) {
+		c.beat(&c.writeTx, "write")
+	}
+}
+
+// retire removes the head transaction of a direction queue.
+func (c *Checker) retire(q *[]pendingTx) {
+	c.occupancy[(*q)[0].cat]--
+	*q = (*q)[1:]
+}
+
+// beat attributes a delivered data beat to the head transaction of its
+// direction, retiring it after its final beat.
+func (c *Checker) beat(q *[]pendingTx, dir string) {
+	if len(*q) == 0 {
+		c.flag("D3", "%s beat with no outstanding %s transaction", dir, dir)
+		return
+	}
+	head := &(*q)[0]
+	head.beats++
+	if head.beats >= head.words {
+		c.retire(q)
+	}
+}
+
+// Outstanding returns the number of wire-reconstructed transactions
+// still awaiting beats, per direction. A clean trace of completed
+// workloads ends with both at zero.
+func (c *Checker) Outstanding() (reads, writes int) {
+	return len(c.readTx), len(c.writeTx)
 }

@@ -159,3 +159,122 @@ func TestViolationString(t *testing.T) {
 		t.Fatal("empty violation string")
 	}
 }
+
+// accept returns a bundle carrying an accepted address phase.
+func accept(addr uint64, write, burst bool) ecbus.Bundle {
+	return mkBundle(func(b *ecbus.Bundle) {
+		b.SetBool(ecbus.SigAValid, true)
+		b.SetBool(ecbus.SigARdy, true)
+		b.Set(ecbus.SigA, addr)
+		if write {
+			b.Set(ecbus.SigWrite, 1)
+		}
+		if burst {
+			b.Set(ecbus.SigBurst, 1)
+		}
+	})
+}
+
+func TestRuleE1ErrorWithNothingOutstanding(t *testing.T) {
+	c := feed([]ecbus.Bundle{
+		mkBundle(func(b *ecbus.Bundle) { b.SetBool(ecbus.SigRBErr, true) }),
+	})
+	if !hasRule(c, "E1") {
+		t.Fatalf("E1 not flagged for bare RBErr: %v", c.Violations())
+	}
+	c = feed([]ecbus.Bundle{
+		mkBundle(func(b *ecbus.Bundle) { b.SetBool(ecbus.SigWBErr, true) }),
+	})
+	if !hasRule(c, "E1") {
+		t.Fatalf("E1 not flagged for bare WBErr: %v", c.Violations())
+	}
+}
+
+func TestRuleE1ErrorWrongDirection(t *testing.T) {
+	// Only a write is outstanding; a read error strobe has no matching
+	// request (and the acceptance is of the other direction, so it is
+	// not an address-phase abort either).
+	c := feed([]ecbus.Bundle{
+		accept(0x100, true, false),
+		mkBundle(func(b *ecbus.Bundle) { b.SetBool(ecbus.SigRBErr, true) }),
+	})
+	if !hasRule(c, "E1") {
+		t.Fatalf("E1 not flagged for wrong-direction error: %v", c.Violations())
+	}
+}
+
+func TestE1AllowsAddressPhaseAbort(t *testing.T) {
+	// Decode error: acceptance and error strobe on the same cycle. Legal,
+	// and the aborted request never becomes outstanding.
+	c := feed([]ecbus.Bundle{
+		mkBundle(func(b *ecbus.Bundle) {
+			b.SetBool(ecbus.SigAValid, true)
+			b.SetBool(ecbus.SigARdy, true)
+			b.Set(ecbus.SigA, 0x100)
+			b.SetBool(ecbus.SigRBErr, true)
+		}),
+	})
+	if !c.Clean() {
+		t.Fatalf("address-phase abort flagged: %v", c.Violations())
+	}
+	if r, w := c.Outstanding(); r != 0 || w != 0 {
+		t.Fatalf("aborted acceptance left outstanding state: %d/%d", r, w)
+	}
+}
+
+func TestE1AllowsDataPhaseError(t *testing.T) {
+	c := feed([]ecbus.Bundle{
+		accept(0x100, false, false),
+		mkBundle(func(b *ecbus.Bundle) { b.SetBool(ecbus.SigRBErr, true) }),
+	})
+	if !c.Clean() {
+		t.Fatalf("legal data-phase error flagged: %v", c.Violations())
+	}
+	if r, _ := c.Outstanding(); r != 0 {
+		t.Fatalf("errored transaction not retired: %d outstanding", r)
+	}
+}
+
+func TestRuleD3BeatWithNothingOutstanding(t *testing.T) {
+	c := feed([]ecbus.Bundle{
+		mkBundle(func(b *ecbus.Bundle) { b.SetBool(ecbus.SigRdVal, true) }),
+	})
+	if !hasRule(c, "D3") {
+		t.Fatalf("D3 not flagged for orphan read beat: %v", c.Violations())
+	}
+	c = feed([]ecbus.Bundle{
+		mkBundle(func(b *ecbus.Bundle) { b.SetBool(ecbus.SigWDRdy, true) }),
+	})
+	if !hasRule(c, "D3") {
+		t.Fatalf("D3 not flagged for orphan write beat: %v", c.Violations())
+	}
+}
+
+func TestRuleD3BurstOverdelivery(t *testing.T) {
+	beats := make([]ecbus.Bundle, 0, ecbus.BurstLen+2)
+	beats = append(beats, accept(0x100, false, true))
+	for i := 0; i <= ecbus.BurstLen; i++ {
+		beats = append(beats, mkBundle(func(b *ecbus.Bundle) { b.SetBool(ecbus.SigRdVal, true) }))
+	}
+	c := feed(beats)
+	if !hasRule(c, "D3") {
+		t.Fatalf("D3 not flagged for beat %d of a %d-beat burst: %v",
+			ecbus.BurstLen+1, ecbus.BurstLen, c.Violations())
+	}
+}
+
+func TestRuleO1OccupancyLimit(t *testing.T) {
+	var bundles []ecbus.Bundle
+	for i := 0; i <= ecbus.MaxOutstanding; i++ {
+		bundles = append(bundles, accept(uint64(0x100+16*i), false, false))
+	}
+	c := feed(bundles)
+	if !hasRule(c, "O1") {
+		t.Fatalf("O1 not flagged at occupancy %d: %v", ecbus.MaxOutstanding+1, c.Violations())
+	}
+	// Staying at the limit is legal.
+	bundles = bundles[:ecbus.MaxOutstanding]
+	if c := feed(bundles); !c.Clean() {
+		t.Fatalf("occupancy at the limit flagged: %v", c.Violations())
+	}
+}

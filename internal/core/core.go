@@ -57,6 +57,18 @@ type Item struct {
 	NotBefore uint64
 }
 
+// RetryPolicy is a master's reaction to bus errors. The zero value
+// aborts on the first error (no retries), the historical behaviour.
+type RetryPolicy struct {
+	// MaxRetries is the number of times one transaction may be re-issued
+	// after completing with a bus error before the master gives up and
+	// reports the error.
+	MaxRetries int
+	// Backoff is the number of idle cycles inserted before an errored
+	// transaction is re-presented (0 = re-issue the next cycle).
+	Backoff uint64
+}
+
 // ScriptMaster replays a list of bus requests into an Initiator,
 // keeping transactions pipelined up to MaxInFlight, exactly as the bus
 // interface unit of the core would. It registers on the kernel's rising
@@ -73,6 +85,13 @@ type ScriptMaster struct {
 	// outstanding transactions at 4 each, so 12 means "as pipelined as
 	// the protocol allows". 1 serializes completely.
 	MaxInFlight int
+
+	// Retry is the bus-error reaction policy. Set it before the first
+	// kernel cycle.
+	Retry RetryPolicy
+
+	retryQ       []Item // errored transactions awaiting re-issue
+	totalRetries int
 
 	completed []*ecbus.Transaction
 	errors    int
@@ -99,10 +118,17 @@ func NewScriptMaster(k *sim.Kernel, bus Initiator, items []Item) *ScriptMaster {
 // returning StateWait) are skippable.
 func (m *ScriptMaster) hint(now uint64) uint64 {
 	next := sim.NoEvent
+	if len(m.retryQ) > 0 && len(m.inflight) < m.MaxInFlight {
+		if nb := m.retryQ[0].NotBefore; nb <= now {
+			return now // a backed-off transaction is due for re-issue
+		} else if nb < next {
+			next = nb
+		}
+	}
 	if m.next < len(m.items) && len(m.inflight) < m.MaxInFlight {
 		if nb := m.items[m.next].NotBefore; nb <= now {
 			return now // can issue (or must retry a rejection) this cycle
-		} else {
+		} else if nb < next {
 			next = nb
 		}
 	}
@@ -123,14 +149,18 @@ func (m *ScriptMaster) Serialized() *ScriptMaster {
 
 // Done reports whether every scripted transaction has completed.
 func (m *ScriptMaster) Done() bool {
-	return m.next == len(m.items) && len(m.inflight) == 0
+	return m.next == len(m.items) && len(m.inflight) == 0 && len(m.retryQ) == 0
 }
 
 // Completed returns the finished transactions in completion order.
 func (m *ScriptMaster) Completed() []*ecbus.Transaction { return m.completed }
 
-// Errors returns the number of transactions that finished with an error.
+// Errors returns the number of transactions that finished with an error
+// after exhausting the retry policy.
 func (m *ScriptMaster) Errors() int { return m.errors }
+
+// TotalRetries returns the number of re-issues across all transactions.
+func (m *ScriptMaster) TotalRetries() int { return m.totalRetries }
 
 func (m *ScriptMaster) tick(cycle uint64) {
 	// Poll in-flight transactions; the bus answers Wait until done.
@@ -138,12 +168,33 @@ func (m *ScriptMaster) tick(cycle uint64) {
 	for _, tr := range m.inflight {
 		st := m.bus.Access(tr)
 		if st.Done() {
-			m.finish(tr, st)
+			m.finish(tr, st, cycle)
 		} else {
 			keep = append(keep, tr)
 		}
 	}
 	m.inflight = keep
+
+	// Re-issue backed-off errored transactions first, oldest first, so a
+	// retry precedes every scripted item that was submitted after the
+	// failing transaction.
+	for len(m.retryQ) > 0 && len(m.inflight) < m.MaxInFlight {
+		it := m.retryQ[0]
+		if it.NotBefore > cycle {
+			break
+		}
+		st := m.bus.Access(it.Tr)
+		switch st {
+		case ecbus.StateRequest:
+			m.inflight = append(m.inflight, it.Tr)
+			m.retryQ = m.retryQ[1:]
+		case ecbus.StateOK, ecbus.StateError:
+			m.retryQ = m.retryQ[1:]
+			m.finish(it.Tr, st, cycle)
+		default:
+			return // bus full: retry next cycle
+		}
+	}
 
 	// Issue new requests while the script and the bus allow.
 	for m.next < len(m.items) && len(m.inflight) < m.MaxInFlight {
@@ -158,7 +209,7 @@ func (m *ScriptMaster) tick(cycle uint64) {
 			m.next++
 		case ecbus.StateOK, ecbus.StateError:
 			// Completed immediately (validation failure path).
-			m.finish(it.Tr, st)
+			m.finish(it.Tr, st, cycle)
 			m.next++
 		default:
 			// Bus full: retry next cycle, preserve program order.
@@ -167,7 +218,16 @@ func (m *ScriptMaster) tick(cycle uint64) {
 	}
 }
 
-func (m *ScriptMaster) finish(tr *ecbus.Transaction, st ecbus.BusState) {
+// finish applies the retry policy to a completed transaction: an
+// errored transaction with retry budget left is reset and queued for
+// re-issue after the backoff window; otherwise it is final.
+func (m *ScriptMaster) finish(tr *ecbus.Transaction, st ecbus.BusState, cycle uint64) {
+	if st == ecbus.StateError && int(tr.Retries) < m.Retry.MaxRetries {
+		tr.ResetForRetry()
+		m.totalRetries++
+		m.retryQ = append(m.retryQ, Item{Tr: tr, NotBefore: cycle + 1 + m.Retry.Backoff})
+		return
+	}
 	m.completed = append(m.completed, tr)
 	if st == ecbus.StateError {
 		m.errors++

@@ -29,6 +29,7 @@ type goldenCapture struct {
 	cycles  uint64
 	done    bool
 	errors  int
+	retries int
 	timing  string // per-transaction timing fields, in completion order
 	energy  string // every energy figure as hex float bits
 	trace   string // trace.Save bytes of the recorded transaction stream
@@ -41,12 +42,20 @@ func f64bits(v float64) string { return fmt.Sprintf("%016x", math.Float64bits(v)
 // the current reference/optimized mode and captures all outputs.
 func goldenRun(t *testing.T, layer int, items []core.Item, char gatepower.CharTable) goldenCapture {
 	t.Helper()
+	return goldenRunOn(t, layer, items, char, testMap, core.RetryPolicy{})
+}
+
+// goldenRunOn is goldenRun over an arbitrary slave map and retry policy,
+// so the same capture machinery covers fault-injected runs.
+func goldenRunOn(t *testing.T, layer int, items []core.Item, char gatepower.CharTable,
+	mp func() *ecbus.Map, retry core.RetryPolicy) goldenCapture {
+	t.Helper()
 	k := sim.New(0)
 	var bus core.Initiator
 	var energy func(sb *strings.Builder)
 	switch layer {
 	case 0:
-		b := rtlbus.New(k, testMap())
+		b := rtlbus.New(k, mp())
 		est := gatepower.NewEstimator(gatepower.DefaultConfig())
 		k.AtObserver(sim.Post, "gp", func(uint64) { est.Observe(b.Wires()) }, est.ObserveIdle)
 		bus = b
@@ -64,7 +73,7 @@ func goldenRun(t *testing.T, layer int, items []core.Item, char gatepower.CharTa
 			}
 		}
 	case 1:
-		b := tlm1.New(k, testMap()).AttachPower(tlm1.NewPowerModel(char))
+		b := tlm1.New(k, mp()).AttachPower(tlm1.NewPowerModel(char))
 		bus = b
 		energy = func(sb *strings.Builder) {
 			p := b.Power()
@@ -73,7 +82,7 @@ func goldenRun(t *testing.T, layer int, items []core.Item, char gatepower.CharTa
 			fmt.Fprintf(sb, "tr=%d", p.Transitions())
 		}
 	default:
-		b := tlm2.New(k, testMap()).AttachPower(tlm2.NewPowerModel(char))
+		b := tlm2.New(k, mp()).AttachPower(tlm2.NewPowerModel(char))
 		bus = b
 		energy = func(sb *strings.Builder) {
 			p := b.Power()
@@ -84,12 +93,15 @@ func goldenRun(t *testing.T, layer int, items []core.Item, char gatepower.CharTa
 	}
 
 	rec := trace.NewRecorder(bus)
-	m, n := core.RunScript(k, rec, items, 1_000_000)
+	m := core.NewScriptMaster(k, rec, items)
+	m.Retry = retry
+	n, _ := k.RunUntil(1_000_000, m.Done)
 
 	var cap goldenCapture
 	cap.cycles = n
 	cap.done = m.Done()
 	cap.errors = m.Errors()
+	cap.retries = m.TotalRetries()
 	cap.skipped = k.SkippedCycles()
 
 	var tb strings.Builder

@@ -193,6 +193,7 @@ type Transaction struct {
 	// Result fields.
 	Done       bool
 	Err        bool
+	Retries    int32  // completed attempts that ended in a bus error and were re-issued; int32 to fit the padding after the flags
 	IssueCycle uint64 // cycle the master first presented the request
 	AddrCycle  uint64 // cycle the address phase completed
 	DataCycle  uint64 // cycle the final data phase completed
@@ -289,22 +290,46 @@ func (t *Transaction) ResetSingle(id uint64, kind Kind, addr uint64, w Width, da
 	t.Data = t.Data[:1]
 	t.Data[0] = data
 	t.ID, t.Kind, t.Addr, t.Width, t.Burst = id, kind, addr&AddrMask, w, false
-	t.Done, t.Err = false, false
+	t.Done, t.Err, t.Retries = false, false, 0
 	t.IssueCycle, t.AddrCycle, t.DataCycle = 0, 0, 0
 	return t.Validate()
 }
 
 // ResetBurst reinitializes t in place as a burst transaction under the
 // same pooling contract as ResetSingle. The Data slice is resized to
-// BurstLen (reusing capacity); for writes the caller fills it before
-// issuing the transaction.
+// BurstLen (reusing capacity) and zeroed — a pooled object whose previous
+// use was a read that errored mid-burst still carries the earlier
+// payload in the beats the error never reached, and that payload must
+// not leak into the next use. For writes the caller fills the slice
+// before issuing the transaction.
 func (t *Transaction) ResetBurst(id uint64, kind Kind, addr uint64) error {
 	if cap(t.Data) < BurstLen {
 		t.Data = make([]uint32, BurstLen)
 	}
 	t.Data = t.Data[:BurstLen]
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
 	t.ID, t.Kind, t.Addr, t.Width, t.Burst = id, kind, addr&AddrMask, W32, true
-	t.Done, t.Err = false, false
+	t.Done, t.Err, t.Retries = false, false, 0
 	t.IssueCycle, t.AddrCycle, t.DataCycle = 0, 0, 0
 	return t.Validate()
+}
+
+// ResetForRetry clears the result fields of a completed transaction so a
+// master can re-issue it after a bus error, incrementing the retry
+// counter. Read payloads are zeroed: an errored read may have deposited
+// corrupted beats, and a retry must not expose them if the next attempt
+// errors earlier than this one did. Write payloads are preserved — the
+// retry re-sends the same data. The pooling contract of ResetSingle
+// applies: only a Done transaction may be reset.
+func (t *Transaction) ResetForRetry() {
+	if t.Kind.IsRead() {
+		for i := range t.Data {
+			t.Data[i] = 0
+		}
+	}
+	t.Retries++
+	t.Done, t.Err = false, false
+	t.IssueCycle, t.AddrCycle, t.DataCycle = 0, 0, 0
 }

@@ -194,3 +194,61 @@ func TestResetBurstResizesPooledData(t *testing.T) {
 		t.Fatal("unaligned burst reset accepted")
 	}
 }
+
+func TestResetBurstClearsStalePayload(t *testing.T) {
+	// A pooled transaction whose previous use was an errored burst read
+	// still carries the earlier payload in the beats the error never
+	// reached; reuse must not leak it.
+	tr, _ := NewBurst(1, Read, 0x100, []uint32{0xAA, 0xBB, 0xCC, 0xDD})
+	tr.Done, tr.Err = true, true
+	if err := tr.ResetBurst(2, Read, 0x200); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range tr.Data {
+		if v != 0 {
+			t.Fatalf("word %d carries stale payload %#x after ResetBurst", i, v)
+		}
+	}
+}
+
+func TestResetForRetry(t *testing.T) {
+	// Errored read: corrupted beats must not survive into the retry.
+	rd, _ := NewBurst(1, Read, 0x100, []uint32{0xDEAD, 0xBEEF, 0, 0})
+	rd.Done, rd.Err = true, true
+	rd.IssueCycle, rd.AddrCycle, rd.DataCycle = 3, 4, 9
+	rd.ResetForRetry()
+	if rd.Done || rd.Err {
+		t.Fatalf("result state not cleared: %+v", rd)
+	}
+	if rd.Retries != 1 {
+		t.Fatalf("Retries = %d, want 1", rd.Retries)
+	}
+	if rd.IssueCycle != 0 || rd.AddrCycle != 0 || rd.DataCycle != 0 {
+		t.Fatalf("cycle stamps not cleared: %+v", rd)
+	}
+	for i, v := range rd.Data {
+		if v != 0 {
+			t.Fatalf("read word %d kept corrupted beat %#x across retry", i, v)
+		}
+	}
+	// Errored write: the retry must re-send the same payload.
+	wr, _ := NewBurst(2, Write, 0x200, []uint32{1, 2, 3, 4})
+	wr.Done, wr.Err = true, true
+	wr.ResetForRetry()
+	for i, v := range wr.Data {
+		if v != uint32(i+1) {
+			t.Fatalf("write word %d payload lost across retry: %#x", i, v)
+		}
+	}
+	wr.ResetForRetry()
+	if wr.Retries != 2 {
+		t.Fatalf("Retries = %d, want 2 after second retry", wr.Retries)
+	}
+	// ResetSingle/ResetBurst start a fresh use: the retry count resets.
+	if err := wr.ResetBurst(3, Write, 0x300); err != nil {
+		t.Fatal(err)
+	}
+	if wr.Retries != 0 {
+		t.Fatalf("Retries = %d after ResetBurst, want 0", wr.Retries)
+	}
+}

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ecbus"
+	"repro/internal/fault"
 	"repro/internal/gatepower"
 	"repro/internal/javacard"
 	"repro/internal/mem"
@@ -53,16 +54,26 @@ const romSize = 0x1000
 // AddrMaps names the explored address maps.
 var AddrMaps = []string{"near", "far"}
 
+// SweepRetry is the master retry policy paired with an active fault
+// plan: generous enough that seeded-random error runs cannot abort a
+// workload, with a one-cycle backoff before each re-issue.
+var SweepRetry = core.RetryPolicy{MaxRetries: 16, Backoff: 1}
+
 // Config is one point of the design space.
 type Config struct {
 	Layer   int // bus abstraction layer: 1 or 2
 	Org     javacard.Organization
 	AddrMap string // "near" or "far"
+	Fault   string // named fault plan (fault.Names); "" or "none" = clean
 }
 
-// String renders the configuration compactly.
+// String renders the configuration compactly. Clean configurations keep
+// the historical three-part form.
 func (c Config) String() string {
-	return fmt.Sprintf("L%d/%s/%s", c.Layer, c.Org, c.AddrMap)
+	if c.Fault == "" || c.Fault == "none" {
+		return fmt.Sprintf("L%d/%s/%s", c.Layer, c.Org, c.AddrMap)
+	}
+	return fmt.Sprintf("L%d/%s/%s/%s", c.Layer, c.Org, c.AddrMap, c.Fault)
 }
 
 // Result is the measured outcome of one configuration on one workload.
@@ -72,6 +83,7 @@ type Result struct {
 	Cycles       uint64
 	BusEnergyJ   float64
 	Transactions uint64
+	Retries      uint64 // bus-error re-issues by the masters
 	Steps        uint64 // executed bytecodes
 }
 
@@ -103,11 +115,13 @@ func (e *ErrFetchTimeout) Error() string {
 // transaction object: each fetch runs to completion before the next, so
 // the bus never retains the object across calls.
 type blockingMaster struct {
-	k   *sim.Kernel
-	bus core.Initiator
-	ids uint64
-	n   uint64
-	tr  ecbus.Transaction
+	k       *sim.Kernel
+	bus     core.Initiator
+	ids     uint64
+	n       uint64
+	tr      ecbus.Transaction
+	retry   core.RetryPolicy
+	retries uint64
 }
 
 func (m *blockingMaster) read8(addr uint64) error {
@@ -122,7 +136,14 @@ func (m *blockingMaster) read8(addr uint64) error {
 			return nil
 		}
 		if st == ecbus.StateError {
-			return fmt.Errorf("explore: fetch bus error at %#x", addr)
+			if int(m.tr.Retries) >= m.retry.MaxRetries {
+				return fmt.Errorf("explore: fetch bus error at %#x after %d retries", addr, m.tr.Retries)
+			}
+			m.tr.ResetForRetry()
+			m.retries++
+			for b := uint64(0); b < m.retry.Backoff; b++ {
+				m.k.Step()
+			}
 		}
 		m.k.Step()
 	}
@@ -172,7 +193,24 @@ func runPrepared(cfg Config, p prepared, char gatepower.CharTable) (Result, erro
 		base = FarBase
 	}
 	hs := javacard.NewHardStack("stack", base)
-	bmap, err := ecbus.NewMap(p.rom, hs)
+
+	// An active fault plan wraps every slave in a per-run injector: the
+	// injector carries mutable access counters, so each configuration
+	// gets private instances while the ROM underneath stays shared and
+	// read-only across workers.
+	plan, ok := fault.Named(cfg.Fault)
+	if !ok {
+		return Result{}, fmt.Errorf("explore: unknown fault plan %q", cfg.Fault)
+	}
+	var retry core.RetryPolicy
+	rom, stack := ecbus.Slave(p.rom), ecbus.Slave(hs)
+	if !plan.Empty() {
+		// The stack SFR has destructive reads (pop registers), so it only
+		// takes the side-effect-safe projection of the plan.
+		rom, stack = fault.Wrap(rom, plan), fault.Wrap(stack, plan.WithoutReadErrors())
+		retry = SweepRetry
+	}
+	bmap, err := ecbus.NewMap(rom, stack)
 	if err != nil {
 		return Result{}, err
 	}
@@ -191,7 +229,8 @@ func runPrepared(cfg Config, p prepared, char gatepower.CharTable) (Result, erro
 	}
 
 	adapter := javacard.NewMasterAdapter(k, bus, base, cfg.Org)
-	fetcher := &blockingMaster{k: k, bus: bus}
+	adapter.Retry = retry
+	fetcher := &blockingMaster{k: k, bus: bus, retry: retry}
 	mm, fw := p.w.Runtime()
 	vm := javacard.NewVM(p.prog, adapter, mm, fw)
 	vm.FetchHook = func(pc int) {
@@ -212,6 +251,7 @@ func runPrepared(cfg Config, p prepared, char gatepower.CharTable) (Result, erro
 		Cycles:       k.Cycle(),
 		BusEnergyJ:   energy(),
 		Transactions: adapter.Transactions + fetcher.n,
+		Retries:      adapter.Retries + fetcher.retries,
 		Steps:        vm.Steps,
 	}, nil
 }
@@ -228,6 +268,9 @@ type SweepOpts struct {
 	// own. Failed configurations are reported with the zero Result and
 	// a non-nil error.
 	OnResult func(Result, error)
+	// Faults is the fault-plan sweep axis: named plans (fault.Names)
+	// evaluated for every configuration. Empty means clean runs only.
+	Faults []string
 }
 
 // Sweep evaluates the full cross product of layers × organizations ×
@@ -249,6 +292,10 @@ func SweepWith(opts SweepOpts, layers []int, orgs []javacard.Organization, maps 
 		cfg Config
 		p   prepared
 	}
+	faults := opts.Faults
+	if len(faults) == 0 {
+		faults = []string{""}
+	}
 	var jobs []job
 	var prepErrs []error
 	for _, w := range workloads {
@@ -260,7 +307,9 @@ func SweepWith(opts SweepOpts, layers []int, orgs []javacard.Organization, maps 
 		for _, l := range layers {
 			for _, o := range orgs {
 				for _, m := range maps {
-					jobs = append(jobs, job{idx: len(jobs), cfg: Config{Layer: l, Org: o, AddrMap: m}, p: p})
+					for _, f := range faults {
+						jobs = append(jobs, job{idx: len(jobs), cfg: Config{Layer: l, Org: o, AddrMap: m, Fault: f}, p: p})
+					}
 				}
 			}
 		}

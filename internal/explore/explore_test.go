@@ -281,3 +281,63 @@ func TestParetoMatchesQuadraticReference(t *testing.T) {
 		}
 	}
 }
+
+// TestFaultAxisSweep exercises the fault-plan sweep axis: faulted
+// configurations complete (retry policy absorbs the injected errors),
+// cost at least as many cycles as their clean twins, and record the
+// retries they needed. Fault wrapping also reuses the shared prepared
+// image, so this doubles as the pooled-transaction leak check: retried
+// fetches and SFR accesses run through the same pooled transaction
+// objects and must still produce a deterministic result.
+func TestFaultAxisSweep(t *testing.T) {
+	opts := SweepOpts{Workers: 2, Faults: []string{"none", "flaky"}}
+	results, err := SweepWith(opts, []int{1, 2}, []javacard.Organization{javacard.OrgBurst},
+		[]string{"near"}, []javacard.Workload{churn()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("sweep produced %d results, want 4", len(results))
+	}
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Config.String()] = r
+	}
+	for _, layer := range []string{"L1", "L2"} {
+		clean, ok1 := byName[layer+"/burst4/near"]
+		flaky, ok2 := byName[layer+"/burst4/near/flaky"]
+		if !ok1 || !ok2 {
+			t.Fatalf("missing sweep rows in %v", byName)
+		}
+		if clean.Retries != 0 {
+			t.Fatalf("%s clean run recorded %d retries", layer, clean.Retries)
+		}
+		if flaky.Retries == 0 {
+			t.Fatalf("%s flaky run recorded no retries — injection did not happen", layer)
+		}
+		if flaky.Cycles < clean.Cycles {
+			t.Fatalf("%s flaky run (%d cycles) cheaper than clean (%d)", layer, flaky.Cycles, clean.Cycles)
+		}
+	}
+	// Determinism under faults: a rerun reproduces cycles and retries
+	// exactly (pooled transactions carry no state across runs).
+	again, err := SweepWith(opts, []int{1, 2}, []javacard.Organization{javacard.OrgBurst},
+		[]string{"near"}, []javacard.Workload{churn()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range results {
+		if results[i].Cycles != again[i].Cycles || results[i].Retries != again[i].Retries ||
+			results[i].BusEnergyJ != again[i].BusEnergyJ {
+			t.Fatalf("faulted sweep not reproducible: %+v vs %+v", results[i], again[i])
+		}
+	}
+}
+
+func TestRunRejectsUnknownFaultPlan(t *testing.T) {
+	_, err := Run(Config{Layer: 1, Org: javacard.OrgHalf, AddrMap: "near", Fault: "bogus"},
+		churn(), platform.DefaultCharTable())
+	if err == nil {
+		t.Fatal("unknown fault plan accepted")
+	}
+}

@@ -234,7 +234,12 @@ type MasterAdapter struct {
 	str ecbus.Transaction
 	btr ecbus.Transaction
 
+	// Retry is the bus-error reaction policy (the zero value aborts on
+	// the first error, the historical behaviour).
+	Retry core.RetryPolicy
+
 	Transactions uint64
+	Retries      uint64 // re-issues after bus errors
 }
 
 // NewMasterAdapter binds a stack adapter to a bus and a HardStack base
@@ -260,7 +265,16 @@ func (a *MasterAdapter) run(tr *ecbus.Transaction) (uint32, error) {
 			return tr.Data[0], nil
 		}
 		if st == ecbus.StateError {
-			return 0, fmt.Errorf("stack adapter: bus error at %#x", tr.Addr)
+			if int(tr.Retries) >= a.Retry.MaxRetries {
+				return 0, fmt.Errorf("stack adapter: bus error at %#x after %d retries", tr.Addr, tr.Retries)
+			}
+			// Back off, then re-issue the same transaction (write
+			// payloads are preserved across the reset).
+			tr.ResetForRetry()
+			a.Retries++
+			for b := uint64(0); b < a.Retry.Backoff; b++ {
+				a.k.Step()
+			}
 		}
 		a.k.Step()
 	}

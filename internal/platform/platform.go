@@ -18,6 +18,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/crypto"
 	"repro/internal/ecbus"
+	"repro/internal/fault"
 	"repro/internal/gatepower"
 	"repro/internal/mem"
 	"repro/internal/periph"
@@ -78,6 +79,7 @@ type Config struct {
 	Char   *gatepower.CharTable // characterization table for TLM energy; nil = DefaultCharTable
 	Seed   uint64               // TRNG seed (0 = fixed default)
 	ICache bool                 // CPU instruction cache
+	Fault  fault.Plan           // fault-injection plan; the zero Plan injects nothing
 }
 
 // Platform is an assembled smart-card system.
@@ -100,7 +102,8 @@ type Platform struct {
 
 	CPU *cpu.CPU // attached by LoadProgram
 
-	meters []*SlaveMeter
+	meters    []*SlaveMeter
+	injectors []*fault.Injector
 
 	// Layer-specific energy hooks (nil when Energy is off).
 	gate *gatepower.Estimator
@@ -130,15 +133,29 @@ func New(cfg Config) *Platform {
 	p.TRNG = periph.NewTRNG(k, "trng", TRNGBase, seed)
 	p.Crypto = crypto.New(k, "crypto", CryptoBase, crypto.DefaultLeak(), ic, periph.LineCrypto)
 
-	wrap := func(s ecbus.Slave) ecbus.Slave {
+	wrap := func(s ecbus.Slave, plan fault.Plan) ecbus.Slave {
 		m := NewSlaveMeter(s)
 		p.meters = append(p.meters, m)
-		return m
+		if plan.Empty() {
+			return m
+		}
+		// The injector sits outermost: a suppressed faulty write never
+		// reaches the meter (the array was not accessed), while an
+		// error-flagged read still meters the access it corrupted.
+		in := fault.Wrap(m, plan)
+		p.injectors = append(p.injectors, in)
+		return in
 	}
+	// Memories take the full plan; peripherals have reads with side
+	// effects (UART RX pops the FIFO, the TRNG advances its state), so
+	// they only take the side-effect-safe projection — a retried
+	// error-flagged read would otherwise replay the side effect.
+	memPlan, perPlan := cfg.Fault, cfg.Fault.WithoutReadErrors()
 	m := ecbus.MustMap(
-		wrap(p.ROM), wrap(p.Flash), wrap(p.EEPROM), wrap(p.RAM), wrap(p.Scratch),
-		wrap(p.UART), wrap(p.Timer0), wrap(p.Timer1), wrap(p.TRNG), wrap(p.Int),
-		wrap(p.Crypto),
+		wrap(p.ROM, memPlan), wrap(p.Flash, memPlan), wrap(p.EEPROM, memPlan),
+		wrap(p.RAM, memPlan), wrap(p.Scratch, memPlan),
+		wrap(p.UART, perPlan), wrap(p.Timer0, perPlan), wrap(p.Timer1, perPlan),
+		wrap(p.TRNG, perPlan), wrap(p.Int, perPlan), wrap(p.Crypto, perPlan),
 	)
 
 	switch cfg.Layer {
@@ -249,6 +266,21 @@ func (p *Platform) EnergyBreakdown() map[string]float64 {
 		out[m.Config().Name] = m.Energy()
 	}
 	return out
+}
+
+// FaultStats aggregates the injection counters of all fault injectors
+// (zero when no fault plan is configured).
+func (p *Platform) FaultStats() fault.Stats {
+	var s fault.Stats
+	for _, in := range p.injectors {
+		st := in.Stats()
+		s.ReadErrors += st.ReadErrors
+		s.WriteErrors += st.WriteErrors
+		s.Corruptions += st.Corruptions
+		s.ExtraWaits += st.ExtraWaits
+		s.Stretched += st.Stretched
+	}
+	return s
 }
 
 // GateEstimator exposes the layer-0 estimator (nil on other layers).

@@ -358,18 +358,22 @@ func (b *Bus) readUnit(cycle uint64) {
 	}
 	data, ok := sl.ReadWord(addr, w)
 	b.wires.Set(ecbus.SigRData, uint64(data))
-	b.wires.SetBool(ecbus.SigRdVal, true)
-	b.wires.SetBool(ecbus.SigBLast, tr.Burst && i == tr.Words()-1)
 	b.stats.DataBeats++
 	tr.Data[i] = data
 	b.rBeat.beat++
 	b.rBeat.cnt = 0
 	if !ok {
-		// Slave-side read error aborts the transaction at this beat.
+		// Slave-side read error aborts the transaction at this beat. The
+		// error strobe replaces the read-valid strobe for the cycle — the
+		// two are mutually exclusive on the EC read bus — and the burst
+		// terminates without a last-beat marker. The (possibly corrupted)
+		// word the slave drove stays on the read data bus.
 		b.wires.SetBool(ecbus.SigRBErr, true)
 		b.finishRead(tr, cycle, true)
 		return
 	}
+	b.wires.SetBool(ecbus.SigRdVal, true)
+	b.wires.SetBool(ecbus.SigBLast, tr.Burst && i == tr.Words()-1)
 	if b.rBeat.beat == tr.Words() {
 		b.finishRead(tr, cycle, false)
 	}
@@ -412,16 +416,19 @@ func (b *Bus) writeUnit(cycle uint64) {
 		w = ecbus.W32
 	}
 	ok := sl.WriteWord(addr, tr.Data[i], w)
-	b.wires.SetBool(ecbus.SigWDRdy, true)
-	b.wires.SetBool(ecbus.SigBLast, tr.Burst && i == tr.Words()-1)
 	b.stats.DataBeats++
 	b.wBeat.beat++
 	b.wBeat.cnt = 0
 	if !ok {
+		// Mirror of the read-side rule: the write-error strobe replaces
+		// the write-accept strobe, and the burst terminates without a
+		// last-beat marker.
 		b.wires.SetBool(ecbus.SigWBErr, true)
 		b.finishWrite(tr, cycle, true)
 		return
 	}
+	b.wires.SetBool(ecbus.SigWDRdy, true)
+	b.wires.SetBool(ecbus.SigBLast, tr.Burst && i == tr.Words()-1)
 	if b.wBeat.beat == tr.Words() {
 		b.finishWrite(tr, cycle, false)
 	}

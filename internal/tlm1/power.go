@@ -131,6 +131,13 @@ func (p *PowerModel) driveReadBeat(data uint32, last bool) {
 	p.new.SetBool(ecbus.SigBLast, last)
 }
 
+// driveReadErrData reconstructs an error-flagged read beat: the slave
+// drives the word on the read data bus but the read-valid strobe stays
+// low (driveError raises the error strobe in its place).
+func (p *PowerModel) driveReadErrData(data uint32) {
+	p.new.Set(ecbus.SigRData, uint64(data))
+}
+
 // driveWriteData reconstructs the master driving the write data bus
 // while a write beat is pending (including its wait cycles).
 func (p *PowerModel) driveWriteData(data uint32) {

@@ -355,7 +355,15 @@ func (b *Bus) readPhase(cycle uint64) {
 	e.tr.Data[i] = data
 	b.stats.DataBeats++
 	if b.power != nil {
-		b.power.driveReadBeat(data, e.tr.Burst && i == e.tr.Words()-1)
+		if ok {
+			b.power.driveReadBeat(data, e.tr.Burst && i == e.tr.Words()-1)
+		} else {
+			// Errored beat: the slave still drives the (possibly
+			// corrupted) word, but the error strobe — raised by the
+			// finish path below — replaces the read-valid strobe, and
+			// the last-beat marker is not driven.
+			b.power.driveReadErrData(data)
+		}
 	}
 	e.beat++
 	e.beatCnt = 0
@@ -407,7 +415,9 @@ func (b *Bus) writePhase(cycle uint64) {
 	}
 	ok := e.slave.WriteWord(addr, e.tr.Data[i], w)
 	b.stats.DataBeats++
-	if b.power != nil {
+	if b.power != nil && ok {
+		// On an errored beat the error strobe (finish path) replaces
+		// the write-accept strobe and no last-beat marker is driven.
 		b.power.driveWriteBeat(e.tr.Burst && i == e.tr.Words()-1)
 	}
 	e.beat++

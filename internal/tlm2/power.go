@@ -120,31 +120,40 @@ func (p *PowerModel) addressPhaseEnergy(tr *ecbus.Transaction) {
 }
 
 // dataPhaseEnergy books the whole data phase of a request at once, after
-// it finished (the request's data words are final by then).
-func (p *PowerModel) dataPhaseEnergy(tr *ecbus.Transaction) {
+// it finished (the request's data words are final by then). delivered is
+// the number of beats that actually reached the wire — on a bus error
+// the phase aborts early, the failing beat pulses the error strobe
+// instead of the valid/accept strobe (errorEnergy books that pair), and
+// the last-beat marker of an aborted burst is never driven. For an
+// error-free phase delivered == len(tr.Data) and the accounting reduces
+// to the historical formula exactly.
+func (p *PowerModel) dataPhaseEnergy(tr *ecbus.Transaction, delivered int, errored bool) {
 	var e float64
-	beats := len(tr.Data)
+	strobes := delivered
+	if errored {
+		strobes-- // the failing beat's strobe is the error strobe
+	}
 	if tr.Kind.IsRead() {
 		// Strobe booked per beat — the overcount the paper describes.
-		e += float64(beats) * p.pair(ecbus.SigRdVal)
+		e += float64(strobes) * p.pair(ecbus.SigRdVal)
 		last := p.lastRData
-		for _, w := range tr.Data {
+		for _, w := range tr.Data[:delivered] {
 			e += float64(logic.Hamming(last, uint64(w), ecbus.DataBits)) *
 				p.table.PerTransitionJ[ecbus.SigRData]
 			last = uint64(w)
 		}
 		p.lastRData = last
 	} else {
-		e += float64(beats) * p.pair(ecbus.SigWDRdy)
+		e += float64(strobes) * p.pair(ecbus.SigWDRdy)
 		last := p.lastWData
-		for _, w := range tr.Data {
+		for _, w := range tr.Data[:delivered] {
 			e += float64(logic.Hamming(last, uint64(w), ecbus.DataBits)) *
 				p.table.PerTransitionJ[ecbus.SigWData]
 			last = uint64(w)
 		}
 		p.lastWData = last
 	}
-	if tr.Burst {
+	if tr.Burst && !errored {
 		e += p.pair(ecbus.SigBLast)
 	}
 	p.dataPhases++

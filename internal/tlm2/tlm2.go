@@ -14,9 +14,11 @@
 // falling clock edge and one shared data structure for communication
 // between the interface functions and the bus process. "This model
 // requests the actual wait states of the slave when the request is
-// created during the first interface call" — so dynamic (state-dependent)
-// wait states are sampled early and may be stale, one structural source
-// of the layer's timing estimation error. The bus process decrements the
+// created during the first interface call" — that early sample seeds the
+// idle-skip scheduling hint, and the wait count is re-sampled when the
+// address phase actually starts, the same sampling point layers 0 and 1
+// use (keeping dynamic wait states from going stale in deep queues).
+// The bus process decrements the
 // address wait counter until the address phase finishes, then the data
 // wait counter until the data phase finishes, with whole bursts counted
 // as one block; unlike layers 0/1, a data phase cannot complete in the
@@ -45,6 +47,7 @@ type request struct {
 	err   bool
 
 	state   reqState
+	started bool   // address phase began (wait count re-sampled)
 	addrCnt int    // remaining address wait states
 	dataCnt int    // remaining data phase cycles after the first
 	joined  uint64 // cycle the request entered its data phase
@@ -104,6 +107,8 @@ func (b *Bus) hint(now uint64) uint64 {
 		switch {
 		case r.tr.IssueCycle > now:
 			next = r.tr.IssueCycle
+		case !r.started:
+			return now // phase-start tick re-samples the wait count
 		case r.addrCnt > 0:
 			next = now + uint64(r.addrCnt)
 		default:
@@ -139,7 +144,7 @@ func (b *Bus) onSkip(n uint64) {
 	first := b.cycle + 1 // first fast-forwarded cycle
 	b.cycle += n
 	if len(b.addrQ) > 0 {
-		if r := b.addrQ[0]; r.tr.IssueCycle <= first && r.addrCnt > 0 {
+		if r := b.addrQ[0]; r.started && r.tr.IssueCycle <= first && r.addrCnt > 0 {
 			r.addrCnt -= int(n)
 		}
 	}
@@ -309,9 +314,10 @@ func (b *Bus) isQueued(tr *ecbus.Transaction) bool {
 }
 
 // sampleSlaveState requests the slave's wait states and rights at
-// request creation ("during the first interface call") — including any
-// dynamic extra wait, which may be stale by the time the address phase
-// actually starts.
+// request creation ("during the first interface call"). The dynamic
+// extra wait taken here only seeds the idle-skip scheduling hint; the
+// authoritative count is re-sampled when the address phase actually
+// starts (startAddrPhase).
 func (b *Bus) sampleSlaveState(r *request) {
 	sl, err := b.m.Check(r.tr.Kind, r.tr.Addr, len(r.tr.Data)*4)
 	if err != nil {
@@ -332,6 +338,18 @@ func (b *Bus) sampleSlaveState(r *request) {
 	r.dataCnt = dw + (n-1)*(dw+1)
 }
 
+// startAddrPhase re-samples the slave's dynamic wait state the cycle
+// the address phase actually begins, matching the sampling point of
+// layers 0 and 1. Decode/rights legality and the data-phase length are
+// static and keep their creation-time values.
+func (b *Bus) startAddrPhase(r *request) {
+	r.started = true
+	if r.slave != nil {
+		cfg := r.slave.Config()
+		r.addrCnt = cfg.AddrWait + ecbus.ExtraWaitOf(r.slave, r.tr.Kind, r.tr.Addr)
+	}
+}
+
 // busProcess advances the three phases each falling edge.
 func (b *Bus) busProcess(cycle uint64) {
 	b.cycle = cycle
@@ -348,6 +366,9 @@ func (b *Bus) addressPhase(cycle uint64) {
 	r := b.addrQ[0]
 	if r.tr.IssueCycle > cycle {
 		return
+	}
+	if !r.started {
+		b.startAddrPhase(r)
 	}
 	if r.addrCnt > 0 {
 		r.addrCnt--
@@ -407,6 +428,7 @@ func (b *Bus) completeData(r *request, cycle uint64) {
 	if tr.Burst {
 		w = ecbus.W32
 	}
+	delivered := 0
 	for i := range tr.Data {
 		addr := tr.Addr + uint64(4*i)
 		if tr.Kind.IsRead() {
@@ -416,6 +438,7 @@ func (b *Bus) completeData(r *request, cycle uint64) {
 		} else {
 			ok = r.slave.WriteWord(addr, tr.Data[i], w)
 		}
+		delivered++
 		if !ok {
 			break
 		}
@@ -426,7 +449,7 @@ func (b *Bus) completeData(r *request, cycle uint64) {
 		}
 	}
 	if b.power != nil {
-		b.power.dataPhaseEnergy(tr)
+		b.power.dataPhaseEnergy(tr, delivered, !ok)
 		if !ok {
 			b.power.errorEnergy(tr.Kind)
 		}

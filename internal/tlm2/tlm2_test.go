@@ -114,10 +114,10 @@ func TestNoSameCycleAddrData(t *testing.T) {
 }
 
 func TestStaleDynamicWaitSampling(t *testing.T) {
-	// The layer-2 model samples dynamic wait states at request creation.
-	// A read created while the EEPROM is programming books the full
-	// remaining stall even if the queue would have absorbed part of it —
-	// the documented source of layer-2 timing estimation error.
+	// The layer-2 model re-samples dynamic wait states when the address
+	// phase actually starts (the creation-time sample only seeds the
+	// idle-skip hint): a read reaching the EEPROM mid-programming books
+	// the stall still remaining at that point, like layers 0 and 1 do.
 	k := sim.New(0)
 	ee := mem.NewEEPROM("ee", 0, 0x8000, k)
 	b := New(k, ecbus.MustMap(ee))

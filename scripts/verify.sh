@@ -13,8 +13,11 @@ go test ./...
 echo "== vet"
 go vet ./...
 
-echo "== race gate (explore, sim)"
-go test -race ./internal/explore/... ./internal/sim/...
+echo "== race gate (explore, sim, fault)"
+go test -race ./internal/explore/... ./internal/sim/... ./internal/fault/...
+
+echo "== fault-plan smoke (ecbench)"
+go run ./cmd/ecbench -fault grind > /dev/null
 
 echo "== benchmark smoke (1 iteration each)"
 go test -run '^$' -bench . -benchtime 1x ./... > /dev/null
