@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race faultsmoke bench verify
+.PHONY: all build test vet race cover fuzz faultsmoke bench verify
 
 all: build
 
@@ -15,6 +15,17 @@ vet:
 
 race:
 	$(GO) test -race ./internal/explore/... ./internal/sim/... ./internal/fault/...
+
+# cover enforces per-package coverage floors (70% for metrics, fault
+# and checker, the packages carrying the observability contracts).
+cover:
+	./scripts/cover.sh
+
+# fuzz runs every fuzz target for 10s — the same smoke verify runs.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzPlanParse$$' -fuzztime 10s ./internal/fault/
+	$(GO) test -run '^$$' -fuzz '^FuzzWithoutReadErrors$$' -fuzztime 10s ./internal/fault/
+	$(GO) test -run '^$$' -fuzz '^FuzzCheckerRules$$' -fuzztime 10s ./internal/checker/
 
 faultsmoke:
 	$(GO) run ./cmd/ecbench -fault grind

@@ -10,6 +10,7 @@
 //	ecbench -figure 6    # the sampling figure
 //	ecbench -explore     # the case-study sweep only
 //	ecbench -fault grind # the fault-robustness table only (plans: none, flaky, storm, grind)
+//	ecbench -metrics     # per-layer metrics breakdown + clean-vs-fault diff (plan from -fault, default storm)
 //	ecbench -n 200000    # transactions per Table-3 measurement
 //	ecbench -workers 1   # serial exploration sweep (default: one per CPU)
 //	ecbench -progress    # stream sweep rows to stderr as configs finish
@@ -32,6 +33,7 @@ func main() {
 	figure := flag.Int("figure", 0, "print only figure 6")
 	exploreOnly := flag.Bool("explore", false, "print only the case-study exploration")
 	faultPlan := flag.String("fault", "", "print only the fault-robustness table for this plan (none, flaky, storm, grind)")
+	metricsOn := flag.Bool("metrics", false, "print the per-layer metrics report; diffs clean vs the -fault plan (default storm)")
 	n := flag.Int("n", 100000, "transactions per Table-3 measurement run")
 	workers := flag.Int("workers", 0, "exploration sweep workers; 0 = one per CPU")
 	progress := flag.Bool("progress", false, "stream exploration rows to stderr as they complete")
@@ -67,7 +69,7 @@ func main() {
 		}()
 	}
 
-	all := *table == 0 && *figure == 0 && !*exploreOnly && *faultPlan == ""
+	all := *table == 0 && *figure == 0 && !*exploreOnly && *faultPlan == "" && !*metricsOn
 
 	if all || *table == 1 {
 		_, text := bench.Table1()
@@ -84,8 +86,20 @@ func main() {
 	if all || *figure == 6 {
 		fmt.Println(bench.Figure6())
 	}
-	if *faultPlan != "" {
+	if *faultPlan != "" && !*metricsOn {
 		_, text, err := bench.FaultTable(*faultPlan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ecbench:", err)
+			os.Exit(2)
+		}
+		fmt.Println(text)
+	}
+	if *metricsOn {
+		plan := *faultPlan
+		if plan == "" {
+			plan = "storm"
+		}
+		text, err := bench.MetricsReport(plan)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ecbench:", err)
 			os.Exit(2)

@@ -8,6 +8,7 @@
 //	jcexplore -layer 2        # only the timed layer (fastest)
 //	jcexplore -workload wallet
 //	jcexplore -faults none,flaky  # add fault-plan sweep axis
+//	jcexplore -report         # per-configuration metrics breakdown after the tables
 //	jcexplore -workers 1      # serial sweep (default: one worker per CPU)
 //	jcexplore -progress       # stream rows to stderr as configs finish
 //	jcexplore -cpuprofile cpu.prof -memprofile mem.prof
@@ -30,6 +31,7 @@ func main() {
 	layer := flag.Int("layer", 0, "restrict to one bus layer (1 or 2); 0 = both")
 	workload := flag.String("workload", "", "restrict to one workload (arith-loop, stack-churn, wallet)")
 	faults := flag.String("faults", "", "comma-separated fault plans as an extra sweep axis (none, flaky, storm, grind)")
+	report := flag.Bool("report", false, "collect per-configuration metrics and print the run-report breakdown")
 	workers := flag.Int("workers", 0, "parallel sweep workers; 0 = one per CPU")
 	progress := flag.Bool("progress", false, "stream per-configuration rows to stderr as they complete")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -83,7 +85,7 @@ func main() {
 		workloads = filtered
 	}
 
-	opts := explore.SweepOpts{Workers: *workers}
+	opts := explore.SweepOpts{Workers: *workers, Metrics: *report}
 	if *faults != "" {
 		for _, name := range strings.Split(*faults, ",") {
 			name = strings.TrimSpace(name)
@@ -118,4 +120,14 @@ func main() {
 	fmt.Println()
 	fmt.Println("Pareto frontier (cycles vs bus energy):")
 	fmt.Print(explore.Table(explore.Pareto(results)))
+	if *report {
+		fmt.Println()
+		fmt.Println("Per-configuration metrics:")
+		for _, r := range results {
+			if r.Metrics == nil {
+				continue
+			}
+			fmt.Printf("\n%s/%s\n%s", r.Workload, r.Config.String(), r.Metrics.Table())
+		}
+	}
 }

@@ -1,0 +1,178 @@
+package checker
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ecbus"
+)
+
+// Fuzz coverage for the protocol monitor on arbitrary signal sequences.
+// The checker is the one component whose input space is not generated
+// by our own bus models: it must hold up against any wire soup — never
+// panic, never report a rule outside its specification, stay strictly
+// deterministic, and still fire the queue-tracking rules (D3, E1, O1)
+// whenever cheap independent oracles prove a violation is present.
+
+// knownRules is the complete rule vocabulary from the package contract.
+var knownRules = map[string]bool{
+	"A1": true, "A2": true, "A3": true,
+	"D1": true, "D2": true, "D3": true,
+	"E1": true, "O1": true, "B1": true,
+}
+
+// fuzzCycles caps the decoded sequence length so a single fuzz input
+// stays cheap.
+const fuzzCycles = 512
+
+// decodeBundles turns the raw fuzz payload into a wire sequence, three
+// bytes per cycle: a control/strobe bitmask, an error/qualifier byte,
+// and an address byte.
+func decodeBundles(data []byte) []ecbus.Bundle {
+	n := len(data) / 3
+	if n > fuzzCycles {
+		n = fuzzCycles
+	}
+	bundles := make([]ecbus.Bundle, n)
+	for i := 0; i < n; i++ {
+		b0, b1, b2 := data[3*i], data[3*i+1], data[3*i+2]
+		b := &bundles[i]
+		b.SetBool(ecbus.SigAValid, b0&0x01 != 0)
+		b.SetBool(ecbus.SigARdy, b0&0x02 != 0)
+		b.SetBool(ecbus.SigInstr, b0&0x04 != 0)
+		b.SetBool(ecbus.SigWrite, b0&0x08 != 0)
+		b.SetBool(ecbus.SigBurst, b0&0x10 != 0)
+		b.SetBool(ecbus.SigBFirst, b0&0x20 != 0)
+		b.SetBool(ecbus.SigRdVal, b0&0x40 != 0)
+		b.SetBool(ecbus.SigWDRdy, b0&0x80 != 0)
+		b.SetBool(ecbus.SigRBErr, b1&0x01 != 0)
+		b.SetBool(ecbus.SigWBErr, b1&0x02 != 0)
+		b.SetBool(ecbus.SigBLast, b1&0x04 != 0)
+		b.Set(ecbus.SigBE, uint64(b1>>4))
+		b.Set(ecbus.SigA, uint64(b2)<<2)
+	}
+	return bundles
+}
+
+// cat reads the accept category off a bundle's address-phase wires, the
+// same way the checker does.
+func cat(b *ecbus.Bundle) ecbus.Category {
+	switch {
+	case b.Bool(ecbus.SigWrite):
+		return ecbus.CatWrite
+	case b.Bool(ecbus.SigInstr):
+		return ecbus.CatInstrRead
+	default:
+		return ecbus.CatDataRead
+	}
+}
+
+func FuzzCheckerRules(f *testing.F) {
+	// Legal single-word read: accept, then one beat.
+	f.Add([]byte{0x03, 0x00, 0x10, 0x40, 0x00, 0x00})
+	// Orphan beats and strobes (D3, E1 both directions).
+	f.Add([]byte{0x40, 0x00, 0x00})
+	f.Add([]byte{0x80, 0x00, 0x00})
+	f.Add([]byte{0x00, 0x01, 0x00})
+	f.Add([]byte{0x00, 0x02, 0x00})
+	// Conflicting strobes (D1/D2) and burst qualifier abuse (B1).
+	f.Add([]byte{0x40, 0x01, 0x00, 0x80, 0x02, 0x00, 0x21, 0x00, 0x00})
+	// Five back-to-back accepts of one category (O1 overflow).
+	f.Add([]byte{0x03, 0x00, 0x04, 0x03, 0x00, 0x08, 0x03, 0x00, 0x0c, 0x03, 0x00, 0x10, 0x03, 0x00, 0x14})
+	// Mid-phase address change (A2) and dropped request (A3).
+	f.Add([]byte{0x01, 0x00, 0x04, 0x01, 0x00, 0x08, 0x00, 0x00, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		bundles := decodeBundles(data)
+		c := New()
+		for i := range bundles {
+			c.Observe(&bundles[i])
+		}
+
+		// Violations carry known rules, in-range cycles, and appear in
+		// nondecreasing cycle order.
+		last := uint64(0)
+		for _, v := range c.Violations() {
+			if !knownRules[v.Rule] {
+				t.Fatalf("unknown rule %q: %v", v.Rule, v)
+			}
+			if v.Cycle >= uint64(len(bundles)) {
+				t.Fatalf("violation cycle %d beyond %d observed cycles", v.Cycle, len(bundles))
+			}
+			if v.Cycle < last {
+				t.Fatalf("violations out of cycle order: %v after cycle %d", v, last)
+			}
+			last = v.Cycle
+			if v.String() == "" {
+				t.Fatal("empty violation rendering")
+			}
+		}
+		reads, writes := c.Outstanding()
+		if reads < 0 || writes < 0 {
+			t.Fatalf("negative outstanding counts: %d/%d", reads, writes)
+		}
+
+		// Determinism: the same wire soup yields the same verdicts.
+		c2 := New()
+		for i := range bundles {
+			c2.Observe(&bundles[i])
+		}
+		if !reflect.DeepEqual(c.Violations(), c2.Violations()) {
+			t.Fatal("checker verdicts not deterministic")
+		}
+
+		// Independent oracles over the prefix before the first strobe of
+		// each direction. Until a RdVal/RBErr appears nothing can retire
+		// a read, so a read beat or error strobe with no prior accept
+		// must be flagged, and more than MaxOutstanding accepts of one
+		// read category must overflow. (Same for writes with their
+		// strobes.)
+		var anyAccept bool
+		var occ [ecbus.NumCategories]int
+		readsOpen, writesOpen := true, true
+		wantD3, wantE1, wantO1 := false, false, false
+		for i := range bundles {
+			b := &bundles[i]
+			ardy := b.Bool(ecbus.SigARdy)
+			rdval, rberr := b.Bool(ecbus.SigRdVal), b.Bool(ecbus.SigRBErr)
+			wdrdy, wberr := b.Bool(ecbus.SigWDRdy), b.Bool(ecbus.SigWBErr)
+			if rdval && !anyAccept && !ardy {
+				wantD3 = true
+			}
+			if wdrdy && !anyAccept && !ardy {
+				wantD3 = true
+			}
+			if rberr && !anyAccept && !ardy {
+				wantE1 = true
+			}
+			if wberr && !anyAccept && !ardy {
+				wantE1 = true
+			}
+			if ardy {
+				anyAccept = true
+				ct := cat(b)
+				isWrite := ct == ecbus.CatWrite
+				if (isWrite && writesOpen && !wberr) || (!isWrite && readsOpen && !rberr) {
+					occ[ct]++
+					if occ[ct] > ecbus.MaxOutstanding {
+						wantO1 = true
+					}
+				}
+			}
+			if rdval || rberr {
+				readsOpen = false
+			}
+			if wdrdy || wberr {
+				writesOpen = false
+			}
+		}
+		if wantD3 && !hasRule(c, "D3") {
+			t.Fatalf("orphan beat with no accept ever, D3 not flagged: %v", c.Violations())
+		}
+		if wantE1 && !hasRule(c, "E1") {
+			t.Fatalf("orphan error strobe with no accept ever, E1 not flagged: %v", c.Violations())
+		}
+		if wantO1 && !hasRule(c, "O1") {
+			t.Fatalf("occupancy overflow before any retirement, O1 not flagged: %v", c.Violations())
+		}
+	})
+}

@@ -1,0 +1,108 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ecbus"
+	"repro/internal/fault"
+	"repro/internal/mem"
+	"repro/internal/rtlbus"
+	"repro/internal/sim"
+	"repro/internal/tlm1"
+	"repro/internal/tlm2"
+)
+
+// Regression coverage for the layer-2 wait-state sampling discipline:
+// the sample taken when a request is created (the paper's
+// first-interface-call contract) is deliberately discarded, and the
+// authoritative count — which also drives the idle-skip scheduling
+// hint — comes exclusively from the re-sample at address-phase start.
+// A creation-time sample stored into the countdown could be stale by
+// the time the address phase starts when an EEPROM/Flash busy window
+// (stretched by a fault plan) opens or closes in between, letting the
+// hint overshoot the skip window. These runs pin the optimized path's
+// kernel-resume cycles to the reference path under exactly those
+// conditions: self-timed busy memories, injected wait storms, and the
+// queueing backpressure that delays address phases past creation.
+
+// busyWindowRun runs items at a layer over an EEPROM-backed map wrapped
+// in a fault plan and captures cycles plus per-transaction timing.
+func busyWindowRun(t *testing.T, layer int, items []core.Item, plan fault.Plan) (cycles uint64, timing string, skipped uint64) {
+	t.Helper()
+	k := sim.New(0)
+	ee := mem.NewEEPROM("ee", 0, 0x8000, k)
+	ram := mem.NewRAM("ram", 0x10000, 0x8000, 0, 0)
+	mp := ecbus.MustMap(fault.Wrap(ee, plan), fault.Wrap(ram, plan))
+	var bus core.Initiator
+	switch layer {
+	case 0:
+		bus = rtlbus.New(k, mp)
+	case 1:
+		bus = tlm1.New(k, mp)
+	default:
+		bus = tlm2.New(k, mp)
+	}
+	m := core.NewScriptMaster(k, bus, items)
+	m.Retry = core.RetryPolicy{MaxRetries: 8, Backoff: 1}
+	n, _ := k.RunUntil(1_000_000, m.Done)
+	if !m.Done() {
+		t.Fatalf("layer %d busy-window run did not complete", layer)
+	}
+	var sb strings.Builder
+	for _, tr := range m.Completed() {
+		fmt.Fprintf(&sb, "%d:%d/%d/%d/%v/%v/%d\n",
+			tr.ID, tr.IssueCycle, tr.AddrCycle, tr.DataCycle, tr.Done, tr.Err, tr.Retries)
+	}
+	return n, sb.String(), k.SkippedCycles()
+}
+
+// busyWindowPlans are the adversarial conditions: pure busy-window
+// stretching, stretching plus wait storms, and the full mix with write
+// errors forcing retries back into reopened busy windows.
+func busyWindowPlans() []fault.Plan {
+	return []fault.Plan{
+		{BusyStretch: 2},
+		{Seed: 0xBADF00D, WaitPermille: 200, MaxExtraWait: 8, BusyStretch: 1},
+		{Seed: 0xBADF00D, WaitPermille: 300, MaxExtraWait: 12, BusyStretch: 3, WriteErrPermille: 30},
+	}
+}
+
+// TestBusyWindowHintRefOpt pins the optimized path's cycle counts and
+// per-transaction timing to the reference path on randomized corpora
+// against self-timed busy memories under every busy-window plan.
+func TestBusyWindowHintRefOpt(t *testing.T) {
+	lay2 := core.Layout{Fast: 0, Slow: 0x10000}
+	seeds := uint64(30)
+	if testing.Short() {
+		seeds = 6
+	}
+	var totalSkipped uint64
+	for pi, plan := range busyWindowPlans() {
+		for seed := uint64(1); seed <= seeds; seed++ {
+			items := core.RandomCorpus(seed, 100, lay2)
+			for layer := 0; layer <= 2; layer++ {
+				var rn uint64
+				var rt string
+				withReference(t, func() {
+					rn, rt, _ = busyWindowRun(t, layer, core.CloneItems(items), plan)
+				})
+				on, ot, skipped := busyWindowRun(t, layer, core.CloneItems(items), plan)
+				totalSkipped += skipped
+				if rn != on || rt != ot {
+					t.Errorf("plan %d seed %d layer %d: ref %d cycles, opt %d cycles (skipped %d)",
+						pi, seed, layer, rn, on, skipped)
+					if rt != ot {
+						t.Fatalf("timing diverged:\nref:\n%s\nopt:\n%s", rt, ot)
+					}
+					return
+				}
+			}
+		}
+	}
+	if totalSkipped == 0 {
+		t.Fatal("optimized path never fast-forwarded — the hint regression is not exercised")
+	}
+}

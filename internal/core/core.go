@@ -17,6 +17,7 @@ package core
 
 import (
 	"repro/internal/ecbus"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -89,6 +90,11 @@ type ScriptMaster struct {
 	// Retry is the bus-error reaction policy. Set it before the first
 	// kernel cycle.
 	Retry RetryPolicy
+
+	// Metrics, when non-nil, receives the master-side retry count: one
+	// Retries(1) per re-issue, so the registry total equals TotalRetries
+	// and the sum of Transaction.Retries over final completions.
+	Metrics *metrics.Registry
 
 	retryQ       []Item // errored transactions awaiting re-issue
 	totalRetries int
@@ -225,6 +231,7 @@ func (m *ScriptMaster) finish(tr *ecbus.Transaction, st ecbus.BusState, cycle ui
 	if st == ecbus.StateError && int(tr.Retries) < m.Retry.MaxRetries {
 		tr.ResetForRetry()
 		m.totalRetries++
+		m.Metrics.Retries(1)
 		m.retryQ = append(m.retryQ, Item{Tr: tr, NotBefore: cycle + 1 + m.Retry.Backoff})
 		return
 	}

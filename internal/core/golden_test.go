@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ecbus"
 	"repro/internal/gatepower"
+	"repro/internal/metrics"
 	"repro/internal/rtlbus"
 	"repro/internal/sim"
 	"repro/internal/tlm1"
@@ -50,15 +51,32 @@ func goldenRun(t *testing.T, layer int, items []core.Item, char gatepower.CharTa
 func goldenRunOn(t *testing.T, layer int, items []core.Item, char gatepower.CharTable,
 	mp func() *ecbus.Map, retry core.RetryPolicy) goldenCapture {
 	t.Helper()
+	return goldenRunMetered(t, layer, items, char, mp, retry, nil)
+}
+
+// goldenRunMetered is goldenRunOn with an optional metrics registry
+// attached to every hook point, so the equivalence suite can assert
+// that observability never perturbs a capture.
+func goldenRunMetered(t *testing.T, layer int, items []core.Item, char gatepower.CharTable,
+	mp func() *ecbus.Map, retry core.RetryPolicy, reg *metrics.Registry) goldenCapture {
+	t.Helper()
 	k := sim.New(0)
+	if reg != nil {
+		k.SetRunObserver(reg)
+	}
 	var bus core.Initiator
 	var energy func(sb *strings.Builder)
+	var total func() float64
 	switch layer {
 	case 0:
 		b := rtlbus.New(k, mp())
 		est := gatepower.NewEstimator(gatepower.DefaultConfig())
 		k.AtObserver(sim.Post, "gp", func(uint64) { est.Observe(b.Wires()) }, est.ObserveIdle)
+		if reg != nil {
+			b.AttachMetrics(k, reg, est.TotalEnergy)
+		}
 		bus = b
+		total = est.TotalEnergy
 		energy = func(sb *strings.Builder) {
 			sb.WriteString(f64bits(est.TotalEnergy()))
 			sb.WriteString(f64bits(est.InterfaceEnergy()))
@@ -74,7 +92,11 @@ func goldenRunOn(t *testing.T, layer int, items []core.Item, char gatepower.Char
 		}
 	case 1:
 		b := tlm1.New(k, mp()).AttachPower(tlm1.NewPowerModel(char))
+		if reg != nil {
+			b.AttachMetrics(reg)
+		}
 		bus = b
+		total = b.Power().TotalEnergy
 		energy = func(sb *strings.Builder) {
 			p := b.Power()
 			sb.WriteString(f64bits(p.TotalEnergy()))
@@ -83,7 +105,11 @@ func goldenRunOn(t *testing.T, layer int, items []core.Item, char gatepower.Char
 		}
 	default:
 		b := tlm2.New(k, mp()).AttachPower(tlm2.NewPowerModel(char))
+		if reg != nil {
+			b.AttachMetrics(reg)
+		}
 		bus = b
+		total = b.Power().TotalEnergy
 		energy = func(sb *strings.Builder) {
 			p := b.Power()
 			sb.WriteString(f64bits(p.TotalEnergy()))
@@ -95,7 +121,11 @@ func goldenRunOn(t *testing.T, layer int, items []core.Item, char gatepower.Char
 	rec := trace.NewRecorder(bus)
 	m := core.NewScriptMaster(k, rec, items)
 	m.Retry = retry
+	m.Metrics = reg
 	n, _ := k.RunUntil(1_000_000, m.Done)
+	if reg != nil {
+		reg.Finalize(total())
+	}
 
 	var cap goldenCapture
 	cap.cycles = n

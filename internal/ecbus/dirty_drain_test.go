@@ -1,0 +1,90 @@
+package ecbus
+
+import "testing"
+
+// TakeDirty is a destructive read: each drain hands the accumulated
+// mask to exactly one consumer and resets the accumulator, so a second
+// drain with no intervening write is empty and writes after a drain
+// accumulate from scratch. The table walks drain sequences step by
+// step, checking the mask handed out at every drain.
+func TestTakeDirtyDrainAfterDrain(t *testing.T) {
+	bit := func(ids ...SignalID) uint32 {
+		var m uint32
+		for _, id := range ids {
+			m |= 1 << uint(id)
+		}
+		return m
+	}
+	type step struct {
+		apply func(b *Bundle) // mutation before the drain (nil = none)
+		want  uint32          // mask this drain must return
+	}
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{
+			name: "second drain empty",
+			steps: []step{
+				{apply: func(b *Bundle) { b.Set(SigA, 0x40) }, want: bit(SigA)},
+				{want: 0},
+				{want: 0},
+			},
+		},
+		{
+			name: "identical rewrite after drain stays clean",
+			steps: []step{
+				{apply: func(b *Bundle) { b.Set(SigWData, 7) }, want: bit(SigWData)},
+				{apply: func(b *Bundle) { b.Set(SigWData, 7) }, want: 0},
+			},
+		},
+		{
+			name: "new value after drain re-marks only that signal",
+			steps: []step{
+				{apply: func(b *Bundle) { b.Set(SigA, 1); b.SetBool(SigAValid, true) }, want: bit(SigA, SigAValid)},
+				{apply: func(b *Bundle) { b.Set(SigA, 2) }, want: bit(SigA)},
+				{want: 0},
+			},
+		},
+		{
+			name: "writes between drains accumulate into one mask",
+			steps: []step{
+				{apply: func(b *Bundle) {
+					b.Set(SigA, 0x10)
+					b.SetBool(SigRdVal, true)
+					b.Set(SigRData, 0xFF)
+				}, want: bit(SigA, SigRdVal, SigRData)},
+				{apply: func(b *Bundle) {
+					b.SetBool(SigRdVal, false)
+					b.SetBool(SigRdVal, true) // away and back: still dirty
+				}, want: bit(SigRdVal)},
+				{want: 0},
+			},
+		},
+		{
+			name: "mark-all drains full once then empty",
+			steps: []step{
+				{apply: func(b *Bundle) { b.MarkAllDirty() }, want: uint32(1)<<uint(NumSignals) - 1},
+				{want: 0},
+				{apply: func(b *Bundle) { b.SetBool(SigWBErr, true) }, want: bit(SigWBErr)},
+				{want: 0},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var b Bundle
+			for i, s := range tc.steps {
+				if s.apply != nil {
+					s.apply(&b)
+				}
+				if got := b.TakeDirty(); got != s.want {
+					t.Fatalf("drain %d: mask %#x, want %#x", i, got, s.want)
+				}
+				if b.Dirty() != 0 {
+					t.Fatalf("drain %d left residue %#x", i, b.Dirty())
+				}
+			}
+		})
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/gatepower"
 	"repro/internal/javacard"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/tlm1"
@@ -85,6 +86,11 @@ type Result struct {
 	Transactions uint64
 	Retries      uint64 // bus-error re-issues by the masters
 	Steps        uint64 // executed bytecodes
+
+	// Metrics is the configuration's observability snapshot — per-phase
+	// and per-slave energy, occupancy, latency, fault counters. Only
+	// populated when the run was metered (SweepOpts.Metrics).
+	Metrics *metrics.Snapshot
 }
 
 // EnergyPerStep returns bus energy per bytecode, the case study's merit
@@ -175,7 +181,7 @@ func Run(cfg Config, w javacard.Workload, char gatepower.CharTable) (Result, err
 	if err != nil {
 		return Result{}, err
 	}
-	r, err := runPrepared(cfg, p, char)
+	r, err := runPrepared(cfg, p, char, false)
 	if err != nil {
 		return Result{}, fmt.Errorf("explore %v/%s: %w", cfg, w.Name, err)
 	}
@@ -185,8 +191,15 @@ func Run(cfg Config, w javacard.Workload, char gatepower.CharTable) (Result, err
 // runPrepared evaluates one configuration against prepared workload
 // state. It builds a fully private simulation context — kernel, bus,
 // power model, adapter, VM — and therefore may run concurrently with
-// other calls sharing the same prepared value.
-func runPrepared(cfg Config, p prepared, char gatepower.CharTable) (Result, error) {
+// other calls sharing the same prepared value. With metered set, the
+// run additionally carries a private metrics registry whose final
+// snapshot lands in Result.Metrics.
+func runPrepared(cfg Config, p prepared, char gatepower.CharTable, metered bool) (Result, error) {
+	var reg *metrics.Registry
+	if metered {
+		reg = metrics.New(fmt.Sprintf("L%d", cfg.Layer))
+		reg.SetMaster(p.w.Name)
+	}
 	k := sim.New(0)
 	base := uint64(NearBase)
 	if cfg.AddrMap == "far" {
@@ -207,7 +220,8 @@ func runPrepared(cfg Config, p prepared, char gatepower.CharTable) (Result, erro
 	if !plan.Empty() {
 		// The stack SFR has destructive reads (pop registers), so it only
 		// takes the side-effect-safe projection of the plan.
-		rom, stack = fault.Wrap(rom, plan), fault.Wrap(stack, plan.WithoutReadErrors())
+		rom = fault.Wrap(rom, plan).AttachMetrics(reg)
+		stack = fault.Wrap(stack, plan.WithoutReadErrors()).AttachMetrics(reg)
 		retry = SweepRetry
 	}
 	bmap, err := ecbus.NewMap(rom, stack)
@@ -220,9 +234,15 @@ func runPrepared(cfg Config, p prepared, char gatepower.CharTable) (Result, erro
 	switch cfg.Layer {
 	case 1:
 		b := tlm1.New(k, bmap).AttachPower(tlm1.NewPowerModel(char))
+		if reg != nil {
+			b.AttachMetrics(reg)
+		}
 		bus, energy = b, b.Power().TotalEnergy
 	case 2:
 		b := tlm2.New(k, bmap).AttachPower(tlm2.NewPowerModel(char))
+		if reg != nil {
+			b.AttachMetrics(reg)
+		}
 		bus, energy = b, b.Power().TotalEnergy
 	default:
 		return Result{}, fmt.Errorf("explore: unsupported layer %d", cfg.Layer)
@@ -245,7 +265,7 @@ func runPrepared(cfg Config, p prepared, char gatepower.CharTable) (Result, erro
 	if err := adapter.Flush(); err != nil {
 		return Result{}, err
 	}
-	return Result{
+	res := Result{
 		Config:       cfg,
 		Workload:     p.w.Name,
 		Cycles:       k.Cycle(),
@@ -253,7 +273,18 @@ func runPrepared(cfg Config, p prepared, char gatepower.CharTable) (Result, erro
 		Transactions: adapter.Transactions + fetcher.n,
 		Retries:      adapter.Retries + fetcher.retries,
 		Steps:        vm.Steps,
-	}, nil
+	}
+	if reg != nil {
+		// The interpreter steps the kernel itself, so the run accounting
+		// and the master-side retries are recorded here rather than
+		// through kernel/master hooks.
+		reg.Retries(res.Retries)
+		reg.RecordKernel(k.Cycle(), k.SkippedCycles(), k.IdleSkips(), k.ProcsRun())
+		reg.Finalize(energy())
+		snap := reg.Snapshot()
+		res.Metrics = &snap
+	}
+	return res, nil
 }
 
 // SweepOpts tunes the parallel sweep engine.
@@ -271,6 +302,9 @@ type SweepOpts struct {
 	// Faults is the fault-plan sweep axis: named plans (fault.Names)
 	// evaluated for every configuration. Empty means clean runs only.
 	Faults []string
+	// Metrics attaches a private observability registry to every
+	// configuration run and stores its snapshot in Result.Metrics.
+	Metrics bool
 }
 
 // Sweep evaluates the full cross product of layers × organizations ×
@@ -338,7 +372,7 @@ func SweepWith(opts SweepOpts, layers []int, orgs []javacard.Organization, maps 
 		go func() {
 			defer wg.Done()
 			for j := range jobCh {
-				r, err := runPrepared(j.cfg, j.p, char)
+				r, err := runPrepared(j.cfg, j.p, char, opts.Metrics)
 				if err != nil {
 					err = fmt.Errorf("explore %v/%s: %w", j.cfg, j.p.w.Name, err)
 				}

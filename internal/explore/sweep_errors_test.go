@@ -1,0 +1,151 @@
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/javacard"
+)
+
+// The partial-failure contract of SweepWith: a failing workload or
+// configuration never aborts the sweep, and the joined error is
+// deterministic — preparation errors first in workload order, then
+// per-configuration errors in cross-product (input) order, regardless
+// of worker count or completion order.
+
+// oversized returns a workload whose image cannot be prepared: the
+// program exceeds the code ROM window, so rom.Load fails.
+func oversized(name string) javacard.Workload {
+	return javacard.Workload{
+		Name:    name,
+		Program: func() javacard.Program { return javacard.Program{Main: make([]byte, romSize+1)} },
+		Runtime: javacard.DefaultRuntime,
+	}
+}
+
+// unwrapJoin splits an errors.Join result back into its ordered parts.
+func unwrapJoin(t *testing.T, err error) []error {
+	t.Helper()
+	if err == nil {
+		t.Fatal("expected a joined error")
+	}
+	u, ok := err.(interface{ Unwrap() []error })
+	if !ok {
+		t.Fatalf("error %T does not unwrap to a list", err)
+	}
+	return u.Unwrap()
+}
+
+func TestSweepWithJoinOrdering(t *testing.T) {
+	// The bad layer fails every configuration it appears in; the bad
+	// workloads fail preparation before any configuration is built.
+	cases := []struct {
+		name      string
+		workloads []javacard.Workload
+		layers    []int
+		// wantPrefix: substrings the first errors must carry, in order
+		// (the preparation failures, in workload order).
+		wantPrefix []string
+		// wantJobs: for each subsequent error, substrings it must carry,
+		// in cross-product order.
+		wantJobs [][]string
+		// wantResults: surviving results (both layer and count checked).
+		wantResults int
+	}{
+		{
+			name:        "prep errors precede config errors",
+			workloads:   []javacard.Workload{oversized("too-big-a"), churn(), oversized("too-big-b")},
+			layers:      []int{3},
+			wantPrefix:  []string{"too-big-a", "too-big-b"},
+			wantJobs:    jobErrWants(t, []string{"stack-churn"}, []int{3}),
+			wantResults: 0,
+		},
+		{
+			name:        "config errors in cross-product order",
+			workloads:   []javacard.Workload{churn(), arith()},
+			layers:      []int{3, 1},
+			wantPrefix:  nil,
+			wantJobs:    jobErrWants(t, []string{"stack-churn", "arith-loop"}, []int{3}),
+			wantResults: 2 * len(javacard.Organizations) * len(AddrMaps),
+		},
+		{
+			name:        "prep and config failures combine",
+			workloads:   []javacard.Workload{oversized("too-big"), churn()},
+			layers:      []int{1, 3},
+			wantPrefix:  []string{"too-big"},
+			wantJobs:    jobErrWants(t, []string{"stack-churn"}, []int{3}),
+			wantResults: len(javacard.Organizations) * len(AddrMaps),
+		},
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/workers%d", tc.name, workers), func(t *testing.T) {
+				results, err := SweepWith(SweepOpts{Workers: workers},
+					tc.layers, javacard.Organizations, AddrMaps, tc.workloads)
+				if len(results) != tc.wantResults {
+					t.Fatalf("kept %d results, want %d", len(results), tc.wantResults)
+				}
+				for _, r := range results {
+					if r.Layer == 3 {
+						t.Fatalf("result leaked from failed layer: %+v", r)
+					}
+				}
+				parts := unwrapJoin(t, err)
+				want := len(tc.wantPrefix) + len(tc.wantJobs)
+				if len(parts) != want {
+					t.Fatalf("joined %d errors, want %d:\n%v", len(parts), want, err)
+				}
+				for i, sub := range tc.wantPrefix {
+					if !strings.Contains(parts[i].Error(), sub) {
+						t.Errorf("error %d = %q, want prep failure of %q", i, parts[i], sub)
+					}
+				}
+				for i, subs := range tc.wantJobs {
+					msg := parts[len(tc.wantPrefix)+i].Error()
+					for _, sub := range subs {
+						if !strings.Contains(msg, sub) {
+							t.Errorf("error %d = %q missing %q", len(tc.wantPrefix)+i, msg, sub)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// jobErrWants builds the expected per-configuration error substrings in
+// the sweep's input order: workload-major, then layer, organization and
+// address map — exactly the loop nest SweepWith enqueues.
+func jobErrWants(t *testing.T, badWorkloads []string, badLayers []int) [][]string {
+	t.Helper()
+	var wants [][]string
+	for _, w := range badWorkloads {
+		for _, l := range badLayers {
+			for _, o := range javacard.Organizations {
+				for _, m := range AddrMaps {
+					wants = append(wants, []string{
+						fmt.Sprintf("L%d/%v/%s", l, o, m),
+						w,
+						fmt.Sprintf("unsupported layer %d", l),
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// TestSweepWithJoinMatchable: the joined error still answers errors.Is
+// for sentinel inspection of individual failures.
+func TestSweepWithJoinMatchable(t *testing.T) {
+	sentinel := errors.New("probe")
+	// A joined error built the same way SweepWith builds its result must
+	// expose each part; this guards the contract the ordering test
+	// relies on (errors.Join, not string concatenation).
+	joined := errors.Join(fmt.Errorf("wrap: %w", sentinel), errors.New("other"))
+	if !errors.Is(joined, sentinel) {
+		t.Fatal("joined error lost wrapped sentinel")
+	}
+}

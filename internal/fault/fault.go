@@ -39,6 +39,7 @@ import (
 	"fmt"
 
 	"repro/internal/ecbus"
+	"repro/internal/metrics"
 )
 
 // Op is the slave word-interface operation an injection targets.
@@ -198,6 +199,7 @@ type Injector struct {
 	nWrite map[uint64]uint32
 
 	stats Stats
+	mx    *metrics.Registry
 }
 
 // Wrap builds an injector applying plan to s. It panics on an invalid
@@ -222,6 +224,14 @@ func (in *Injector) Plan() Plan { return in.plan }
 
 // Stats returns a copy of the injection counters.
 func (in *Injector) Stats() Stats { return in.stats }
+
+// AttachMetrics mirrors every Stats increment into the registry's fault
+// counters (nil detaches), so a run report shows injections alongside
+// the bus-side retries and errored phases they caused.
+func (in *Injector) AttachMetrics(reg *metrics.Registry) *Injector {
+	in.mx = reg
+	return in
+}
 
 // Config implements ecbus.Slave.
 func (in *Injector) Config() ecbus.SlaveConfig { return in.inner.Config() }
@@ -292,9 +302,11 @@ func (in *Injector) ReadWord(addr uint64, w ecbus.Width) (uint32, bool) {
 	}
 	if in.beatFaulty(OpRead, word, n) {
 		in.stats.ReadErrors++
+		in.mx.FaultReadError()
 		if in.plan.CorruptMask != 0 {
 			data ^= in.plan.CorruptMask
 			in.stats.Corruptions++
+			in.mx.FaultCorruption()
 		}
 		return data, false
 	}
@@ -310,6 +322,7 @@ func (in *Injector) WriteWord(addr uint64, data uint32, w ecbus.Width) bool {
 	in.nWrite[word] = n + 1
 	if in.beatFaulty(OpWrite, word, n) {
 		in.stats.WriteErrors++
+		in.mx.FaultWriteError()
 		return false
 	}
 	return in.inner.WriteWord(addr, data, w)
@@ -324,6 +337,7 @@ func (in *Injector) ExtraWait(k ecbus.Kind, addr uint64) int {
 	if base > 0 && in.plan.BusyStretch > 0 {
 		add := base * in.plan.BusyStretch
 		in.stats.Stretched += uint64(add)
+		in.mx.FaultStretch(add)
 		base += add
 	}
 	if in.plan.Seed != 0 && in.plan.WaitPermille > 0 {
@@ -331,6 +345,7 @@ func (in *Injector) ExtraWait(k ecbus.Kind, addr uint64) int {
 		if in.roll(saltWaitHit, key, 0) < uint64(in.plan.WaitPermille) {
 			storm := 1 + int(in.roll(saltWaitLen, key, 1))%in.plan.MaxExtraWait
 			in.stats.ExtraWaits += uint64(storm)
+			in.mx.FaultExtraWait(storm)
 			base += storm
 		}
 	}

@@ -1,0 +1,148 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Fuzz coverage for the plan text codec and the WithoutReadErrors
+// projection. The codec properties: Parse never panics, every plan it
+// accepts validates, and Spec is a canonical fixed point — re-parsing a
+// rendered spec reproduces the plan and re-rendering reproduces the
+// spec. The projection properties: read-beat injection is gone, every
+// other knob survives untouched, the result still validates, and the
+// projection is idempotent and commutes with the codec.
+
+func FuzzPlanParse(f *testing.F) {
+	for _, name := range Names {
+		f.Add(name)
+		if p, ok := Named(name); ok {
+			f.Add(p.Spec())
+		}
+	}
+	f.Add("seed=0xC0FFEE,rerr=25,werr=25,wait=200,maxwait=8,corrupt=0xdeadbeef,stretch=1")
+	f.Add("script=read@0x40+2x3")
+	f.Add("script=write@0x40+0x0,script=read@0x44+1x1")
+	f.Add("seed=0b1010,wait=1000,maxwait=1")
+	f.Add("rerr=1001")
+	f.Add("seed=,=,x")
+	f.Add("script=read@zz+1x1")
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) accepted an invalid plan: %v", spec, verr)
+		}
+		canon := p.Spec()
+		p2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("re-parse of canonical spec %q failed: %v", canon, err)
+		}
+		if !plansEqual(p, p2) {
+			t.Fatalf("codec round trip changed the plan:\n in: %+v\nout: %+v (spec %q)", p, p2, canon)
+		}
+		if again := p2.Spec(); again != canon {
+			t.Fatalf("Spec not a fixed point: %q then %q", canon, again)
+		}
+		if strings.Contains(canon, " ") {
+			t.Fatalf("canonical spec contains whitespace: %q", canon)
+		}
+	})
+}
+
+// plansEqual compares plans treating a nil and an empty scripted list
+// as the same (the codec never materializes an empty non-nil slice, but
+// the projection may).
+func plansEqual(a, b Plan) bool {
+	as, bs := a.Scripted, b.Scripted
+	a.Scripted, b.Scripted = nil, nil
+	if !reflect.DeepEqual(a, b) || len(as) != len(bs) {
+		return false
+	}
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func FuzzWithoutReadErrors(f *testing.F) {
+	f.Add(uint64(0xC0FFEE), uint16(25), uint16(25), uint16(200), uint16(8), uint16(1), uint32(0xdeadbeef), []byte{0, 0x40, 2, 3})
+	f.Add(uint64(1), uint16(0), uint16(0), uint16(0), uint16(0), uint16(0), uint32(0), []byte{1, 0x10, 0, 0, 0, 0x14, 1, 1})
+	f.Add(uint64(0), uint16(1000), uint16(1000), uint16(1000), uint16(255), uint16(9), uint32(1), []byte{})
+	f.Fuzz(func(t *testing.T, seed uint64, rerr, werr, wait, maxwait, stretch uint16, corrupt uint32, script []byte) {
+		p := Plan{
+			Seed:             seed,
+			ReadErrPermille:  int(rerr % 1001),
+			WriteErrPermille: int(werr % 1001),
+			WaitPermille:     int(wait % 1001),
+			MaxExtraWait:     int(maxwait),
+			CorruptMask:      corrupt,
+			BusyStretch:      int(stretch),
+		}
+		if p.WaitPermille > 0 && p.MaxExtraWait == 0 {
+			p.MaxExtraWait = 1
+		}
+		// Each 4-byte chunk of script is one window: op, word index,
+		// after, count.
+		for len(script) >= 4 {
+			s := ScriptedFault{
+				Op:    Op(script[0] & 1),
+				Addr:  uint64(script[1]) << 2,
+				After: uint32(script[2]),
+				Count: uint32(script[3]),
+			}
+			p.Scripted = append(p.Scripted, s)
+			script = script[4:]
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("constructed plan does not validate: %v (%+v)", err, p)
+		}
+
+		q := p.WithoutReadErrors()
+		if q.ReadErrPermille != 0 || q.CorruptMask != 0 {
+			t.Fatalf("projection kept read injection: %+v", q)
+		}
+		if q.Seed != p.Seed || q.WriteErrPermille != p.WriteErrPermille ||
+			q.WaitPermille != p.WaitPermille || q.MaxExtraWait != p.MaxExtraWait ||
+			q.BusyStretch != p.BusyStretch {
+			t.Fatalf("projection changed a non-read knob:\n in: %+v\nout: %+v", p, q)
+		}
+		var wantScripted []ScriptedFault
+		for _, s := range p.Scripted {
+			if s.Op != OpRead {
+				wantScripted = append(wantScripted, s)
+			}
+		}
+		if len(q.Scripted) != len(wantScripted) {
+			t.Fatalf("projection kept %d scripted windows, want %d", len(q.Scripted), len(wantScripted))
+		}
+		for i := range wantScripted {
+			if q.Scripted[i] != wantScripted[i] {
+				t.Fatalf("scripted window %d reordered or altered: %+v != %+v", i, q.Scripted[i], wantScripted[i])
+			}
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("projected plan does not validate: %v", err)
+		}
+		if qq := q.WithoutReadErrors(); !plansEqual(q, qq) {
+			t.Fatalf("projection not idempotent:\nonce:  %+v\ntwice: %+v", q, qq)
+		}
+		// The projection commutes with the codec: re-parsing its spec
+		// reproduces it.
+		rp, err := Parse(q.Spec())
+		if err != nil {
+			t.Fatalf("projected spec %q does not parse: %v", q.Spec(), err)
+		}
+		if !plansEqual(rp, q) {
+			t.Fatalf("projected plan lost in codec: %+v != %+v", rp, q)
+		}
+		if !reflect.DeepEqual(p.WithoutReadErrors(), q) {
+			t.Fatalf("projection not deterministic")
+		}
+	})
+}

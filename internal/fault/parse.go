@@ -1,0 +1,164 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Plan text codec. A spec is either a canonical plan name (Names) or a
+// comma-separated list of key=value pairs:
+//
+//	seed=0xC0FFEE,rerr=25,werr=25,wait=200,maxwait=8,corrupt=0xdeadbeef,stretch=1
+//
+// Keys map one-to-one onto Plan fields: seed, rerr (ReadErrPermille),
+// werr (WriteErrPermille), wait (WaitPermille), maxwait (MaxExtraWait),
+// corrupt (CorruptMask), stretch (BusyStretch). Numbers accept any base
+// strconv understands (0x.., 0o.., decimal). Scripted fault windows use
+// the repeatable key
+//
+//	script=<op>@<addr>+<after>x<count>
+//
+// e.g. script=read@0x40+2x3 — the 3 accesses after the first 2 reads of
+// word 0x40 fail (count 0 = every access from <after> on). Parse and
+// Plan.Spec round-trip: Parse(p.Spec()) reproduces p for any valid p.
+
+// Spec renders the plan in the canonical key=value form understood by
+// Parse. The zero plan renders as "none"; fields at their zero value
+// are omitted; keys appear in a fixed order so equal plans render
+// identically.
+func (p Plan) Spec() string {
+	var parts []string
+	add := func(k string, v uint64, hex bool) {
+		if v == 0 {
+			return
+		}
+		if hex {
+			parts = append(parts, k+"=0x"+strconv.FormatUint(v, 16))
+		} else {
+			parts = append(parts, k+"="+strconv.FormatUint(v, 10))
+		}
+	}
+	add("seed", p.Seed, true)
+	add("rerr", uint64(p.ReadErrPermille), false)
+	add("werr", uint64(p.WriteErrPermille), false)
+	add("wait", uint64(p.WaitPermille), false)
+	add("maxwait", uint64(p.MaxExtraWait), false)
+	add("corrupt", uint64(p.CorruptMask), true)
+	add("stretch", uint64(p.BusyStretch), false)
+	for _, s := range p.Scripted {
+		parts = append(parts, fmt.Sprintf("script=%s@0x%x+%dx%d", s.Op, s.Addr, s.After, s.Count))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// Parse decodes a plan spec: a canonical name from Names, or the
+// key=value form documented above. The decoded plan is validated, so a
+// nil error implies the plan is safe to Wrap.
+func Parse(spec string) (Plan, error) {
+	if p, ok := Named(spec); ok {
+		return p, nil
+	}
+	var p Plan
+	num := func(k, v string, max uint64) (uint64, error) {
+		n, err := strconv.ParseUint(v, 0, 64)
+		if err != nil {
+			return 0, fmt.Errorf("fault: bad %s value %q", k, v)
+		}
+		if n > max {
+			return 0, fmt.Errorf("fault: %s value %s out of range", k, v)
+		}
+		return n, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok || v == "" {
+			return Plan{}, fmt.Errorf("fault: bad spec element %q (want key=value)", part)
+		}
+		var err error
+		var n uint64
+		switch k {
+		case "seed":
+			n, err = num(k, v, math.MaxUint64)
+			p.Seed = n
+		case "rerr":
+			n, err = num(k, v, 1000)
+			p.ReadErrPermille = int(n)
+		case "werr":
+			n, err = num(k, v, 1000)
+			p.WriteErrPermille = int(n)
+		case "wait":
+			n, err = num(k, v, 1000)
+			p.WaitPermille = int(n)
+		case "maxwait":
+			n, err = num(k, v, math.MaxInt32)
+			p.MaxExtraWait = int(n)
+		case "corrupt":
+			n, err = num(k, v, math.MaxUint32)
+			p.CorruptMask = uint32(n)
+		case "stretch":
+			n, err = num(k, v, math.MaxInt32)
+			p.BusyStretch = int(n)
+		case "script":
+			var s ScriptedFault
+			s, err = parseScript(v)
+			p.Scripted = append(p.Scripted, s)
+		default:
+			return Plan{}, fmt.Errorf("fault: unknown spec key %q", k)
+		}
+		if err != nil {
+			return Plan{}, err
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// parseScript decodes one scripted window: <op>@<addr>+<after>x<count>.
+func parseScript(v string) (ScriptedFault, error) {
+	bad := func() (ScriptedFault, error) {
+		return ScriptedFault{}, fmt.Errorf("fault: bad script %q (want op@addr+afterxcount)", v)
+	}
+	opPart, rest, ok := strings.Cut(v, "@")
+	if !ok {
+		return bad()
+	}
+	var s ScriptedFault
+	switch opPart {
+	case "read":
+		s.Op = OpRead
+	case "write":
+		s.Op = OpWrite
+	default:
+		return bad()
+	}
+	addrPart, winPart, ok := strings.Cut(rest, "+")
+	if !ok {
+		return bad()
+	}
+	addr, err := strconv.ParseUint(addrPart, 0, 64)
+	if err != nil {
+		return bad()
+	}
+	s.Addr = addr
+	afterPart, countPart, ok := strings.Cut(winPart, "x")
+	if !ok {
+		return bad()
+	}
+	after, err := strconv.ParseUint(afterPart, 0, 32)
+	if err != nil {
+		return bad()
+	}
+	count, err := strconv.ParseUint(countPart, 0, 32)
+	if err != nil {
+		return bad()
+	}
+	s.After, s.Count = uint32(after), uint32(count)
+	return s, nil
+}

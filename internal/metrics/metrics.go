@@ -1,0 +1,418 @@
+// Package metrics is the observability layer shared by every
+// abstraction level: monotonic counters and histograms for cycles, wait
+// states, queue occupancy, retries and errored phases, plus energy
+// attributed per phase kind (address / read-data / write-data / error /
+// idle) and per slave.
+//
+// Energy attribution uses the same "energy since last call" discipline
+// the paper specifies for the layer-2 power interface, but against the
+// non-destructive TotalEnergy reading: at every sampling point the
+// delta between the meter's running total and the registry's cursor is
+// booked to exactly one phase bucket and one slave bucket. Because the
+// cursor always holds the last sampled total verbatim, the attributed
+// total equals the meter total bit-for-bit — no energy can escape or be
+// double counted — while the per-bucket sums are Kahan-compensated so
+// their recombination stays within a couple of ulps of the total.
+//
+// A nil *Registry is the disabled state: every method is a nil-receiver
+// no-op, so instrumented hot paths pay a single predictable branch and
+// zero allocations when observability is off.
+package metrics
+
+import (
+	"math/bits"
+
+	"repro/internal/ecbus"
+)
+
+// PhaseKind classifies where a unit of energy or time was spent, at any
+// abstraction level.
+type PhaseKind int
+
+// Phase kinds. The order is the attribution priority used by the
+// per-cycle classifiers of the signal-true layers: a cycle that both
+// completes an address phase and delivers a data beat counts as data.
+const (
+	PhaseAddress PhaseKind = iota
+	PhaseReadData
+	PhaseWriteData
+	PhaseError
+	PhaseIdle
+	NumPhaseKinds
+)
+
+// String returns the phase-kind mnemonic.
+func (k PhaseKind) String() string {
+	switch k {
+	case PhaseAddress:
+		return "address"
+	case PhaseReadData:
+		return "read-data"
+	case PhaseWriteData:
+		return "write-data"
+	case PhaseError:
+		return "error"
+	case PhaseIdle:
+		return "idle"
+	default:
+		return "invalid"
+	}
+}
+
+// HistBuckets is the number of power-of-two histogram buckets; bucket i
+// counts values v with bits.Len64(v) == i, the last bucket is open.
+const HistBuckets = 17
+
+// Histogram is a power-of-two-bucketed histogram of uint64 samples.
+type Histogram struct {
+	counts      [HistBuckets]uint64
+	n, sum, max uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	b := bits.Len64(v)
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	h.counts[b]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// HistogramSnapshot is an immutable copy of a histogram.
+type HistogramSnapshot struct {
+	Counts [HistBuckets]uint64
+	Count  uint64
+	Sum    uint64
+	Max    uint64
+}
+
+// Mean returns the arithmetic mean of the recorded samples (0 if none).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	return HistogramSnapshot{Counts: h.counts, Count: h.n, Sum: h.sum, Max: h.max}
+}
+
+// kahan is a compensated accumulator: the running error of each
+// addition is carried so a bucket's sum tracks the exact sum of its
+// deltas to within one ulp regardless of sample count.
+type kahan struct{ sum, c float64 }
+
+func (k *kahan) add(v float64) {
+	y := v - k.c
+	t := k.sum + y
+	k.c = (t - k.sum) - y
+	k.sum = t
+}
+
+// FaultCounters aggregates injected-fault events observed by
+// fault.Injector instances attached to the registry.
+type FaultCounters struct {
+	ReadErrors  uint64
+	WriteErrors uint64
+	Corruptions uint64
+	ExtraWaits  uint64 // total injected wait cycles
+	Stretched   uint64 // busy windows stretched
+}
+
+type slaveAcc struct {
+	name     string
+	energy   kahan
+	accesses uint64
+}
+
+// Registry collects one run's metrics for one bus model instance. All
+// methods are safe on a nil receiver (and then do nothing), which is
+// the disabled state instrumented code paths are gated on.
+type Registry struct {
+	layer  string
+	master string
+	sink   SpanSink
+
+	// Kernel accounting, recorded once at end of run.
+	cycles    uint64
+	skipped   uint64
+	idleSkips uint64
+	procsRun  uint64
+
+	// Transaction counters.
+	accepted  uint64
+	completed uint64
+	errored   uint64
+	rejected  uint64
+	retries   uint64
+	beats     uint64
+	waits     uint64
+	spans     uint64
+
+	occ     [ecbus.NumCategories]Histogram
+	latency Histogram
+
+	// Energy attribution state. cursor is the meter total at the last
+	// sample; carry holds the previous cycle's classification so
+	// trailing strobe falls land in the phase that raised the strobe.
+	cursor float64
+	carry  PhaseKind
+	phase  [NumPhaseKinds]kahan
+	slaves []slaveAcc
+	unattr kahan
+
+	fault FaultCounters
+}
+
+// New creates an enabled registry labelled with the abstraction layer
+// it will observe (e.g. "L0", "TL1", "TL2").
+func New(layer string) *Registry {
+	return &Registry{layer: layer, carry: PhaseIdle}
+}
+
+// Enabled reports whether the registry collects anything.
+func (r *Registry) Enabled() bool { return r != nil }
+
+// SetMaster labels the master feeding this registry's spans.
+func (r *Registry) SetMaster(name string) {
+	if r == nil {
+		return
+	}
+	r.master = name
+}
+
+// SetSink installs the span sink. A nil sink disables span emission
+// while keeping counters and energy attribution active.
+func (r *Registry) SetSink(s SpanSink) *Registry {
+	if r == nil {
+		return nil
+	}
+	r.sink = s
+	return r
+}
+
+// BindSlaves sizes the per-slave energy table. The bus models call this
+// from AttachMetrics with the address map's slave names in decode
+// order, so the slave index used on the hot path is the map index.
+func (r *Registry) BindSlaves(names ...string) {
+	if r == nil {
+		return
+	}
+	r.slaves = make([]slaveAcc, len(names))
+	for i, n := range names {
+		r.slaves[i].name = n
+	}
+}
+
+// TxAccepted records a transaction accepted into the bus together with
+// the outstanding-queue occupancy of its category after acceptance.
+func (r *Registry) TxAccepted(cat ecbus.Category, occupancy int) {
+	if r == nil {
+		return
+	}
+	r.accepted++
+	if cat >= 0 && cat < ecbus.NumCategories {
+		r.occ[cat].Observe(uint64(occupancy))
+	}
+}
+
+// TxRejected records a transaction the bus refused to accept this
+// cycle (queue full); the master will re-present it.
+func (r *Registry) TxRejected() {
+	if r == nil {
+		return
+	}
+	r.rejected++
+}
+
+// TxRetired records one completed attempt of a transaction: counters,
+// completion latency, the per-slave access count, and — when a sink is
+// installed — a structured span. slave is the address-map index, or -1
+// for decode misses.
+func (r *Registry) TxRetired(tr *ecbus.Transaction, slave int, errored bool) {
+	if r == nil {
+		return
+	}
+	if errored {
+		r.errored++
+	} else {
+		r.completed++
+	}
+	if tr.DataCycle >= tr.IssueCycle {
+		r.latency.Observe(tr.DataCycle - tr.IssueCycle)
+	}
+	if slave >= 0 && slave < len(r.slaves) {
+		r.slaves[slave].accesses++
+	}
+	if r.sink != nil {
+		r.spans++
+		r.sink.Emit(Span{
+			ID:      tr.ID,
+			Layer:   r.layer,
+			Master:  r.master,
+			Slave:   r.SlaveName(slave),
+			Kind:    tr.Kind,
+			Burst:   tr.Burst,
+			Attempt: tr.Retries,
+			Issue:   tr.IssueCycle,
+			Addr:    tr.AddrCycle,
+			End:     tr.DataCycle,
+			Err:     errored,
+		})
+	}
+}
+
+// SlaveName returns the bound name of a slave index, or "-" when the
+// index is out of range (decode miss / unattributed).
+func (r *Registry) SlaveName(i int) string {
+	if r == nil || i < 0 || i >= len(r.slaves) {
+		return "-"
+	}
+	return r.slaves[i].name
+}
+
+// Retries adds master-side re-issues of errored transactions.
+func (r *Registry) Retries(n uint64) {
+	if r == nil {
+		return
+	}
+	r.retries += n
+}
+
+// Beat records one delivered data beat.
+func (r *Registry) Beat() {
+	if r == nil {
+		return
+	}
+	r.beats++
+}
+
+// Beats records n delivered data beats at once (layer 2 books a whole
+// data phase in one call).
+func (r *Registry) Beats(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.beats += uint64(n)
+}
+
+// WaitCycle records one wait-state cycle observed on the bus.
+func (r *Registry) WaitCycle() {
+	if r == nil {
+		return
+	}
+	r.waits++
+}
+
+// WaitCycles records n wait-state cycles at once.
+func (r *Registry) WaitCycles(n uint64) {
+	if r == nil {
+		return
+	}
+	r.waits += n
+}
+
+// EnergySample attributes the energy dissipated since the previous
+// sample — the delta between total (the meter's running total) and the
+// registry cursor — to one phase bucket and one slave bucket. kind is
+// the sampling point's classification of the interval; PhaseIdle
+// intervals inherit the previous sample's classification once (the
+// trailing-edge rule: strobe falls are priced one cycle after the
+// phase that raised them). slave < 0 books the delta as unattributed.
+func (r *Registry) EnergySample(kind PhaseKind, slave int, total float64) {
+	if r == nil {
+		return
+	}
+	d := total - r.cursor
+	r.cursor = total
+	if kind == PhaseIdle {
+		kind, r.carry = r.carry, PhaseIdle
+	} else {
+		r.carry = kind
+	}
+	if d == 0 {
+		return
+	}
+	r.phase[kind].add(d)
+	if slave >= 0 && slave < len(r.slaves) {
+		r.slaves[slave].energy.add(d)
+	} else {
+		r.unattr.add(d)
+	}
+}
+
+// Finalize books any energy the meter accumulated after the last
+// sampling point into the idle bucket and advances the cursor to the
+// final total. Call it once with the meter's final TotalEnergy before
+// taking the snapshot; afterwards Snapshot().TotalEnergyJ equals the
+// meter total exactly (bit-for-bit).
+func (r *Registry) Finalize(total float64) {
+	if r == nil {
+		return
+	}
+	d := total - r.cursor
+	r.cursor = total
+	if d != 0 {
+		r.phase[PhaseIdle].add(d)
+		r.unattr.add(d)
+	}
+}
+
+// RecordKernel stores the kernel's cycle accounting for the run. It
+// implements sim.RunObserver, so a registry can be handed straight to
+// Kernel.SetRunObserver.
+func (r *Registry) RecordKernel(cycles, skippedCycles, idleSkips, procsRun uint64) {
+	if r == nil {
+		return
+	}
+	r.cycles = cycles
+	r.skipped = skippedCycles
+	r.idleSkips = idleSkips
+	r.procsRun = procsRun
+}
+
+// FaultReadError counts one injected read error.
+func (r *Registry) FaultReadError() {
+	if r == nil {
+		return
+	}
+	r.fault.ReadErrors++
+}
+
+// FaultWriteError counts one injected write error.
+func (r *Registry) FaultWriteError() {
+	if r == nil {
+		return
+	}
+	r.fault.WriteErrors++
+}
+
+// FaultCorruption counts one injected data corruption.
+func (r *Registry) FaultCorruption() {
+	if r == nil {
+		return
+	}
+	r.fault.Corruptions++
+}
+
+// FaultExtraWait counts n injected wait cycles.
+func (r *Registry) FaultExtraWait(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.fault.ExtraWaits += uint64(n)
+}
+
+// FaultStretch counts one stretched busy window.
+func (r *Registry) FaultStretch(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.fault.Stretched += uint64(n)
+}

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"io"
+	"strconv"
+
+	"repro/internal/ecbus"
+)
+
+// Span is one completed attempt of one bus transaction: the structured
+// trace record emitted at retirement. A transaction that errors and is
+// retried produces one span per attempt, distinguished by Attempt.
+type Span struct {
+	ID      uint64     // transaction ID
+	Layer   string     // abstraction level label ("L0", "TL1", "TL2")
+	Master  string     // master label (may be empty)
+	Slave   string     // decoded slave name, "-" for a decode miss
+	Kind    ecbus.Kind // fetch / read / write
+	Burst   bool
+	Attempt int32  // 0 for the first issue, N for the Nth retry
+	Issue   uint64 // cycle the master first presented the request
+	Addr    uint64 // cycle the address phase completed
+	End     uint64 // cycle the final data phase completed
+	Err     bool   // attempt ended in a bus error
+}
+
+// SpanSink receives completed spans. Implementations must not retain
+// pointers into the span (it is passed by value and safe to keep).
+type SpanSink interface {
+	Emit(Span)
+}
+
+// RingSink is a fixed-capacity in-memory span sink for tests and
+// interactive inspection: it keeps the most recent spans and counts
+// the total ever emitted. The zero value is unusable; use NewRingSink.
+type RingSink struct {
+	buf   []Span
+	next  int
+	total uint64
+}
+
+// NewRingSink creates a ring sink retaining the last n spans (n >= 1).
+func NewRingSink(n int) *RingSink {
+	if n < 1 {
+		n = 1
+	}
+	return &RingSink{buf: make([]Span, 0, n)}
+}
+
+// Emit implements SpanSink.
+func (s *RingSink) Emit(sp Span) {
+	if len(s.buf) < cap(s.buf) {
+		s.buf = append(s.buf, sp)
+	} else {
+		s.buf[s.next] = sp
+	}
+	s.next = (s.next + 1) % cap(s.buf)
+	s.total++
+}
+
+// Total returns the number of spans ever emitted into the sink.
+func (s *RingSink) Total() uint64 { return s.total }
+
+// Spans returns the retained spans, oldest first, as a fresh slice.
+func (s *RingSink) Spans() []Span {
+	out := make([]Span, 0, len(s.buf))
+	if len(s.buf) < cap(s.buf) {
+		return append(out, s.buf...)
+	}
+	out = append(out, s.buf[s.next:]...)
+	return append(out, s.buf[:s.next]...)
+}
+
+// NDJSONSink streams spans as newline-delimited JSON objects — one
+// span per line — for offline tooling. Encoding is hand-rolled into a
+// reused buffer so steady-state emission does not allocate. Write
+// errors are sticky: the first one stops further output and is
+// reported by Err.
+type NDJSONSink struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewNDJSONSink creates an NDJSON sink writing to w.
+func NewNDJSONSink(w io.Writer) *NDJSONSink {
+	return &NDJSONSink{w: w, buf: make([]byte, 0, 256)}
+}
+
+// Err returns the first write error, or nil.
+func (s *NDJSONSink) Err() error { return s.err }
+
+// Emit implements SpanSink.
+func (s *NDJSONSink) Emit(sp Span) {
+	if s.err != nil {
+		return
+	}
+	b := s.buf[:0]
+	b = append(b, `{"id":`...)
+	b = strconv.AppendUint(b, sp.ID, 10)
+	b = append(b, `,"layer":`...)
+	b = strconv.AppendQuote(b, sp.Layer)
+	b = append(b, `,"master":`...)
+	b = strconv.AppendQuote(b, sp.Master)
+	b = append(b, `,"slave":`...)
+	b = strconv.AppendQuote(b, sp.Slave)
+	b = append(b, `,"kind":`...)
+	b = strconv.AppendQuote(b, sp.Kind.String())
+	b = append(b, `,"burst":`...)
+	b = strconv.AppendBool(b, sp.Burst)
+	b = append(b, `,"attempt":`...)
+	b = strconv.AppendInt(b, int64(sp.Attempt), 10)
+	b = append(b, `,"issue":`...)
+	b = strconv.AppendUint(b, sp.Issue, 10)
+	b = append(b, `,"addr":`...)
+	b = strconv.AppendUint(b, sp.Addr, 10)
+	b = append(b, `,"end":`...)
+	b = strconv.AppendUint(b, sp.End, 10)
+	b = append(b, `,"err":`...)
+	b = strconv.AppendBool(b, sp.Err)
+	b = append(b, '}', '\n')
+	s.buf = b
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+	}
+}

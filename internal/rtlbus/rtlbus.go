@@ -43,6 +43,7 @@ package rtlbus
 
 import (
 	"repro/internal/ecbus"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -68,6 +69,13 @@ type Bus struct {
 
 	// Wire state driven on the falling edge, observed in the Post phase.
 	wires ecbus.Bundle
+
+	// Observability. mxKind/mxSlave classify the cycle being executed
+	// (reset at the top of tick, sampled by the Post observer); they are
+	// only maintained while a registry is attached.
+	mx      *metrics.Registry
+	mxKind  metrics.PhaseKind
+	mxSlave int
 
 	stats Stats
 }
@@ -186,6 +194,7 @@ func (b *Bus) Access(tr *ecbus.Transaction) ecbus.BusState {
 	cat := tr.Category()
 	if b.outstanding[cat] >= ecbus.MaxOutstanding {
 		b.stats.Rejected++
+		b.mx.TxRejected()
 		return ecbus.StateWait
 	}
 	if err := tr.Validate(); err != nil {
@@ -193,12 +202,14 @@ func (b *Bus) Access(tr *ecbus.Transaction) ecbus.BusState {
 		// complete immediately as errors (the BIU would not emit them).
 		tr.Done, tr.Err = true, true
 		b.stats.Errors++
+		b.mx.TxRetired(tr, -1, true)
 		return ecbus.StateError
 	}
 	b.outstanding[cat]++
 	tr.IssueCycle = b.cycle + 1 // accepted for the cycle now being issued
 	b.addrQ = append(b.addrQ, tr)
 	b.stats.Accepted++
+	b.mx.TxAccepted(cat, b.outstanding[cat])
 	return ecbus.StateRequest
 }
 
@@ -242,6 +253,9 @@ func (b *Bus) tick(cycle uint64) {
 	b.wires.SetBool(ecbus.SigRBErr, false)
 	b.wires.SetBool(ecbus.SigWBErr, false)
 
+	if b.mx != nil {
+		b.mxKind, b.mxSlave = metrics.PhaseIdle, -1
+	}
 	b.addrUnit(cycle)
 	b.readUnit(cycle)
 	b.writeUnit(cycle)
@@ -261,9 +275,13 @@ func (b *Bus) addrUnit(cycle uint64) {
 	}
 	b.stats.AddrCycles++
 	b.driveAddrWires(tr)
+	if b.mx != nil {
+		b.mark(metrics.PhaseAddress, b.m.Index(tr.Addr))
+	}
 
 	if b.addrCnt < b.addrWaits {
 		b.addrCnt++
+		b.mx.WaitCycle()
 		return
 	}
 	// Phase completes this cycle.
@@ -332,6 +350,11 @@ func (b *Bus) completeError(tr *ecbus.Transaction, cycle uint64) {
 	}
 	b.outstanding[tr.Category()]--
 	b.stats.Errors++
+	if b.mx != nil {
+		idx := b.m.Index(tr.Addr)
+		b.mark(metrics.PhaseError, idx)
+		b.mx.TxRetired(tr, idx, true)
+	}
 }
 
 // readUnit serves one read data beat per cycle.
@@ -346,6 +369,7 @@ func (b *Bus) readUnit(cycle uint64) {
 	}
 	if b.rBeat.cnt < b.rBeat.waits {
 		b.rBeat.cnt++
+		b.mx.WaitCycle()
 		return
 	}
 	// Deliver beat.
@@ -359,6 +383,10 @@ func (b *Bus) readUnit(cycle uint64) {
 	data, ok := sl.ReadWord(addr, w)
 	b.wires.Set(ecbus.SigRData, uint64(data))
 	b.stats.DataBeats++
+	if b.mx != nil {
+		b.mark(metrics.PhaseReadData, b.m.Index(tr.Addr))
+		b.mx.Beat()
+	}
 	tr.Data[i] = data
 	b.rBeat.beat++
 	b.rBeat.cnt = 0
@@ -390,6 +418,13 @@ func (b *Bus) finishRead(tr *ecbus.Transaction, cycle uint64, err bool) {
 	} else {
 		b.stats.Completed++
 	}
+	if b.mx != nil {
+		idx := b.m.Index(tr.Addr)
+		if err {
+			b.mark(metrics.PhaseError, idx)
+		}
+		b.mx.TxRetired(tr, idx, err)
+	}
 }
 
 // writeUnit serves one write data beat per cycle.
@@ -405,8 +440,14 @@ func (b *Bus) writeUnit(cycle uint64) {
 	// The master drives the write data bus while the beat is pending.
 	i := b.wBeat.beat
 	b.wires.Set(ecbus.SigWData, uint64(tr.Data[i]))
+	if b.mx != nil {
+		// The write unit drives wires even on wait cycles, so every
+		// cycle it acts is classified write-data.
+		b.mark(metrics.PhaseWriteData, b.m.Index(tr.Addr))
+	}
 	if b.wBeat.cnt < b.wBeat.waits {
 		b.wBeat.cnt++
+		b.mx.WaitCycle()
 		return
 	}
 	addr := tr.Addr + uint64(4*i)
@@ -417,6 +458,7 @@ func (b *Bus) writeUnit(cycle uint64) {
 	}
 	ok := sl.WriteWord(addr, tr.Data[i], w)
 	b.stats.DataBeats++
+	b.mx.Beat()
 	b.wBeat.beat++
 	b.wBeat.cnt = 0
 	if !ok {
@@ -444,5 +486,12 @@ func (b *Bus) finishWrite(tr *ecbus.Transaction, cycle uint64, err bool) {
 		b.stats.Errors++
 	} else {
 		b.stats.Completed++
+	}
+	if b.mx != nil {
+		idx := b.m.Index(tr.Addr)
+		if err {
+			b.mark(metrics.PhaseError, idx)
+		}
+		b.mx.TxRetired(tr, idx, err)
 	}
 }

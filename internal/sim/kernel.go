@@ -110,6 +110,28 @@ type Kernel struct {
 	unhinted int
 	skipped  uint64 // cycles fast-forwarded
 	skips    uint64 // fast-forward events
+
+	runObs RunObserver
+}
+
+// RunObserver receives the kernel's cycle accounting whenever a Run or
+// RunUntil returns. It is the kernel end of the observability layer:
+// metrics.Registry implements it, so a registry can be handed straight
+// to SetRunObserver without the kernel depending on the metrics
+// package. The callback fires once per run, never on the per-cycle
+// path.
+type RunObserver interface {
+	RecordKernel(cycles, skippedCycles, idleSkips, procsRun uint64)
+}
+
+// SetRunObserver installs o; a nil observer disables the callback.
+func (k *Kernel) SetRunObserver(o RunObserver) { k.runObs = o }
+
+// noteRun reports the accounting totals to the run observer, if any.
+func (k *Kernel) noteRun() {
+	if k.runObs != nil {
+		k.runObs.RecordKernel(k.cycle, k.skipped, k.skips, k.procsRun)
+	}
 }
 
 // New returns a kernel with the given clock period in picoseconds.
@@ -263,6 +285,7 @@ func (k *Kernel) skip(n uint64) {
 // cycles count as executed.
 func (k *Kernel) Run(maxCycles uint64) uint64 {
 	k.started = true
+	defer k.noteRun()
 	canSkip := k.canSkip()
 	var n uint64
 	for n < maxCycles {
@@ -297,6 +320,7 @@ func (k *Kernel) Run(maxCycles uint64) uint64 {
 // which a pre-satisfied or cycle-dependent done() is honoured.
 func (k *Kernel) RunUntil(maxCycles uint64, done func() bool) (uint64, bool) {
 	k.started = true
+	defer k.noteRun()
 	canSkip := k.canSkip()
 	var n uint64
 	for n < maxCycles {

@@ -30,6 +30,7 @@ package tlm1
 
 import (
 	"repro/internal/ecbus"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -106,6 +107,13 @@ type Bus struct {
 	outstanding [ecbus.NumCategories]int
 
 	power *PowerModel // nil when energy estimation is disabled
+
+	// Observability. mxKind/mxSlave classify the cycle being executed
+	// (reset at the top of busProcess, sampled after calcEnergy); they
+	// are only maintained while a registry is attached.
+	mx      *metrics.Registry
+	mxKind  metrics.PhaseKind
+	mxSlave int
 
 	stats Stats
 }
@@ -206,6 +214,31 @@ func (b *Bus) AttachPower(p *PowerModel) *Bus {
 // Power returns the attached power model, or nil.
 func (b *Bus) Power() *PowerModel { return b.power }
 
+// AttachMetrics connects an observability registry (nil detaches). The
+// per-slave energy table is bound to the address map's decode order.
+// Layer 1 samples energy once per executed cycle, after calcEnergy,
+// classified by the phase that acted (priority: error > write-data >
+// read-data > address); trailing strobe falls are attributed by the
+// registry's carry rule. Skipped cycles dissipate nothing at this
+// layer, so they need no sample.
+func (b *Bus) AttachMetrics(reg *metrics.Registry) *Bus {
+	b.mx = reg
+	names := make([]string, 0, len(b.m.Slaves()))
+	for _, s := range b.m.Slaves() {
+		names = append(names, s.Config().Name)
+	}
+	reg.BindSlaves(names...)
+	return b
+}
+
+// mark classifies the executing cycle for energy attribution, keeping
+// the highest-priority phase kind when several phases act at once.
+func (b *Bus) mark(kind metrics.PhaseKind, slave int) {
+	if b.mxKind == metrics.PhaseIdle || kind > b.mxKind {
+		b.mxKind, b.mxSlave = kind, slave
+	}
+}
+
 // Stats returns a copy of the activity counters.
 func (b *Bus) Stats() Stats { return b.stats }
 
@@ -233,17 +266,20 @@ func (b *Bus) Access(tr *ecbus.Transaction) ecbus.BusState {
 	cat := tr.Category()
 	if b.outstanding[cat] >= ecbus.MaxOutstanding {
 		b.stats.Rejected++
+		b.mx.TxRejected()
 		return ecbus.StateWait
 	}
 	if err := tr.Validate(); err != nil {
 		tr.Done, tr.Err = true, true
 		b.stats.Errors++
+		b.mx.TxRetired(tr, -1, true)
 		return ecbus.StateError
 	}
 	b.outstanding[cat]++
 	tr.IssueCycle = b.cycle + 1
 	b.requestQ.pushBack(entry{tr: tr})
 	b.stats.Accepted++
+	b.mx.TxAccepted(cat, b.outstanding[cat])
 	return ecbus.StateRequest
 }
 
@@ -257,11 +293,21 @@ func (b *Bus) busProcess(cycle uint64) {
 	if b.power != nil {
 		b.power.beginCycle()
 	}
+	if b.mx != nil {
+		b.mxKind, b.mxSlave = metrics.PhaseIdle, -1
+	}
 	b.addressPhase(cycle) // getSlaveState happens at each phase start
 	b.readPhase(cycle)
 	b.writePhase(cycle)
 	if b.power != nil {
 		b.power.calcEnergy()
+	}
+	if b.mx != nil {
+		var t float64
+		if b.power != nil {
+			t = b.power.TotalEnergy()
+		}
+		b.mx.EnergySample(b.mxKind, b.mxSlave, t)
 	}
 }
 
@@ -303,8 +349,12 @@ func (b *Bus) addressPhase(cycle uint64) {
 	if b.power != nil {
 		b.power.driveAddress(e.tr)
 	}
+	if b.mx != nil {
+		b.mark(metrics.PhaseAddress, b.m.Index(e.tr.Addr))
+	}
 	if b.addrCnt < e.aw {
 		b.addrCnt++
+		b.mx.WaitCycle()
 		return
 	}
 	e.tr.AddrCycle = cycle
@@ -332,6 +382,11 @@ func (b *Bus) completeError(e *entry, cycle uint64) {
 	if b.power != nil {
 		b.power.driveError(e.tr.Kind)
 	}
+	if b.mx != nil {
+		idx := b.m.Index(e.tr.Addr)
+		b.mark(metrics.PhaseError, idx)
+		b.mx.TxRetired(e.tr, idx, true)
+	}
 }
 
 // readPhase serves one read beat per cycle from the head of the read
@@ -343,6 +398,7 @@ func (b *Bus) readPhase(cycle uint64) {
 	e := b.readQ.front()
 	if e.beatCnt < e.dw {
 		e.beatCnt++
+		b.mx.WaitCycle()
 		return
 	}
 	i := e.beat
@@ -354,6 +410,10 @@ func (b *Bus) readPhase(cycle uint64) {
 	data, ok := e.slave.ReadWord(addr, w)
 	e.tr.Data[i] = data
 	b.stats.DataBeats++
+	if b.mx != nil {
+		b.mark(metrics.PhaseReadData, b.m.Index(e.tr.Addr))
+		b.mx.Beat()
+	}
 	if b.power != nil {
 		if ok {
 			b.power.driveReadBeat(data, e.tr.Burst && i == e.tr.Words()-1)
@@ -381,6 +441,7 @@ func (b *Bus) finishRead(e *entry, cycle uint64, err bool) {
 	e.tr.DataCycle = cycle
 	b.outstanding[e.tr.Category()]--
 	kind := e.tr.Kind
+	tr := e.tr
 	b.readQ.popFront() // invalidates e
 	if err {
 		b.stats.Errors++
@@ -389,6 +450,13 @@ func (b *Bus) finishRead(e *entry, cycle uint64, err bool) {
 		}
 	} else {
 		b.stats.Completed++
+	}
+	if b.mx != nil {
+		idx := b.m.Index(tr.Addr)
+		if err {
+			b.mark(metrics.PhaseError, idx)
+		}
+		b.mx.TxRetired(tr, idx, err)
 	}
 }
 
@@ -404,8 +472,14 @@ func (b *Bus) writePhase(cycle uint64) {
 		// The master drives the write data bus while the beat pends.
 		b.power.driveWriteData(e.tr.Data[i])
 	}
+	if b.mx != nil {
+		// The write unit drives wires even on wait cycles, so every
+		// cycle it acts is classified write-data.
+		b.mark(metrics.PhaseWriteData, b.m.Index(e.tr.Addr))
+	}
 	if e.beatCnt < e.dw {
 		e.beatCnt++
+		b.mx.WaitCycle()
 		return
 	}
 	addr := e.tr.Addr + uint64(4*i)
@@ -415,6 +489,7 @@ func (b *Bus) writePhase(cycle uint64) {
 	}
 	ok := e.slave.WriteWord(addr, e.tr.Data[i], w)
 	b.stats.DataBeats++
+	b.mx.Beat()
 	if b.power != nil && ok {
 		// On an errored beat the error strobe (finish path) replaces
 		// the write-accept strobe and no last-beat marker is driven.
@@ -436,6 +511,7 @@ func (b *Bus) finishWrite(e *entry, cycle uint64, err bool) {
 	e.tr.DataCycle = cycle
 	b.outstanding[e.tr.Category()]--
 	kind := e.tr.Kind
+	tr := e.tr
 	b.writeQ.popFront() // invalidates e
 	if err {
 		b.stats.Errors++
@@ -444,5 +520,12 @@ func (b *Bus) finishWrite(e *entry, cycle uint64, err bool) {
 		}
 	} else {
 		b.stats.Completed++
+	}
+	if b.mx != nil {
+		idx := b.m.Index(tr.Addr)
+		if err {
+			b.mark(metrics.PhaseError, idx)
+		}
+		b.mx.TxRetired(tr, idx, err)
 	}
 }

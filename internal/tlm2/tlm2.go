@@ -14,11 +14,13 @@
 // falling clock edge and one shared data structure for communication
 // between the interface functions and the bus process. "This model
 // requests the actual wait states of the slave when the request is
-// created during the first interface call" — that early sample seeds the
-// idle-skip scheduling hint, and the wait count is re-sampled when the
-// address phase actually starts, the same sampling point layers 0 and 1
-// use (keeping dynamic wait states from going stale in deep queues).
-// The bus process decrements the
+// created during the first interface call" — that early sample touches
+// the slave interface exactly as the paper's model does, but its value
+// is deliberately discarded: the authoritative wait count, which also
+// drives the idle-skip scheduling hint, comes exclusively from the
+// re-sample at address-phase start, the same sampling point layers 0
+// and 1 use — so a stale busy-window reading taken in a deep queue can
+// never leak into the skip window. The bus process decrements the
 // address wait counter until the address phase finishes, then the data
 // wait counter until the data phase finishes, with whole bursts counted
 // as one block; unlike layers 0/1, a data phase cannot complete in the
@@ -28,6 +30,7 @@ package tlm2
 
 import (
 	"repro/internal/ecbus"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -74,6 +77,7 @@ type Bus struct {
 	outstanding [ecbus.NumCategories]int
 
 	power *PowerModel
+	mx    *metrics.Registry
 
 	stats Stats
 }
@@ -146,16 +150,19 @@ func (b *Bus) onSkip(n uint64) {
 	if len(b.addrQ) > 0 {
 		if r := b.addrQ[0]; r.started && r.tr.IssueCycle <= first && r.addrCnt > 0 {
 			r.addrCnt -= int(n)
+			b.mx.WaitCycles(n)
 		}
 	}
 	if len(b.readQ) > 0 {
 		if r := b.readQ[0]; r.joined < first && r.dataCnt > 0 {
 			r.dataCnt -= int(n)
+			b.mx.WaitCycles(n)
 		}
 	}
 	if len(b.writeQ) > 0 {
 		if r := b.writeQ[0]; r.joined < first && r.dataCnt > 0 {
 			r.dataCnt -= int(n)
+			b.mx.WaitCycles(n)
 		}
 	}
 }
@@ -168,6 +175,31 @@ func (b *Bus) AttachPower(p *PowerModel) *Bus {
 
 // Power returns the attached power model, or nil.
 func (b *Bus) Power() *PowerModel { return b.power }
+
+// AttachMetrics connects an observability registry (nil detaches). The
+// per-slave energy table is bound to the address map's decode order.
+// Layer 2 samples energy at its per-phase booking sites, so the
+// attribution is exact per phase kind and per slave.
+func (b *Bus) AttachMetrics(reg *metrics.Registry) *Bus {
+	b.mx = reg
+	names := make([]string, 0, len(b.m.Slaves()))
+	for _, s := range b.m.Slaves() {
+		names = append(names, s.Config().Name)
+	}
+	reg.BindSlaves(names...)
+	return b
+}
+
+// sampleEnergy attributes everything the power model booked since the
+// previous sample to one phase kind and the slave decoded from addr.
+// Only called when a registry is attached.
+func (b *Bus) sampleEnergy(kind metrics.PhaseKind, addr uint64) {
+	var t float64
+	if b.power != nil {
+		t = b.power.TotalEnergy()
+	}
+	b.mx.EnergySample(kind, b.m.Index(addr), t)
+}
 
 // Stats returns a copy of the activity counters.
 func (b *Bus) Stats() Stats { return b.stats }
@@ -278,6 +310,7 @@ func (b *Bus) Access(tr *ecbus.Transaction) ecbus.BusState {
 	cat := tr.Category()
 	if b.outstanding[cat] >= ecbus.MaxOutstanding {
 		b.stats.Rejected++
+		b.mx.TxRejected()
 		return ecbus.StateWait
 	}
 	if tr.Burst && len(tr.Data) != ecbus.BurstLen {
@@ -286,11 +319,13 @@ func (b *Bus) Access(tr *ecbus.Transaction) ecbus.BusState {
 		if len(tr.Data) == 0 {
 			tr.Done, tr.Err = true, true
 			b.stats.Errors++
+			b.mx.TxRetired(tr, -1, true)
 			return ecbus.StateError
 		}
 	} else if err := tr.Validate(); err != nil {
 		tr.Done, tr.Err = true, true
 		b.stats.Errors++
+		b.mx.TxRetired(tr, -1, true)
 		return ecbus.StateError
 	}
 	r := &request{tr: tr}
@@ -299,6 +334,7 @@ func (b *Bus) Access(tr *ecbus.Transaction) ecbus.BusState {
 	tr.IssueCycle = b.cycle + 1
 	b.addrQ = append(b.addrQ, r)
 	b.stats.Accepted++
+	b.mx.TxAccepted(cat, b.outstanding[cat])
 	return ecbus.StateRequest
 }
 
@@ -315,19 +351,19 @@ func (b *Bus) isQueued(tr *ecbus.Transaction) bool {
 
 // sampleSlaveState requests the slave's wait states and rights at
 // request creation ("during the first interface call"). The dynamic
-// extra wait taken here only seeds the idle-skip scheduling hint; the
-// authoritative count is re-sampled when the address phase actually
-// starts (startAddrPhase).
+// extra wait is requested here to honour the paper's first-call slave
+// interaction, but its value is discarded: addrCnt is written only by
+// startAddrPhase, so neither the countdown nor the idle-skip hint can
+// ever see a stale creation-time busy-window sample.
 func (b *Bus) sampleSlaveState(r *request) {
 	sl, err := b.m.Check(r.tr.Kind, r.tr.Addr, len(r.tr.Data)*4)
 	if err != nil {
 		r.err = true
-		r.addrCnt = 0
 		return
 	}
 	r.slave = sl
 	cfg := sl.Config()
-	r.addrCnt = cfg.AddrWait + ecbus.ExtraWaitOf(sl, r.tr.Kind, r.tr.Addr)
+	_ = ecbus.ExtraWaitOf(sl, r.tr.Kind, r.tr.Addr)
 	dw := cfg.WriteWait
 	if r.tr.Kind.IsRead() {
 		dw = cfg.ReadWait
@@ -372,12 +408,16 @@ func (b *Bus) addressPhase(cycle uint64) {
 	}
 	if r.addrCnt > 0 {
 		r.addrCnt--
+		b.mx.WaitCycle()
 		return
 	}
 	b.addrQ = b.addrQ[1:]
 	r.tr.AddrCycle = cycle
 	if b.power != nil {
 		b.power.addressPhaseEnergy(r.tr)
+	}
+	if b.mx != nil {
+		b.sampleEnergy(metrics.PhaseAddress, r.tr.Addr)
 	}
 	if r.err {
 		r.state = stDone
@@ -387,6 +427,10 @@ func (b *Bus) addressPhase(cycle uint64) {
 		b.stats.Errors++
 		if b.power != nil {
 			b.power.errorEnergy(r.tr.Kind)
+		}
+		if b.mx != nil {
+			b.sampleEnergy(metrics.PhaseError, r.tr.Addr)
+			b.mx.TxRetired(r.tr, b.m.Index(r.tr.Addr), true)
 		}
 		return
 	}
@@ -412,6 +456,7 @@ func (b *Bus) dataPhase(cycle uint64, q *[]*request) {
 	}
 	if r.dataCnt > 0 {
 		r.dataCnt--
+		b.mx.WaitCycle()
 		return
 	}
 	*q = (*q)[1:]
@@ -450,13 +495,27 @@ func (b *Bus) completeData(r *request, cycle uint64) {
 	}
 	if b.power != nil {
 		b.power.dataPhaseEnergy(tr, delivered, !ok)
-		if !ok {
-			b.power.errorEnergy(tr.Kind)
+	}
+	if b.mx != nil {
+		kind := metrics.PhaseWriteData
+		if tr.Kind.IsRead() {
+			kind = metrics.PhaseReadData
 		}
+		b.sampleEnergy(kind, tr.Addr)
+	}
+	if !ok && b.power != nil {
+		b.power.errorEnergy(tr.Kind)
 	}
 	r.state = stDone
 	tr.Done, tr.Err = true, !ok
 	tr.DataCycle = cycle
+	if b.mx != nil {
+		if !ok {
+			b.sampleEnergy(metrics.PhaseError, tr.Addr)
+		}
+		b.mx.Beats(delivered)
+		b.mx.TxRetired(tr, b.m.Index(tr.Addr), !ok)
+	}
 	b.outstanding[tr.Category()]--
 	if ok {
 		b.stats.Completed++

@@ -1,8 +1,9 @@
 #!/bin/sh
 # verify.sh — the full pre-merge gate:
 #   tier-1 (build + all tests), vet, the race gate for the concurrent
-#   packages, and a 1-iteration benchmark smoke so every benchmark
-#   keeps compiling and running.
+#   packages, coverage floors, a short fuzz pass over every fuzz
+#   target, and a 1-iteration benchmark smoke so every benchmark keeps
+#   compiling and running.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -15,6 +16,14 @@ go vet ./...
 
 echo "== race gate (explore, sim, fault)"
 go test -race ./internal/explore/... ./internal/sim/... ./internal/fault/...
+
+echo "== coverage floors"
+./scripts/cover.sh
+
+echo "== fuzz smoke (10s per target)"
+go test -run '^$' -fuzz '^FuzzPlanParse$' -fuzztime 10s ./internal/fault/
+go test -run '^$' -fuzz '^FuzzWithoutReadErrors$' -fuzztime 10s ./internal/fault/
+go test -run '^$' -fuzz '^FuzzCheckerRules$' -fuzztime 10s ./internal/checker/
 
 echo "== fault-plan smoke (ecbench)"
 go run ./cmd/ecbench -fault grind > /dev/null
