@@ -23,9 +23,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/explore"
+	"repro/internal/fault"
 )
 
 func main() {
@@ -40,6 +42,17 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	// Validate the fault plan before any table runs: a typo must exit
+	// non-zero up front with the valid vocabulary, not after minutes of
+	// simulation (and never degrade to a clean run).
+	if *faultPlan != "" {
+		if _, ok := fault.Named(*faultPlan); !ok {
+			fmt.Fprintf(os.Stderr, "ecbench: unknown fault plan %q (valid plans: %s)\n",
+				*faultPlan, strings.Join(fault.Names, ", "))
+			os.Exit(2)
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

@@ -1,0 +1,101 @@
+// Command ecserved is the estimation service daemon: it serves the
+// hierarchical bus models over HTTP/JSON with a content-addressed
+// result cache, request dedup and bounded-queue backpressure.
+//
+// Usage:
+//
+//	ecserved                      # listen on 127.0.0.1:8372
+//	ecserved -addr 127.0.0.1:0    # random port, printed on stdout
+//	ecserved -workers 4 -queue 8  # 4 compute workers, queue depth 8
+//	ecserved -cache 512           # cap the result cache at 512 entries
+//	ecserved -timeout 30s         # default per-request compute deadline
+//
+// Endpoints: POST /v1/estimate, POST /v1/sweep, GET /v1/jobs/{id},
+// GET /v1/jobs/{id}/result, GET /healthz, GET /metricz.
+//
+// SIGINT/SIGTERM drains gracefully: in-flight jobs finish and are
+// delivered, new work is refused with 503.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8372", "listen address; port 0 picks a random free port")
+	workers := flag.Int("workers", 0, "compute workers; 0 = one per CPU")
+	queue := flag.Int("queue", 0, "job queue depth; 0 = 2x workers")
+	cache := flag.Int("cache", 0, "result cache capacity in entries; 0 = 1024")
+	timeout := flag.Duration("timeout", 0, "default per-request compute deadline; 0 = 1m")
+	sweepWorkers := flag.Int("sweep-workers", 0, "workers inside each sweep job; 0 = one per CPU")
+	flag.Parse()
+
+	if err := run(*addr, serve.Options{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		DefaultTimeout: *timeout,
+		SweepWorkers:   *sweepWorkers,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "ecserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, opts serve.Options) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := serve.New(opts)
+	hs := &http.Server{Handler: srv.Handler()}
+
+	// The actual address matters when the caller asked for port 0; the
+	// smoke test and scripts scrape it from this line.
+	fmt.Printf("ecserved: listening on http://%s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case sig := <-sigc:
+		fmt.Printf("ecserved: %v, draining\n", sig)
+	}
+
+	// Stop accepting connections first, then drain the compute queue so
+	// every accepted job's response is flushed before exit.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	shutdownErr := hs.Shutdown(ctx)
+	srv.Close()
+	if err := <-errc; err != nil {
+		return err
+	}
+	if shutdownErr != nil {
+		return shutdownErr
+	}
+	fmt.Println("ecserved: drained, bye")
+	return nil
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/fault"
+	"repro/internal/serve"
+)
+
+// TestServerSmoke is the end-to-end serving gate: build the daemon,
+// start it on a random port, run one estimate through the wire and
+// assert it is bit-equal to a direct in-process run, then drain it
+// with SIGTERM and require a clean exit.
+func TestServerSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the daemon binary")
+	}
+	bin := filepath.Join(t.TempDir(), "ecserved")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	reaped := false
+	defer func() {
+		if !reaped {
+			cmd.Process.Kill()
+			<-done
+		}
+	}()
+
+	// The first line announces the picked port.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no startup line: %v", sc.Err())
+	}
+	line := sc.Text()
+	i := strings.Index(line, "http://")
+	if i < 0 {
+		t.Fatalf("startup line %q has no address", line)
+	}
+	base := strings.TrimSpace(line[i:])
+	go func() { // keep the pipe drained so the daemon never blocks on stdout
+		for sc.Scan() {
+		}
+	}()
+
+	client := &serve.Client{BaseURL: base}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := client.Healthz(ctx); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never became healthy")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	req := serve.EstimateRequest{Layer: 1, Corpus: "perf", N: 64, Fault: "flaky"}
+	got, verdict, err := client.Estimate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verdict != "miss" {
+		t.Fatalf("first estimate verdict %q, want miss", verdict)
+	}
+
+	plan, err := fault.Parse("flaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := bench.RunCorpusEstimate(1, "perf", 64, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.EnergyBits != serve.EnergyBits(direct.EnergyJ) {
+		t.Fatalf("served energy bits %s != direct %s", got.EnergyBits, serve.EnergyBits(direct.EnergyJ))
+	}
+	if got.Cycles != direct.Cycles || got.Retries != direct.Retries {
+		t.Fatalf("served %+v != direct %+v", got, direct)
+	}
+
+	// Same request again is a cache hit with the identical payload.
+	again, verdict, err := client.Estimate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verdict != "hit" || again != got {
+		t.Fatalf("repeat estimate: verdict %q, equal=%v", verdict, again == got)
+	}
+
+	// SIGTERM drains cleanly: exit code 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		reaped = true
+		if err != nil {
+			t.Fatalf("daemon exited uncleanly: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}

@@ -12,19 +12,21 @@
 //	jcexplore -workers 1      # serial sweep (default: one worker per CPU)
 //	jcexplore -progress       # stream rows to stderr as configs finish
 //	jcexplore -cpuprofile cpu.prof -memprofile mem.prof
+//	jcexplore -remote http://127.0.0.1:8372  # run the sweep on an ecserved instance
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strings"
 
 	"repro/internal/explore"
 	"repro/internal/fault"
 	"repro/internal/javacard"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -34,6 +36,7 @@ func main() {
 	report := flag.Bool("report", false, "collect per-configuration metrics and print the run-report breakdown")
 	workers := flag.Int("workers", 0, "parallel sweep workers; 0 = one per CPU")
 	progress := flag.Bool("progress", false, "stream per-configuration rows to stderr as they complete")
+	remote := flag.String("remote", "", "base URL of an ecserved instance; runs the sweep there instead of in-process")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -85,17 +88,30 @@ func main() {
 		workloads = filtered
 	}
 
-	opts := explore.SweepOpts{Workers: *workers, Metrics: *report}
+	var faultNames []string
 	if *faults != "" {
-		for _, name := range strings.Split(*faults, ",") {
-			name = strings.TrimSpace(name)
-			if _, ok := fault.Named(name); !ok {
-				fmt.Fprintf(os.Stderr, "jcexplore: unknown fault plan %q (have %v)\n", name, fault.Names)
-				os.Exit(2)
-			}
-			opts.Faults = append(opts.Faults, name)
+		names, err := fault.ParseNames(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jcexplore:", err)
+			os.Exit(2)
 		}
+		faultNames = names
 	}
+
+	if *remote != "" {
+		if *report || *progress {
+			fmt.Fprintln(os.Stderr, "jcexplore: -report and -progress are local-only; ignored with -remote")
+		}
+		results, err := remoteSweep(*remote, layers, workloads, faultNames)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jcexplore:", err)
+			os.Exit(1)
+		}
+		printTables(results, false)
+		return
+	}
+
+	opts := explore.SweepOpts{Workers: *workers, Metrics: *report, Faults: faultNames}
 	if *progress {
 		opts.OnResult = func(r explore.Result, err error) {
 			if err != nil {
@@ -114,13 +130,17 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	printTables(results, *report)
+}
+
+func printTables(results []explore.Result, report bool) {
 	fmt.Println("Java Card VM HW/SW interface exploration (paper 4.3)")
 	fmt.Println()
 	fmt.Print(explore.Table(results))
 	fmt.Println()
 	fmt.Println("Pareto frontier (cycles vs bus energy):")
 	fmt.Print(explore.Table(explore.Pareto(results)))
-	if *report {
+	if report {
 		fmt.Println()
 		fmt.Println("Per-configuration metrics:")
 		for _, r := range results {
@@ -130,4 +150,49 @@ func main() {
 			fmt.Printf("\n%s/%s\n%s", r.Workload, r.Config.String(), r.Metrics.Table())
 		}
 	}
+}
+
+// remoteSweep runs the sweep on an ecserved instance and converts the
+// NDJSON rows back into explore results. Energies come from the exact
+// IEEE-754 bit pattern in the stream, so the printed tables are
+// identical to a local run of the same axes.
+func remoteSweep(base string, layers []int, workloads []javacard.Workload, faultNames []string) ([]explore.Result, error) {
+	req := serve.SweepRequest{Layers: layers, Faults: faultNames}
+	for _, w := range workloads {
+		req.Workloads = append(req.Workloads, w.Name)
+	}
+	client := &serve.Client{BaseURL: base}
+	rows, trailer, err := client.Sweep(context.Background(), req)
+	if err != nil {
+		return nil, err
+	}
+	for _, msg := range trailer.Errors {
+		fmt.Fprintln(os.Stderr, "jcexplore: remote:", msg)
+	}
+	results := make([]explore.Result, 0, len(rows))
+	for _, row := range rows {
+		org, ok := serve.OrgByName(row.Org)
+		if !ok {
+			return nil, fmt.Errorf("remote row has unknown organization %q", row.Org)
+		}
+		energy, err := serve.EnergyFromBits(row.EnergyBits)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, explore.Result{
+			Config: explore.Config{
+				Layer:   row.Layer,
+				Org:     org,
+				AddrMap: row.AddrMap,
+				Fault:   row.Fault,
+			},
+			Workload:     row.Workload,
+			Cycles:       row.Cycles,
+			BusEnergyJ:   energy,
+			Transactions: row.Tx,
+			Retries:      row.Retries,
+			Steps:        row.Steps,
+		})
+	}
+	return results, nil
 }

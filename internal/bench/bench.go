@@ -284,6 +284,11 @@ type FaultRow struct {
 	Errors      int // transactions errored after exhausting retries
 	Retries     int // total re-issues
 	CheckerMsgs int // protocol violations flagged (layer 0 only)
+
+	// energyJ is the estimator's raw joule total, before the pJ scaling
+	// of the rendered table — the figure the serving layer caches and
+	// compares bit for bit.
+	energyJ float64
 }
 
 // runLayerFault drives the corpus into a fresh bus of the given layer
@@ -315,8 +320,9 @@ func runLayerFault(layer int, items []core.Item, char gatepower.CharTable, plan 
 	if !m.Done() {
 		return FaultRow{}, fmt.Errorf("bench: layer-%d fault run did not complete", layer)
 	}
+	e := get()
 	return FaultRow{
-		Cycles: n, EnergyPJ: get() * 1e12,
+		Cycles: n, EnergyPJ: e * 1e12, energyJ: e,
 		Errors: m.Errors(), Retries: m.TotalRetries(),
 	}, nil
 }

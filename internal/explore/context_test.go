@@ -1,0 +1,98 @@
+package explore
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/javacard"
+)
+
+// A cancelled sweep must abort promptly, and every configuration that
+// did not finish must surface as a *CancelledError wrapping the
+// context cause inside the errors.Join result, while configurations
+// that completed before the cut are still returned.
+func TestSweepContextCancelSurfacesTypedErrors(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	opts := SweepOpts{
+		Workers: 1,
+		OnResult: func(Result, error) {
+			n++
+			if n == 2 {
+				cancel() // mid-sweep: some done, some not yet started
+			}
+		},
+	}
+	results, err := SweepContext(ctx, opts, []int{1, 2}, javacard.Organizations, AddrMaps,
+		javacard.Workloads()[:1])
+	if err == nil {
+		t.Fatal("cancelled sweep returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("joined error does not match context.Canceled: %v", err)
+	}
+	var ce *CancelledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("joined error carries no *CancelledError: %v", err)
+	}
+	if ce.Workload == "" || ce.Config.Layer == 0 {
+		t.Fatalf("CancelledError not annotated with its configuration: %+v", ce)
+	}
+	total := 2 * len(javacard.Organizations) * len(AddrMaps)
+	if len(results) >= total {
+		t.Fatalf("cancelled sweep still completed all %d configurations", total)
+	}
+	if len(results) < 2 {
+		t.Fatalf("configurations finished before the cancel were dropped: got %d", len(results))
+	}
+}
+
+// A deadline that expires while a configuration is mid-run aborts the
+// interpreter between bytecode chunks and reports DeadlineExceeded.
+func TestSweepContextDeadlineAbortsInFlight(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err := SweepContext(ctx, SweepOpts{Workers: 2}, []int{1, 2}, javacard.Organizations,
+		AddrMaps, javacard.Workloads())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded in joined error, got %v", err)
+	}
+}
+
+// An already-cancelled context runs nothing: every configuration is a
+// CancelledError and no results are produced.
+func TestSweepContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := SweepContext(ctx, SweepOpts{Workers: 4}, []int{1}, javacard.Organizations,
+		AddrMaps, javacard.Workloads()[:1])
+	if len(results) != 0 {
+		t.Fatalf("pre-cancelled sweep produced %d results", len(results))
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// The background-context path is the historical one: SweepWith and
+// SweepContext(Background) agree bit for bit.
+func TestSweepContextBackgroundEquivalent(t *testing.T) {
+	wls := javacard.Workloads()[:1]
+	a, errA := SweepWith(SweepOpts{Workers: 2}, []int{1}, javacard.Organizations, AddrMaps, wls)
+	b, errB := SweepContext(context.Background(), SweepOpts{Workers: 2}, []int{1},
+		javacard.Organizations, AddrMaps, wls)
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("error mismatch: %v vs %v", errA, errB)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("result count mismatch: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		a[i].Metrics, b[i].Metrics = nil, nil
+		if a[i] != b[i] {
+			t.Fatalf("result %d differs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}

@@ -18,6 +18,7 @@
 package explore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -102,6 +103,26 @@ func (r Result) EnergyPerStep() float64 {
 	return r.BusEnergyJ / float64(r.Steps)
 }
 
+// CancelledError reports a configuration whose evaluation was aborted
+// because the sweep's context was cancelled — a server deadline expired
+// or the client went away. It wraps the context's cause, so
+// errors.Is(err, context.Canceled) and errors.Is(err,
+// context.DeadlineExceeded) answer through the errors.Join result of
+// SweepContext.
+type CancelledError struct {
+	Config   Config
+	Workload string
+	Cause    error // context.Canceled or context.DeadlineExceeded
+}
+
+// Error implements error.
+func (e *CancelledError) Error() string {
+	return fmt.Sprintf("explore %v/%s: cancelled: %v", e.Config, e.Workload, e.Cause)
+}
+
+// Unwrap exposes the context cause for errors.Is matching.
+func (e *CancelledError) Unwrap() error { return e.Cause }
+
 // ErrFetchTimeout reports a code fetch whose bus transaction never
 // reached a terminal state within javacard.TransactionRetryLimit kernel
 // steps — a protocol deadlock in the modelled bus, not a slow slave.
@@ -181,11 +202,47 @@ func Run(cfg Config, w javacard.Workload, char gatepower.CharTable) (Result, err
 	if err != nil {
 		return Result{}, err
 	}
-	r, err := runPrepared(cfg, p, char, false)
+	r, err := runPrepared(context.Background(), cfg, p, char, false)
 	if err != nil {
 		return Result{}, fmt.Errorf("explore %v/%s: %w", cfg, w.Name, err)
 	}
 	return r, nil
+}
+
+// vmStepBudget bounds one configuration's interpreter run; reaching it
+// means the workload diverged, not that the bus is slow.
+const vmStepBudget = 10_000_000
+
+// cancelCheckEvery is the bytecode interval between context polls while
+// a configuration runs under a cancellable context. One bytecode
+// completes in a bounded number of kernel steps, so this bounds the
+// cancellation latency to a small fraction of a millisecond.
+const cancelCheckEvery = 1024
+
+// runVM executes the interpreter to completion, polling ctx between
+// bytecode chunks. A context that can never be cancelled takes the
+// original single-call path, so reference runs are untouched.
+func runVM(ctx context.Context, vm *javacard.VM) error {
+	if ctx.Done() == nil {
+		return vm.Run(vmStepBudget)
+	}
+	for i := uint64(0); i < vmStepBudget; i++ {
+		if vm.Halted() {
+			return nil
+		}
+		if i%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if err := vm.Step(); err != nil {
+			return err
+		}
+	}
+	if !vm.Halted() {
+		return errors.New("jcvm: step budget exhausted")
+	}
+	return nil
 }
 
 // runPrepared evaluates one configuration against prepared workload
@@ -194,7 +251,10 @@ func Run(cfg Config, w javacard.Workload, char gatepower.CharTable) (Result, err
 // other calls sharing the same prepared value. With metered set, the
 // run additionally carries a private metrics registry whose final
 // snapshot lands in Result.Metrics.
-func runPrepared(cfg Config, p prepared, char gatepower.CharTable, metered bool) (Result, error) {
+func runPrepared(ctx context.Context, cfg Config, p prepared, char gatepower.CharTable, metered bool) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, &CancelledError{Config: cfg, Workload: p.w.Name, Cause: err}
+	}
 	var reg *metrics.Registry
 	if metered {
 		reg = metrics.New(fmt.Sprintf("L%d", cfg.Layer))
@@ -259,7 +319,10 @@ func runPrepared(cfg Config, p prepared, char gatepower.CharTable, metered bool)
 		// traffic pattern, not the fetched value, is what matters here.
 		_ = fetcher.read8(uint64(pc) % romSize)
 	}
-	if err := vm.Run(10_000_000); err != nil {
+	if err := runVM(ctx, vm); err != nil {
+		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			return Result{}, &CancelledError{Config: cfg, Workload: p.w.Name, Cause: err}
+		}
 		return Result{}, err
 	}
 	if err := adapter.Flush(); err != nil {
@@ -321,6 +384,17 @@ func Sweep(layers []int, orgs []javacard.Organization, maps []string, workloads 
 // recorded and the remaining points still run, so the call returns the
 // partial results together with the joined per-configuration errors.
 func SweepWith(opts SweepOpts, layers []int, orgs []javacard.Organization, maps []string, workloads []javacard.Workload) ([]Result, error) {
+	return SweepContext(context.Background(), opts, layers, orgs, maps, workloads)
+}
+
+// SweepContext is SweepWith under a context: when ctx is cancelled (a
+// server deadline fired, a client disconnected) the in-flight
+// configuration evaluations abort within a bounded number of bytecodes
+// and every unfinished configuration surfaces as a *CancelledError in
+// the joined error, alongside whatever completed before the cut. The
+// result-order and partial-failure contracts of SweepWith are
+// unchanged.
+func SweepContext(ctx context.Context, opts SweepOpts, layers []int, orgs []javacard.Organization, maps []string, workloads []javacard.Workload) ([]Result, error) {
 	type job struct {
 		idx int
 		cfg Config
@@ -372,9 +446,12 @@ func SweepWith(opts SweepOpts, layers []int, orgs []javacard.Organization, maps 
 		go func() {
 			defer wg.Done()
 			for j := range jobCh {
-				r, err := runPrepared(j.cfg, j.p, char, opts.Metrics)
+				r, err := runPrepared(ctx, j.cfg, j.p, char, opts.Metrics)
 				if err != nil {
-					err = fmt.Errorf("explore %v/%s: %w", j.cfg, j.p.w.Name, err)
+					var ce *CancelledError
+					if !errors.As(err, &ce) {
+						err = fmt.Errorf("explore %v/%s: %w", j.cfg, j.p.w.Name, err)
+					}
 				}
 				results[j.idx], errs[j.idx] = r, err
 				if opts.OnResult != nil {

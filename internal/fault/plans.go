@@ -1,5 +1,10 @@
 package fault
 
+import (
+	"fmt"
+	"strings"
+)
+
 // Canonical named plans: the vocabulary of the exploration sweep's
 // fault axis, the ecbench fault table and the docs. Fixed seeds make
 // every run of a named plan reproducible bit for bit.
@@ -42,4 +47,25 @@ func Named(name string) (Plan, bool) {
 	default:
 		return Plan{}, false
 	}
+}
+
+// ParseNames validates a comma-separated list of named plans — the
+// form the CLI fault-axis flags take. Whitespace around elements is
+// trimmed and empty elements are dropped. An unknown name is an error
+// that spells out the valid vocabulary, so a typo fails loudly instead
+// of silently degrading to a clean run.
+func ParseNames(csv string) ([]string, error) {
+	var names []string
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, ok := Named(name); !ok {
+			return nil, fmt.Errorf("fault: unknown plan %q (valid plans: %s)",
+				name, strings.Join(Names, ", "))
+		}
+		names = append(names, name)
+	}
+	return names, nil
 }

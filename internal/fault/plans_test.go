@@ -1,0 +1,49 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseNamesValid(t *testing.T) {
+	got, err := ParseNames(" none, flaky ,storm,grind ")
+	if err != nil {
+		t.Fatalf("ParseNames: %v", err)
+	}
+	want := []string{"none", "flaky", "storm", "grind"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseNamesEmptyElements(t *testing.T) {
+	got, err := ParseNames(",flaky,,")
+	if err != nil {
+		t.Fatalf("ParseNames: %v", err)
+	}
+	if len(got) != 1 || got[0] != "flaky" {
+		t.Fatalf("got %v, want [flaky]", got)
+	}
+}
+
+// An unknown name must error — never fall back to the clean plan — and
+// the message must name every valid plan so the fix is obvious.
+func TestParseNamesUnknown(t *testing.T) {
+	_, err := ParseNames("none,bogus")
+	if err == nil {
+		t.Fatal("unknown plan name accepted")
+	}
+	if !strings.Contains(err.Error(), `"bogus"`) {
+		t.Fatalf("error does not name the offender: %v", err)
+	}
+	for _, n := range Names {
+		if !strings.Contains(err.Error(), n) {
+			t.Fatalf("error does not list valid plan %q: %v", n, err)
+		}
+	}
+}

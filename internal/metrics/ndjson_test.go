@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/ecbus"
+)
+
+func span(id uint64) Span {
+	return Span{ID: id, Layer: "TL1", Master: "m", Slave: "fast", Kind: ecbus.Read,
+		Issue: 1, Addr: 2, End: 3}
+}
+
+// failAfterWriter accepts n writes, then fails every subsequent one.
+type failAfterWriter struct {
+	n    int
+	err  error
+	got  bytes.Buffer
+	post int // writes attempted after the first failure
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		w.post++
+		return 0, w.err
+	}
+	w.n--
+	return w.got.Write(p)
+}
+
+// A write error is sticky: the failing span is not retried, no further
+// spans reach the writer, and Err reports the first failure verbatim.
+func TestNDJSONSinkWriteErrorSticky(t *testing.T) {
+	boom := errors.New("disk gone")
+	w := &failAfterWriter{n: 2, err: boom}
+	s := NewNDJSONSink(w)
+	for i := uint64(0); i < 5; i++ {
+		s.Emit(span(i))
+	}
+	if !errors.Is(s.Err(), boom) {
+		t.Fatalf("Err() = %v, want %v", s.Err(), boom)
+	}
+	if w.post != 1 {
+		t.Fatalf("sink kept writing after the error: %d extra attempts", w.post)
+	}
+	lines := strings.Split(strings.TrimSuffix(w.got.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("writer holds %d records, want the 2 pre-error ones:\n%s", len(lines), w.got.String())
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, `{"id":`) || !strings.HasSuffix(l, "}") {
+			t.Fatalf("pre-error record damaged: %q", l)
+		}
+	}
+}
+
+// shortWriter sinks half of every record and reports success — the
+// io.Writer contract violation that used to truncate streams silently.
+type shortWriter struct{ writes int }
+
+func (w *shortWriter) Write(p []byte) (int, error) {
+	w.writes++
+	return len(p) / 2, nil
+}
+
+// A partial write with a nil error becomes a sticky io.ErrShortWrite:
+// the stream stops instead of continuing past a torn record.
+func TestNDJSONSinkPartialWrite(t *testing.T) {
+	w := &shortWriter{}
+	s := NewNDJSONSink(w)
+	s.Emit(span(1))
+	if !errors.Is(s.Err(), io.ErrShortWrite) {
+		t.Fatalf("Err() = %v, want io.ErrShortWrite", s.Err())
+	}
+	s.Emit(span(2))
+	s.Emit(span(3))
+	if w.writes != 1 {
+		t.Fatalf("sink kept writing after the short write: %d writes", w.writes)
+	}
+}
+
+// The happy path stays allocation-free and well-formed after an
+// interleaved error probe: a fresh sink on a good writer emits every
+// span as one NDJSON line.
+func TestNDJSONSinkRecoversOnFreshSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewNDJSONSink(&buf)
+	for i := uint64(0); i < 3; i++ {
+		s.Emit(span(i))
+	}
+	if s.Err() != nil {
+		t.Fatalf("unexpected sink error: %v", s.Err())
+	}
+	if n := strings.Count(buf.String(), "\n"); n != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", n, buf.String())
+	}
+}

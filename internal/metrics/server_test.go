@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// A nil server registry is the free disabled state: every method is a
+// no-op and the snapshot is zero.
+func TestServerRegistryNil(t *testing.T) {
+	var s *ServerRegistry
+	s.Request("estimate")
+	s.Outcome(ServeHit, 10)
+	s.Compute(true)
+	s.Evicted(3)
+	s.Rejected(429)
+	snap := s.Snapshot()
+	if snap.Computes != 0 || snap.Outcomes[ServeHit] != 0 || len(snap.Requests) != 0 {
+		t.Fatalf("nil registry recorded state: %+v", snap)
+	}
+}
+
+func TestServerRegistryCounters(t *testing.T) {
+	s := NewServer()
+	s.Request("estimate")
+	s.Request("estimate")
+	s.Request("sweep")
+	s.Outcome(ServeMiss, 1000)
+	s.Outcome(ServeHit, 10)
+	s.Outcome(ServeHit, 30)
+	s.Outcome(ServeDedup, 500)
+	s.Compute(false)
+	s.Rejected(429)
+	s.Rejected(503)
+	s.Evicted(2)
+
+	snap := s.Snapshot()
+	if snap.Requests["estimate"] != 2 || snap.Requests["sweep"] != 1 {
+		t.Fatalf("request counters wrong: %v", snap.Requests)
+	}
+	if snap.Outcomes[ServeHit] != 2 || snap.Outcomes[ServeMiss] != 1 || snap.Outcomes[ServeDedup] != 1 {
+		t.Fatalf("outcome counters wrong: %v", snap.Outcomes)
+	}
+	if snap.Latency[ServeHit].Count != 2 || snap.Latency[ServeHit].Max != 30 {
+		t.Fatalf("hit latency histogram wrong: %+v", snap.Latency[ServeHit])
+	}
+	if snap.Rejected429 != 1 || snap.Rejected503 != 1 || snap.Evicted != 2 {
+		t.Fatalf("rejection/eviction counters wrong: %+v", snap)
+	}
+	text := snap.Table()
+	for _, want := range []string{"estimate=2", "sweep=1", "hit=2", "dedup=1", "miss=1", "429=1", "503=1"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Table() missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// The registry is shared by concurrent handlers; hammer it under the
+// race detector.
+func TestServerRegistryConcurrent(t *testing.T) {
+	s := NewServer()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				s.Request("estimate")
+				s.Outcome(ServeOutcome(j%int(NumServeOutcomes)), uint64(j))
+				s.Compute(j%10 == 0)
+				s.Rejected(429)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if snap.Requests["estimate"] != 8000 || snap.Computes != 8000 || snap.Rejected429 != 8000 {
+		t.Fatalf("lost updates: %+v", snap)
+	}
+}

@@ -120,7 +120,14 @@ func (s *NDJSONSink) Emit(sp Span) {
 	b = strconv.AppendBool(b, sp.Err)
 	b = append(b, '}', '\n')
 	s.buf = b
-	if _, err := s.w.Write(b); err != nil {
+	n, err := s.w.Write(b)
+	if err == nil && n < len(b) {
+		// A writer that under-reports without erroring would silently
+		// truncate the stream mid-record; treat it as the write error
+		// the io.Writer contract says it should have returned.
+		err = io.ErrShortWrite
+	}
+	if err != nil {
 		s.err = err
 	}
 }

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// entry is one content address's lifecycle: created by the first
+// requester (the leader), joined by concurrent identical requests
+// (followers), completed exactly once by a compute worker. The
+// completed body is immutable — every reader gets the same bytes, which
+// is how the cache's byte-identity contract is enforced structurally.
+type entry struct {
+	key  string
+	done chan struct{} // closed at completion
+	body []byte
+	err  error
+
+	// waiters counts requesters currently blocked on done. When the
+	// last one gives up before completion, the cache cancels the
+	// compute: nobody is left to read the result.
+	waiters int
+	cancel  context.CancelFunc
+	elem    *list.Element // LRU position once committed
+}
+
+// completed reports whether the entry has a result (body or error).
+func (e *entry) completed() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Cache is the content-addressed result store with singleflight
+// admission: at most one compute per key is ever in flight, concurrent
+// identical requests share it, and completed bodies are retained in an
+// LRU bounded at max entries.
+type Cache struct {
+	mu     sync.Mutex
+	max    int
+	flight map[string]*entry        // in-flight computes by key
+	ready  map[string]*list.Element // committed bodies by key
+	lru    *list.List               // of *entry, front = most recent
+}
+
+// NewCache creates a cache retaining at most max completed results
+// (max < 1 is clamped to 1).
+func NewCache(max int) *Cache {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache{
+		max:    max,
+		flight: make(map[string]*entry),
+		ready:  make(map[string]*list.Element),
+		lru:    list.New(),
+	}
+}
+
+// Len returns the number of completed entries currently retained.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// join is the admission point. The three outcomes map onto the serve
+// outcomes: a committed body (hit), an existing in-flight entry the
+// caller must wait on (dedup), or a fresh entry the caller must
+// compute (miss/leader).
+func (c *Cache) join(key string) (e *entry, leader bool, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.ready[key]; ok {
+		ent := el.Value.(*entry)
+		c.lru.MoveToFront(el)
+		return nil, false, ent.body
+	}
+	if ent, ok := c.flight[key]; ok {
+		ent.waiters++
+		return ent, false, nil
+	}
+	ent := &entry{key: key, done: make(chan struct{}), waiters: 1}
+	c.flight[key] = ent
+	return ent, true, nil
+}
+
+// setCancel arms the entry's compute-abandonment hook.
+func (c *Cache) setCancel(e *entry, cancel context.CancelFunc) {
+	c.mu.Lock()
+	e.cancel = cancel
+	c.mu.Unlock()
+}
+
+// leave releases one waiter. If the compute is still in flight and no
+// waiter remains, it is cancelled — every client went away, so the
+// result has no reader (and an abandoned compute must not poison the
+// cache: commit drops cancelled results).
+func (c *Cache) leave(e *entry) {
+	c.mu.Lock()
+	e.waiters--
+	var cancel context.CancelFunc
+	if e.waiters == 0 && !e.completed() {
+		cancel = e.cancel
+	}
+	c.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// commit completes an entry: the body (or error) becomes visible to
+// every waiter, and a successful body is inserted into the LRU.
+// Returns the number of entries evicted by the capacity bound.
+func (c *Cache) commit(e *entry, body []byte, err error) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.body, e.err = body, err
+	delete(c.flight, e.key)
+	close(e.done)
+	if err != nil {
+		return 0 // failures are not cached; a retry recomputes
+	}
+	e.elem = c.lru.PushFront(e)
+	c.ready[e.key] = e.elem
+	evicted := 0
+	for c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.ready, oldest.Value.(*entry).key)
+		evicted++
+	}
+	return evicted
+}
+
+// abandon removes a never-scheduled entry (the bounded queue rejected
+// it) so the next identical request can try again, failing every
+// current waiter with err.
+func (c *Cache) abandon(e *entry, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.completed() {
+		return
+	}
+	e.err = err
+	delete(c.flight, e.key)
+	close(e.done)
+}

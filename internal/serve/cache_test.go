@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestCacheJoinCommitHit(t *testing.T) {
+	c := NewCache(4)
+	e, leader, body := c.join("k1")
+	if !leader || body != nil {
+		t.Fatalf("first join: leader=%v body=%v", leader, body)
+	}
+	if n := c.commit(e, []byte("r1"), nil); n != 0 {
+		t.Fatalf("commit evicted %d from an empty cache", n)
+	}
+	_, _, body = c.join("k1")
+	if string(body) != "r1" {
+		t.Fatalf("hit body %q, want r1", body)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheSingleflightSharesOneEntry(t *testing.T) {
+	c := NewCache(4)
+	e, leader, _ := c.join("k")
+	if !leader {
+		t.Fatal("first join not leader")
+	}
+	var wg sync.WaitGroup
+	bodies := make([]string, 8)
+	for i := 0; i < 8; i++ {
+		f, isLeader, cached := c.join("k")
+		if isLeader || cached != nil || f != e {
+			t.Fatalf("follower %d: leader=%v cached=%v sameEntry=%v", i, isLeader, cached, f == e)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-f.done
+			bodies[i] = string(f.body)
+			c.leave(f)
+		}(i)
+	}
+	c.commit(e, []byte("shared"), nil)
+	c.leave(e)
+	wg.Wait()
+	for i, b := range bodies {
+		if b != "shared" {
+			t.Fatalf("follower %d read %q", i, b)
+		}
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := NewCache(4)
+	e, _, _ := c.join("k")
+	c.commit(e, nil, errors.New("boom"))
+	c.leave(e)
+	if c.Len() != 0 {
+		t.Fatal("failed compute was cached")
+	}
+	_, leader, body := c.join("k")
+	if !leader || body != nil {
+		t.Fatal("retry after failure did not become a fresh leader")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	for _, k := range []string{"a", "b"} {
+		e, _, _ := c.join(k)
+		c.commit(e, []byte(k), nil)
+		c.leave(e)
+	}
+	// Touch "a" so "b" is the eviction victim.
+	if _, _, body := c.join("a"); string(body) != "a" {
+		t.Fatalf("warm-up hit failed: %q", body)
+	}
+	e, _, _ := c.join("z")
+	if n := c.commit(e, []byte("z"), nil); n != 1 {
+		t.Fatalf("evicted %d entries, want 1", n)
+	}
+	c.leave(e)
+	if _, leader, _ := c.join("b"); !leader {
+		t.Fatal("LRU victim was not the least recently used entry")
+	}
+	if _, _, body := c.join("a"); string(body) != "a" {
+		t.Fatal("recently used entry was evicted")
+	}
+}
+
+// When the last waiter leaves an in-flight entry, its compute context
+// is cancelled — nobody is left to read the result.
+func TestCacheLastWaiterCancelsCompute(t *testing.T) {
+	c := NewCache(4)
+	e, _, _ := c.join("k")
+	ctx, cancel := context.WithCancel(context.Background())
+	c.setCancel(e, cancel)
+	f, _, _ := c.join("k") // second waiter
+	c.leave(e)
+	if ctx.Err() != nil {
+		t.Fatal("compute cancelled while a waiter remains")
+	}
+	c.leave(f)
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Fatal("compute not cancelled after the last waiter left")
+	}
+}
+
+func TestCacheAbandonFailsWaiters(t *testing.T) {
+	c := NewCache(4)
+	e, _, _ := c.join("k")
+	c.abandon(e, errOverloaded)
+	<-e.done
+	if !errors.Is(e.err, errOverloaded) {
+		t.Fatalf("abandoned entry err = %v", e.err)
+	}
+	c.leave(e)
+	if _, leader, _ := c.join("k"); !leader {
+		t.Fatal("abandoned key not retryable")
+	}
+}
+
+func TestEstimateKeyStability(t *testing.T) {
+	base := EstimateRequest{Layer: 1, Corpus: "perf", N: 64}
+	k := func(r EstimateRequest) string {
+		c, err := canonicalizeEstimate(r)
+		if err != nil {
+			t.Fatalf("canonicalize %+v: %v", r, err)
+		}
+		return c.key()
+	}
+	if k(base) != k(base) {
+		t.Fatal("identical requests hash differently")
+	}
+	// Defaults canonicalize: empty corpus = perf, n<=0 = DefaultPerfN,
+	// "" and "none" are the same clean plan.
+	if k(EstimateRequest{Layer: 1}) != k(EstimateRequest{Layer: 1, Corpus: "perf", N: 256, Fault: "none"}) {
+		t.Fatal("default resolution changes the content address")
+	}
+	// Every axis is load-bearing.
+	distinct := []EstimateRequest{
+		base,
+		{Layer: 2, Corpus: "perf", N: 64},
+		{Layer: 1, Corpus: "perf", N: 65},
+		{Layer: 1, Corpus: "verification"},
+		{Layer: 1, Corpus: "perf", N: 64, Fault: "flaky"},
+		{Layer: 1, Corpus: "perf", N: 64, Fault: "rerr=25"},
+	}
+	seen := map[string]int{}
+	for i, r := range distinct {
+		key := k(r)
+		if j, dup := seen[key]; dup {
+			t.Fatalf("requests %d and %d share a content address", i, j)
+		}
+		seen[key] = i
+	}
+}
+
+func TestSweepKeyStability(t *testing.T) {
+	k := func(r SweepRequest) string {
+		c, err := canonicalizeSweep(r)
+		if err != nil {
+			t.Fatalf("canonicalize %+v: %v", r, err)
+		}
+		return c.key()
+	}
+	// Defaults canonicalize to the explicit full request.
+	full := SweepRequest{
+		Layers:    []int{1, 2},
+		Orgs:      []string{"byte-staged", "halfword", "packed-word", "burst4"},
+		AddrMaps:  []string{"near", "far"},
+		Workloads: []string{"arith-loop", "stack-churn", "wallet"},
+	}
+	if k(SweepRequest{}) != k(full) {
+		t.Fatal("sweep default resolution changes the content address")
+	}
+	// Deadline and async are serving parameters, not content.
+	if k(SweepRequest{DeadlineMs: 5, Async: true}) != k(SweepRequest{}) {
+		t.Fatal("serving parameters leaked into the content address")
+	}
+	// Axis order is content (it orders the rows).
+	a := SweepRequest{Layers: []int{1, 2}, Workloads: []string{"wallet"}}
+	b := SweepRequest{Layers: []int{2, 1}, Workloads: []string{"wallet"}}
+	if k(a) == k(b) {
+		t.Fatal("axis order not part of the content address")
+	}
+	if k(SweepRequest{Faults: []string{"flaky"}}) == k(SweepRequest{}) {
+		t.Fatal("fault axis not part of the content address")
+	}
+}

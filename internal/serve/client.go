@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is the thin HTTP client for a remote estimation server, used
+// by jcexplore -remote and the serving smoke tests.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8372".
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient when set.
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// apiError decodes an error body into a useful message.
+func apiError(resp *http.Response) error {
+	defer resp.Body.Close()
+	var e struct {
+		Error string `json:"error"`
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("serve: %s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("serve: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+}
+
+func (c *Client) post(ctx context.Context, path string, req any) (*http.Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	return c.http().Do(hr)
+}
+
+// Estimate posts one estimation request. The returned cache string is
+// the server's X-Cache verdict ("hit", "dedup" or "miss").
+func (c *Client) Estimate(ctx context.Context, req EstimateRequest) (EstimateResponse, string, error) {
+	resp, err := c.post(ctx, "/v1/estimate", req)
+	if err != nil {
+		return EstimateResponse{}, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return EstimateResponse{}, "", apiError(resp)
+	}
+	defer resp.Body.Close()
+	var out EstimateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return EstimateResponse{}, "", fmt.Errorf("serve: bad estimate response: %w", err)
+	}
+	return out, resp.Header.Get("X-Cache"), nil
+}
+
+// Sweep posts one synchronous sweep request and decodes the NDJSON
+// stream.
+func (c *Client) Sweep(ctx context.Context, req SweepRequest) ([]SweepRow, SweepTrailer, error) {
+	req.Async = false
+	resp, err := c.post(ctx, "/v1/sweep", req)
+	if err != nil {
+		return nil, SweepTrailer{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, SweepTrailer{}, apiError(resp)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, SweepTrailer{}, err
+	}
+	return ParseSweepBody(body)
+}
+
+// SweepAsync queues a sweep job and returns its handle.
+func (c *Client) SweepAsync(ctx context.Context, req SweepRequest) (Job, error) {
+	req.Async = true
+	resp, err := c.post(ctx, "/v1/sweep", req)
+	if err != nil {
+		return Job{}, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return Job{}, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var job Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		return Job{}, fmt.Errorf("serve: bad job response: %w", err)
+	}
+	return job, nil
+}
+
+// Job fetches a job's current status.
+func (c *Client) Job(ctx context.Context, id string) (Job, error) {
+	resp, err := c.get(ctx, "/v1/jobs/"+id)
+	if err != nil {
+		return Job{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Job{}, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var job Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		return Job{}, fmt.Errorf("serve: bad job response: %w", err)
+	}
+	return job, nil
+}
+
+// JobResult fetches a completed job's NDJSON body.
+func (c *Client) JobResult(ctx context.Context, id string) ([]SweepRow, SweepTrailer, error) {
+	resp, err := c.get(ctx, "/v1/jobs/"+id+"/result")
+	if err != nil {
+		return nil, SweepTrailer{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, SweepTrailer{}, apiError(resp)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, SweepTrailer{}, err
+	}
+	return ParseSweepBody(body)
+}
+
+// Healthz probes the server's health endpoint.
+func (c *Client) Healthz(ctx context.Context) error {
+	resp, err := c.get(ctx, "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: health: %s", resp.Status)
+	}
+	return nil
+}
+
+func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.http().Do(hr)
+}

@@ -1,0 +1,291 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/fault"
+	"repro/internal/javacard"
+)
+
+// Version is the serving layer's code-version tag. It is folded into
+// every content hash, so bumping it invalidates all cached results —
+// required whenever a change legitimately moves an energy figure (a
+// model fix, a corpus change). Caching is only sound because the
+// simulators are deterministic; the golden gate keeps them that way.
+const Version = "ecserve/1"
+
+// EstimateRequest asks for one corpus × layer × fault-plan energy
+// estimation point: the body of POST /v1/estimate.
+type EstimateRequest struct {
+	// Layer selects the abstraction level: 0 (gate level), 1 (TL1) or
+	// 2 (TL2).
+	Layer int `json:"layer"`
+	// Corpus names the transaction workload (bench.Corpora); default
+	// "perf".
+	Corpus string `json:"corpus,omitempty"`
+	// N sizes the perf corpus; <= 0 selects bench.DefaultPerfN.
+	N int `json:"n,omitempty"`
+	// Fault is a named fault plan (fault.Names) or a key=value plan
+	// spec (fault.Parse); empty means a clean run.
+	Fault string `json:"fault,omitempty"`
+	// DeadlineMs bounds the compute; 0 uses the server default.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+}
+
+// EstimateResponse is the result of one estimation point. EnergyBits
+// is the IEEE-754 bit pattern of EnergyJ in hex — the field the
+// byte-identity contract of the cache is stated (and tested) against.
+type EstimateResponse struct {
+	Key        string  `json:"key"`
+	Layer      int     `json:"layer"`
+	Corpus     string  `json:"corpus"`
+	N          int     `json:"n"`
+	Fault      string  `json:"fault"`
+	Cycles     uint64  `json:"cycles"`
+	EnergyJ    float64 `json:"energy_j"`
+	EnergyBits string  `json:"energy_bits"`
+	Errors     int     `json:"errors"`
+	Retries    int     `json:"retries"`
+}
+
+// canonEstimate is a validated estimate request with defaults applied
+// and the fault plan in canonical spec form.
+type canonEstimate struct {
+	Layer  int
+	Corpus string
+	N      int
+	Plan   fault.Plan
+	Spec   string // plan.Spec(), the canonical fault identity
+}
+
+// canonicalizeEstimate validates the request and resolves defaults, so
+// two requests meaning the same computation canonicalize — and hash —
+// identically.
+func canonicalizeEstimate(req EstimateRequest) (canonEstimate, error) {
+	c := canonEstimate{Layer: req.Layer, Corpus: req.Corpus, N: req.N}
+	if c.Layer < 0 || c.Layer > 2 {
+		return c, fmt.Errorf("serve: unsupported layer %d (valid layers: 0, 1, 2)", c.Layer)
+	}
+	if c.Corpus == "" {
+		c.Corpus = "perf"
+	}
+	if c.Corpus != "perf" {
+		c.N = 0 // only the perf corpus is parameterized
+	} else if c.N <= 0 {
+		c.N = bench.DefaultPerfN
+	}
+	plan, err := fault.Parse(strings.TrimSpace(req.Fault))
+	if err != nil {
+		return c, fmt.Errorf("serve: %w", err)
+	}
+	c.Plan, c.Spec = plan, plan.Spec()
+	// Reject unknown corpora now, not at compute time.
+	if _, err := bench.CorpusItems(c.Corpus, c.N); err != nil {
+		return c, fmt.Errorf("serve: %w", err)
+	}
+	return c, nil
+}
+
+// key content-addresses the estimation point: layer × corpus identity ×
+// fault plan × code version, where the corpus identity is a digest of
+// the actual transaction bytes (not just the name), so a corpus
+// generator change changes the address.
+func (c canonEstimate) key() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00estimate\x00layer=%d\x00corpus=%s\x00n=%d\x00fault=%s\x00",
+		Version, c.Layer, c.Corpus, c.N, c.Spec)
+	items, err := bench.CorpusItems(c.Corpus, c.N)
+	if err == nil {
+		h.Write(itemBytes(items))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// itemBytes serializes a transaction corpus deterministically — the
+// "workload bytes" component of an estimate's content address.
+func itemBytes(items []core.Item) []byte {
+	buf := make([]byte, 0, 32*len(items))
+	var w [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(w[:], v)
+		buf = append(buf, w[:]...)
+	}
+	u64(uint64(len(items)))
+	for _, it := range items {
+		u64(it.NotBefore)
+		u64(it.Tr.Addr)
+		u64(uint64(it.Tr.Kind))
+		u64(uint64(it.Tr.Width))
+		if it.Tr.Burst {
+			u64(1)
+		} else {
+			u64(0)
+		}
+		u64(uint64(len(it.Tr.Data)))
+		for _, d := range it.Tr.Data {
+			u64(uint64(d))
+		}
+	}
+	return buf
+}
+
+// SweepRequest asks for a design-space sweep: the body of
+// POST /v1/sweep. Zero-valued axes take the full default vocabulary,
+// so the empty request is the complete §4.3 exploration.
+type SweepRequest struct {
+	Layers     []int    `json:"layers,omitempty"`     // default [1, 2]
+	Orgs       []string `json:"orgs,omitempty"`       // default all SFR organizations
+	AddrMaps   []string `json:"addr_maps,omitempty"`  // default ["near", "far"]
+	Workloads  []string `json:"workloads,omitempty"`  // default all named workloads
+	Faults     []string `json:"faults,omitempty"`     // named plans; empty = clean only
+	DeadlineMs int64    `json:"deadline_ms,omitempty"`
+	// Async queues the sweep as a job and returns 202 with its id
+	// instead of holding the connection open; poll GET /v1/jobs/{id}.
+	Async bool `json:"async,omitempty"`
+}
+
+// SweepRow is one configuration's outcome in the sweep's NDJSON
+// stream.
+type SweepRow struct {
+	Workload   string  `json:"workload"`
+	Layer      int     `json:"layer"`
+	Org        string  `json:"org"`
+	AddrMap    string  `json:"addr_map"`
+	Fault      string  `json:"fault,omitempty"`
+	Cycles     uint64  `json:"cycles"`
+	EnergyJ    float64 `json:"energy_j"`
+	EnergyBits string  `json:"energy_bits"`
+	Tx         uint64  `json:"tx"`
+	Retries    uint64  `json:"retries"`
+	Steps      uint64  `json:"steps"`
+}
+
+// SweepTrailer is the final NDJSON line of a sweep response.
+type SweepTrailer struct {
+	Done   bool     `json:"done"`
+	Key    string   `json:"key"`
+	Rows   int      `json:"rows"`
+	Errors []string `json:"errors,omitempty"`
+}
+
+// canonSweep is a validated sweep request with defaults applied and
+// every axis element resolved against its vocabulary.
+type canonSweep struct {
+	Layers    []int
+	Orgs      []javacard.Organization
+	OrgNames  []string
+	Maps      []string
+	Workloads []javacard.Workload
+	Faults    []string
+}
+
+// OrgByName resolves an SFR-organization name (the Organization.String
+// vocabulary) back to its value.
+func OrgByName(name string) (javacard.Organization, bool) {
+	for _, o := range javacard.Organizations {
+		if o.String() == name {
+			return o, true
+		}
+	}
+	return 0, false
+}
+
+func canonicalizeSweep(req SweepRequest) (canonSweep, error) {
+	var c canonSweep
+	c.Layers = req.Layers
+	if len(c.Layers) == 0 {
+		c.Layers = []int{1, 2}
+	}
+	for _, l := range c.Layers {
+		if l != 1 && l != 2 {
+			return c, fmt.Errorf("serve: unsupported sweep layer %d (valid layers: 1, 2)", l)
+		}
+	}
+	if len(req.Orgs) == 0 {
+		c.Orgs = append(c.Orgs, javacard.Organizations...)
+	} else {
+		for _, name := range req.Orgs {
+			o, ok := OrgByName(name)
+			if !ok {
+				var valid []string
+				for _, v := range javacard.Organizations {
+					valid = append(valid, v.String())
+				}
+				return c, fmt.Errorf("serve: unknown organization %q (valid: %s)",
+					name, strings.Join(valid, ", "))
+			}
+			c.Orgs = append(c.Orgs, o)
+		}
+	}
+	for _, o := range c.Orgs {
+		c.OrgNames = append(c.OrgNames, o.String())
+	}
+	c.Maps = req.AddrMaps
+	if len(c.Maps) == 0 {
+		c.Maps = append(c.Maps, explore.AddrMaps...)
+	}
+	for _, m := range c.Maps {
+		if m != "near" && m != "far" {
+			return c, fmt.Errorf("serve: unknown address map %q (valid: near, far)", m)
+		}
+	}
+	all := javacard.Workloads()
+	if len(req.Workloads) == 0 {
+		c.Workloads = all
+	} else {
+		for _, name := range req.Workloads {
+			found := false
+			for _, w := range all {
+				if w.Name == name {
+					c.Workloads = append(c.Workloads, w)
+					found = true
+					break
+				}
+			}
+			if !found {
+				var valid []string
+				for _, w := range all {
+					valid = append(valid, w.Name)
+				}
+				return c, fmt.Errorf("serve: unknown workload %q (valid: %s)",
+					name, strings.Join(valid, ", "))
+			}
+		}
+	}
+	if len(req.Faults) > 0 {
+		names, err := fault.ParseNames(strings.Join(req.Faults, ","))
+		if err != nil {
+			return c, fmt.Errorf("serve: %w", err)
+		}
+		c.Faults = names
+	}
+	return c, nil
+}
+
+// key content-addresses the sweep: every axis in request order plus a
+// digest of each workload's assembled program bytes and the code
+// version. Axis order matters — it determines the NDJSON row order —
+// so it is part of the address.
+func (c canonSweep) key() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00sweep\x00layers=%v\x00orgs=%v\x00maps=%v\x00faults=%v\x00",
+		Version, c.Layers, c.OrgNames, c.Maps, c.Faults)
+	for _, w := range c.Workloads {
+		prog := w.Program()
+		fmt.Fprintf(h, "workload=%s\x00main=%d\x00", w.Name, len(prog.Main))
+		h.Write(prog.Main)
+		for _, m := range prog.Methods {
+			fmt.Fprintf(h, "method=%d\x00", len(m.Code))
+			h.Write(m.Code)
+		}
+		fmt.Fprintf(h, "statics=%d\x00", prog.Statics)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bench"
+	"repro/internal/explore"
+)
+
+// computeEstimate runs one corpus estimation point and renders the
+// response body. The body is what the cache stores, so it must be a
+// pure function of the canonical request — it is: the runner is
+// deterministic and json.Marshal renders identical structs to
+// identical bytes.
+func computeEstimate(ctx context.Context, key string, c canonEstimate) ([]byte, error) {
+	// The corpus runs are short (milliseconds); honoring the deadline
+	// at entry keeps expired work from occupying a worker at all.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	est, err := bench.RunCorpusEstimate(c.Layer, c.Corpus, c.N, c.Plan)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	resp := EstimateResponse{
+		Key:        key,
+		Layer:      c.Layer,
+		Corpus:     c.Corpus,
+		N:          c.N,
+		Fault:      c.Spec,
+		Cycles:     est.Cycles,
+		EnergyJ:    est.EnergyJ,
+		EnergyBits: EnergyBits(est.EnergyJ),
+		Errors:     est.Errors,
+		Retries:    est.Retries,
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
+}
+
+// EnergyBits renders a joule figure's IEEE-754 bit pattern as 16 hex
+// digits — the representation the cache equivalence is asserted on.
+func EnergyBits(e float64) string {
+	return fmt.Sprintf("%016x", math.Float64bits(e))
+}
+
+// EnergyFromBits is the exact inverse of EnergyBits.
+func EnergyFromBits(s string) (float64, error) {
+	var bits uint64
+	if _, err := fmt.Sscanf(s, "%16x", &bits); err != nil {
+		return 0, fmt.Errorf("serve: bad energy bits %q: %w", s, err)
+	}
+	return math.Float64frombits(bits), nil
+}
+
+// computeSweep runs the design-space sweep under ctx and renders the
+// NDJSON body: one SweepRow per configuration in deterministic
+// cross-product order, then a SweepTrailer. Deterministic per-config
+// failures are part of the content (they travel in the trailer and are
+// cached); a cancelled or expired sweep is not cached at all, since
+// its row set depends on timing.
+func (s *Server) computeSweep(ctx context.Context, key string, c canonSweep) ([]byte, error) {
+	opts := explore.SweepOpts{Workers: s.opts.SweepWorkers, Faults: c.Faults}
+	results, err := explore.SweepContext(ctx, opts, c.Layers, c.Orgs, c.Maps, c.Workloads)
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, r := range results {
+		row := SweepRow{
+			Workload:   r.Workload,
+			Layer:      r.Config.Layer,
+			Org:        r.Config.Org.String(),
+			AddrMap:    r.Config.AddrMap,
+			Fault:      r.Config.Fault,
+			Cycles:     r.Cycles,
+			EnergyJ:    r.BusEnergyJ,
+			EnergyBits: EnergyBits(r.BusEnergyJ),
+			Tx:         r.Transactions,
+			Retries:    r.Retries,
+			Steps:      r.Steps,
+		}
+		if err := enc.Encode(row); err != nil {
+			return nil, err
+		}
+	}
+	trailer := SweepTrailer{Done: true, Key: key, Rows: len(results)}
+	if err != nil {
+		var joined interface{ Unwrap() []error }
+		if errors.As(err, &joined) {
+			for _, e := range joined.Unwrap() {
+				trailer.Errors = append(trailer.Errors, e.Error())
+			}
+		} else {
+			trailer.Errors = append(trailer.Errors, err.Error())
+		}
+	}
+	if err := enc.Encode(trailer); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ParseSweepBody decodes a sweep NDJSON body back into rows and the
+// trailer — the inverse of computeSweep's rendering, shared by the
+// client and the tests.
+func ParseSweepBody(body []byte) ([]SweepRow, SweepTrailer, error) {
+	var rows []SweepRow
+	var trailer SweepTrailer
+	dec := json.NewDecoder(bytes.NewReader(body))
+	for {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			return rows, trailer, fmt.Errorf("serve: bad sweep stream: %w", err)
+		}
+		var probe struct {
+			Done bool `json:"done"`
+		}
+		if json.Unmarshal(raw, &probe) == nil && probe.Done {
+			if err := json.Unmarshal(raw, &trailer); err != nil {
+				return rows, trailer, fmt.Errorf("serve: bad sweep trailer: %w", err)
+			}
+			return rows, trailer, nil
+		}
+		var row SweepRow
+		if err := json.Unmarshal(raw, &row); err != nil {
+			return rows, trailer, fmt.Errorf("serve: bad sweep row: %w", err)
+		}
+		rows = append(rows, row)
+	}
+}

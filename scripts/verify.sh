@@ -14,8 +14,8 @@ go test ./...
 echo "== vet"
 go vet ./...
 
-echo "== race gate (explore, sim, fault)"
-go test -race ./internal/explore/... ./internal/sim/... ./internal/fault/...
+echo "== race gate (explore, sim, fault, serve)"
+go test -race ./internal/explore/... ./internal/sim/... ./internal/fault/... ./internal/serve/...
 
 echo "== coverage floors"
 ./scripts/cover.sh
