@@ -24,6 +24,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/ecbus"
 	"repro/internal/explore"
+	"repro/internal/fault"
 	"repro/internal/gatepower"
 	"repro/internal/javacard"
 	"repro/internal/logic"
@@ -430,3 +431,46 @@ func TestBenchHarnessSmoke(t *testing.T) {
 		t.Fatalf("table 1 rows = %d", len(rows))
 	}
 }
+
+// benchBatchCorpus measures whole-corpus estimation — the campaign of
+// BENCH_6 (64 runs x 256 transactions, seed 42) — through either the
+// serial reference path (width 0) or the batched engine at the given
+// lane width, against a memory organization. The corpus is cloned
+// outside the timed window (estimation consumes its stimuli), so the
+// figures compare estimation alone.
+func benchBatchCorpus(b *testing.B, layer, width int, org bench.Organization) {
+	const runs, n, seed = 64, 256, 42
+	corpus := bench.CampaignRuns(seed, runs, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cl := bench.CloneRuns(corpus)
+		b.StartTimer()
+		var err error
+		if width == 0 {
+			_, err = bench.CampaignEstimateSerialRunsOrg(layer, cl, fault.Plan{}, org)
+		} else {
+			_, err = bench.CampaignEstimateRunsOrg(layer, cl, fault.Plan{}, width, org)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(runs*n)*float64(b.N)/b.Elapsed().Seconds()/1e3, "kT/s")
+}
+
+func BenchmarkBatchCorpus_SRAM_Serial(b *testing.B) { benchBatchCorpus(b, 0, 0, bench.OrgSRAM) }
+func BenchmarkBatchCorpus_SRAM_W1(b *testing.B)     { benchBatchCorpus(b, 0, 1, bench.OrgSRAM) }
+func BenchmarkBatchCorpus_SRAM_W8(b *testing.B)     { benchBatchCorpus(b, 0, 8, bench.OrgSRAM) }
+func BenchmarkBatchCorpus_SRAM_W16(b *testing.B)    { benchBatchCorpus(b, 0, 16, bench.OrgSRAM) }
+func BenchmarkBatchCorpus_SRAM_W64(b *testing.B)    { benchBatchCorpus(b, 0, 64, bench.OrgSRAM) }
+
+func BenchmarkBatchCorpus_NVM_Serial(b *testing.B) { benchBatchCorpus(b, 0, 0, bench.OrgNVM) }
+func BenchmarkBatchCorpus_NVM_W1(b *testing.B)     { benchBatchCorpus(b, 0, 1, bench.OrgNVM) }
+func BenchmarkBatchCorpus_NVM_W8(b *testing.B)     { benchBatchCorpus(b, 0, 8, bench.OrgNVM) }
+func BenchmarkBatchCorpus_NVM_W16(b *testing.B)    { benchBatchCorpus(b, 0, 16, bench.OrgNVM) }
+func BenchmarkBatchCorpus_NVM_W64(b *testing.B)    { benchBatchCorpus(b, 0, 64, bench.OrgNVM) }
+
+func BenchmarkBatchCorpus_NVM_L1_Serial(b *testing.B) { benchBatchCorpus(b, 1, 0, bench.OrgNVM) }
+func BenchmarkBatchCorpus_NVM_L1_W64(b *testing.B)    { benchBatchCorpus(b, 1, 64, bench.OrgNVM) }

@@ -11,6 +11,7 @@
 //	ecbench -explore     # the case-study sweep only
 //	ecbench -fault grind # the fault-robustness table only (plans: none, flaky, storm, grind)
 //	ecbench -metrics     # per-layer metrics breakdown + clean-vs-fault diff (plan from -fault, default storm)
+//	ecbench -batch 64    # serial-vs-batched corpus estimation table at this lane width
 //	ecbench -n 200000    # transactions per Table-3 measurement
 //	ecbench -workers 1   # serial exploration sweep (default: one per CPU)
 //	ecbench -progress    # stream sweep rows to stderr as configs finish
@@ -25,6 +26,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"repro/internal/batch"
 	"repro/internal/bench"
 	"repro/internal/explore"
 	"repro/internal/fault"
@@ -36,6 +38,7 @@ func main() {
 	exploreOnly := flag.Bool("explore", false, "print only the case-study exploration")
 	faultPlan := flag.String("fault", "", "print only the fault-robustness table for this plan (none, flaky, storm, grind)")
 	metricsOn := flag.Bool("metrics", false, "print the per-layer metrics report; diffs clean vs the -fault plan (default storm)")
+	batchN := flag.Int("batch", 0, "print only the serial-vs-batched corpus table at this lane width (1..64)")
 	n := flag.Int("n", 100000, "transactions per Table-3 measurement run")
 	workers := flag.Int("workers", 0, "exploration sweep workers; 0 = one per CPU")
 	progress := flag.Bool("progress", false, "stream exploration rows to stderr as they complete")
@@ -52,6 +55,19 @@ func main() {
 				*faultPlan, strings.Join(fault.Names, ", "))
 			os.Exit(2)
 		}
+	}
+
+	// Same up-front discipline for the lane width: reject nonsense now,
+	// cap oversized (but valid) widths at the campaign size with a note.
+	if *batchN < 0 || *batchN > batch.MaxWidth {
+		fmt.Fprintf(os.Stderr, "ecbench: invalid -batch %d (valid widths: 1..%d)\n",
+			*batchN, batch.MaxWidth)
+		os.Exit(2)
+	}
+	if *batchN > bench.BatchCampaignRuns {
+		fmt.Fprintf(os.Stderr, "ecbench: capping -batch %d to the campaign size %d\n",
+			*batchN, bench.BatchCampaignRuns)
+		*batchN = bench.BatchCampaignRuns
 	}
 
 	if *cpuprofile != "" {
@@ -82,7 +98,8 @@ func main() {
 		}()
 	}
 
-	all := *table == 0 && *figure == 0 && !*exploreOnly && *faultPlan == "" && !*metricsOn
+	all := *table == 0 && *figure == 0 && !*exploreOnly && *faultPlan == "" && !*metricsOn &&
+		*batchN == 0
 
 	if all || *table == 1 {
 		_, text := bench.Table1()
@@ -116,6 +133,14 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ecbench:", err)
 			os.Exit(2)
+		}
+		fmt.Println(text)
+	}
+	if *batchN > 0 {
+		text, err := bench.BatchTable(*batchN)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ecbench:", err)
+			os.Exit(1)
 		}
 		fmt.Println(text)
 	}

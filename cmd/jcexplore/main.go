@@ -8,6 +8,7 @@
 //	jcexplore -layer 2        # only the timed layer (fastest)
 //	jcexplore -workload wallet
 //	jcexplore -faults none,flaky  # add fault-plan sweep axis
+//	jcexplore -batch 64 -layer 1  # batched corpus campaign instead of the sweep
 //	jcexplore -report         # per-configuration metrics breakdown after the tables
 //	jcexplore -workers 1      # serial sweep (default: one worker per CPU)
 //	jcexplore -progress       # stream rows to stderr as configs finish
@@ -23,6 +24,8 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"repro/internal/batch"
+	"repro/internal/bench"
 	"repro/internal/explore"
 	"repro/internal/fault"
 	"repro/internal/javacard"
@@ -33,6 +36,7 @@ func main() {
 	layer := flag.Int("layer", 0, "restrict to one bus layer (1 or 2); 0 = both")
 	workload := flag.String("workload", "", "restrict to one workload (arith-loop, stack-churn, wallet)")
 	faults := flag.String("faults", "", "comma-separated fault plans as an extra sweep axis (none, flaky, storm, grind)")
+	batchN := flag.Int("batch", 0, "run the batched corpus campaign at this lane width (1..64) instead of the sweep")
 	report := flag.Bool("report", false, "collect per-configuration metrics and print the run-report breakdown")
 	workers := flag.Int("workers", 0, "parallel sweep workers; 0 = one per CPU")
 	progress := flag.Bool("progress", false, "stream per-configuration rows to stderr as they complete")
@@ -96,6 +100,38 @@ func main() {
 			os.Exit(2)
 		}
 		faultNames = names
+	}
+
+	if *batchN != 0 {
+		// Batched campaign mode: the bit-parallel engine models layers 0
+		// and 1; -layer here names the batched layer directly (default:
+		// the TL1 model, jcexplore's home layer).
+		if *batchN < 0 || *batchN > batch.MaxWidth {
+			fmt.Fprintf(os.Stderr, "jcexplore: invalid -batch %d (valid widths: 1..%d)\n",
+				*batchN, batch.MaxWidth)
+			os.Exit(2)
+		}
+		blayer := 1
+		if *layer != 0 {
+			blayer = *layer
+		}
+		if blayer != 0 && blayer != 1 {
+			fmt.Fprintf(os.Stderr, "jcexplore: -batch models layers 0 and 1, not %d\n", blayer)
+			os.Exit(2)
+		}
+		width := *batchN
+		if width > bench.BatchCampaignRuns {
+			fmt.Fprintf(os.Stderr, "jcexplore: capping -batch %d to the campaign size %d\n",
+				width, bench.BatchCampaignRuns)
+			width = bench.BatchCampaignRuns
+		}
+		text, err := bench.CampaignTable(blayer, width, faultNames)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jcexplore:", err)
+			os.Exit(1)
+		}
+		fmt.Println(text)
+		return
 	}
 
 	if *remote != "" {

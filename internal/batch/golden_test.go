@@ -1,0 +1,382 @@
+package batch_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/ecbus"
+	"repro/internal/fault"
+	"repro/internal/gatepower"
+	"repro/internal/mem"
+	"repro/internal/rtlbus"
+	"repro/internal/sim"
+	"repro/internal/tlm1"
+)
+
+// The golden gate of the batched engine: batch-of-1 must be bit-identical
+// (IEEE-754 bit patterns, per-transaction traces) to the serial path, and
+// every lane of a batch-of-N must be bit-identical to its own serial run —
+// across corpus x layer, clean and under fault plans.
+
+var lay = core.Layout{Fast: 0, Slow: 0x10000}
+
+// newFaultMap mirrors the bench fault harness: the reference two-slave
+// layout with every slave wrapped by the fault plan.
+func newFaultMap(plan fault.Plan) *ecbus.Map {
+	return ecbus.MustMap(
+		fault.Wrap(mem.NewRAM("fast", lay.Fast, 0x1000, 0, 0), plan),
+		fault.Wrap(mem.NewRAM("slow", lay.Slow, 0x1000, 1, 2), plan),
+	)
+}
+
+var retry = core.RetryPolicy{MaxRetries: 8, Backoff: 1}
+
+// charTable is the shared layer-1 characterization table; serial and
+// batched runs must price with the same table for bit-equality.
+var charTable = func() gatepower.CharTable {
+	k := sim.New(0)
+	b := rtlbus.New(k, ecbus.MustMap(
+		mem.NewRAM("fast", lay.Fast, 0x1000, 0, 0),
+		mem.NewRAM("slow", lay.Slow, 0x1000, 1, 2),
+	))
+	est := gatepower.NewEstimator(gatepower.DefaultConfig())
+	k.AtObserver(sim.Post, "gp", func(uint64) { est.Observe(b.Wires()) }, est.ObserveIdle)
+	m, _ := core.RunScript(k, b, core.CharCorpus(lay, 400), 10_000_000)
+	if !m.Done() {
+		panic("batch_test: characterization corpus did not complete")
+	}
+	return est.Char()
+}()
+
+type serialOut struct {
+	cycles  uint64
+	energyJ float64
+	errors  int
+	retries int
+}
+
+// serialRun executes one stimulus through the kernel-driven serial path,
+// exactly as the bench fault harness does.
+func serialRun(t *testing.T, layer int, items []core.Item, plan fault.Plan) serialOut {
+	t.Helper()
+	k := sim.New(0)
+	bmap := newFaultMap(plan)
+	var bus core.Initiator
+	get := func() float64 { return 0 }
+	switch layer {
+	case 0:
+		b := rtlbus.New(k, bmap)
+		est := gatepower.NewEstimator(gatepower.DefaultConfig())
+		k.AtObserver(sim.Post, "gp", func(uint64) { est.Observe(b.Wires()) }, est.ObserveIdle)
+		get = est.TotalEnergy
+		bus = b
+	case 1:
+		b := tlm1.New(k, bmap).AttachPower(tlm1.NewPowerModel(charTable))
+		get = b.Power().TotalEnergy
+		bus = b
+	default:
+		t.Fatalf("serialRun: layer %d", layer)
+	}
+	m := core.NewScriptMaster(k, bus, items)
+	m.Retry = retry
+	n, _ := k.RunUntil(10_000_000, m.Done)
+	if !m.Done() {
+		t.Fatalf("serial layer-%d run did not complete", layer)
+	}
+	return serialOut{cycles: n, energyJ: get(), errors: m.Errors(), retries: m.TotalRetries()}
+}
+
+// engineRun executes the runs through the batched engine.
+func engineRun(t *testing.T, layer, width int, runs []batch.Run, plan fault.Plan) []batch.Result {
+	t.Helper()
+	cfg := batch.Config{
+		Layer:  layer,
+		Width:  width,
+		NewMap: func() *ecbus.Map { return newFaultMap(plan) },
+		Retry:  retry,
+	}
+	if layer == 0 {
+		cfg.Gate = gatepower.DefaultConfig()
+	} else {
+		cfg.Char = charTable
+	}
+	eng, err := batch.New(cfg)
+	if err != nil {
+		t.Fatalf("batch.New: %v", err)
+	}
+	res, err := eng.EstimateAll(runs)
+	if err != nil {
+		t.Fatalf("EstimateAll: %v", err)
+	}
+	return res
+}
+
+// compareRun asserts bit-identity of the aggregate figures.
+func compareRun(t *testing.T, label string, want serialOut, got batch.Result) {
+	t.Helper()
+	if got.Cycles != want.cycles || got.Errors != want.errors || got.Retries != want.retries ||
+		math.Float64bits(got.EnergyJ) != math.Float64bits(want.energyJ) {
+		t.Errorf("%s diverged:\n  serial cycles=%d energy=%016x errors=%d retries=%d\n  batch  cycles=%d energy=%016x errors=%d retries=%d",
+			label, want.cycles, math.Float64bits(want.energyJ), want.errors, want.retries,
+			got.Cycles, math.Float64bits(got.EnergyJ), got.Errors, got.Retries)
+	}
+}
+
+// compareTx asserts per-transaction trace identity: timestamps, payloads,
+// retry counts and final status of every scripted transaction.
+func compareTx(t *testing.T, label string, serial, batched []core.Item) {
+	t.Helper()
+	for i := range serial {
+		a, b := serial[i].Tr, batched[i].Tr
+		if a.Done != b.Done || a.Err != b.Err || a.Retries != b.Retries ||
+			a.IssueCycle != b.IssueCycle || a.AddrCycle != b.AddrCycle ||
+			a.DataCycle != b.DataCycle || len(a.Data) != len(b.Data) {
+			t.Fatalf("%s: transaction %d diverged:\n  serial %+v\n  batch  %+v", label, i, a, b)
+		}
+		for w := range a.Data {
+			if a.Data[w] != b.Data[w] {
+				t.Fatalf("%s: transaction %d data word %d diverged: %#x vs %#x",
+					label, i, w, a.Data[w], b.Data[w])
+			}
+		}
+	}
+}
+
+func corpora() map[string]func() []core.Item {
+	return map[string]func() []core.Item{
+		"verification": func() []core.Item { return core.VerificationCorpus(lay) },
+		"perf":         func() []core.Item { return core.PerfCorpus(lay, 64) },
+		"random":       func() []core.Item { return core.RandomCorpus(7, 64, lay) },
+	}
+}
+
+func faultPlans() map[string]fault.Plan {
+	plans := map[string]fault.Plan{"clean": {}}
+	for _, n := range fault.Names {
+		if plan, ok := fault.Named(n); ok {
+			plans[n] = plan
+		}
+	}
+	return plans
+}
+
+// TestGoldenBatchOfOneMatchesSerial: width 1, full corpus x layer x plan
+// matrix against the serial path.
+func TestGoldenBatchOfOneMatchesSerial(t *testing.T) {
+	for layer := 0; layer <= 1; layer++ {
+		for cname, build := range corpora() {
+			for pname, plan := range faultPlans() {
+				label := fmt.Sprintf("layer%d/%s/%s", layer, cname, pname)
+				items := build()
+				sItems := core.CloneItems(items)
+				bItems := core.CloneItems(items)
+				want := serialRun(t, layer, sItems, plan)
+				got := engineRun(t, layer, 1, []batch.Run{{Items: bItems}}, plan)
+				compareRun(t, label, want, got[0])
+				compareTx(t, label, sItems, bItems)
+			}
+		}
+	}
+}
+
+// TestGoldenBatchOfNMatchesSerial: N mixed-length runs — sparse, dense,
+// random and one empty — at several widths, every lane compared to its
+// own serial run. Lanes drain and refill at different cycles, exercising
+// the active-mask and refill paths; the fault plan adds retry divergence.
+func TestGoldenBatchOfNMatchesSerial(t *testing.T) {
+	plan, ok := fault.Named("flaky")
+	if !ok {
+		t.Fatal("no flaky plan")
+	}
+	build := func() [][]core.Item {
+		out := [][]core.Item{
+			core.VerificationCorpus(lay),
+			nil, // empty run: completes after one cycle
+			core.PerfCorpus(lay, 32),
+		}
+		for s := 0; s < 10; s++ {
+			out = append(out, core.RandomCorpus(uint64(100+s), 24+8*s, lay))
+		}
+		return out
+	}
+	for layer := 0; layer <= 1; layer++ {
+		// Serial expectations, computed once per layer.
+		sSets := build()
+		want := make([]serialOut, len(sSets))
+		for i, its := range sSets {
+			want[i] = serialRun(t, layer, its, plan)
+		}
+		for _, width := range []int{2, 7, 64} {
+			label := fmt.Sprintf("layer%d/width%d", layer, width)
+			bSets := build()
+			runs := make([]batch.Run, len(bSets))
+			for i, its := range bSets {
+				runs[i] = batch.Run{Items: its}
+			}
+			got := engineRun(t, layer, width, runs, plan)
+			if len(got) != len(want) {
+				t.Fatalf("%s: %d results for %d runs", label, len(got), len(want))
+			}
+			for i := range want {
+				compareRun(t, fmt.Sprintf("%s/run%d", label, i), want[i], got[i])
+				compareTx(t, fmt.Sprintf("%s/run%d", label, i), sSets[i], bSets[i])
+			}
+		}
+	}
+}
+
+// TestGoldenBatchMatchesReferencePath: the reference path (full-scan
+// estimators, no idle skipping) is the origin of the golden chain; the
+// engine must match it bit for bit through a batch of one.
+func TestGoldenBatchMatchesReferencePath(t *testing.T) {
+	core.SetReference(true)
+	defer core.SetReference(false)
+	plan, ok := fault.Named("storm")
+	if !ok {
+		t.Fatal("no storm plan")
+	}
+	for layer := 0; layer <= 1; layer++ {
+		for pname, plan := range map[string]fault.Plan{"clean": {}, "storm": plan} {
+			label := fmt.Sprintf("reference/layer%d/%s", layer, pname)
+			items := core.VerificationCorpus(lay)
+			sItems := core.CloneItems(items)
+			bItems := core.CloneItems(items)
+			want := serialRun(t, layer, sItems, plan)
+			got := engineRun(t, layer, 1, []batch.Run{{Items: bItems}}, plan)
+			compareRun(t, label, want, got[0])
+			compareTx(t, label, sItems, bItems)
+		}
+	}
+}
+
+// TestGoldenFaultOrdinalsLaneLocal: the satellite contract for batched
+// fault plans — per-word access ordinals are per-run (each lane owns a
+// freshly wrapped map), so a faulted campaign batched at any width
+// reproduces the serial per-run injection sequences exactly. A shared
+// global injector would fire the n-th-access faults of early lanes into
+// later lanes' beats and diverge immediately.
+func TestGoldenFaultOrdinalsLaneLocal(t *testing.T) {
+	plan, ok := fault.Named("grind")
+	if !ok {
+		t.Fatal("no grind plan")
+	}
+	for layer := 0; layer <= 1; layer++ {
+		// Identical stimuli in every lane: with lane-local ordinals all
+		// lanes must produce identical results; with global ordinals the
+		// injected beats would be spread round-robin across lanes.
+		const n = 16
+		items := core.RandomCorpus(11, 48, lay)
+		want := serialRun(t, layer, core.CloneItems(items), plan)
+		runs := make([]batch.Run, n)
+		for i := range runs {
+			runs[i] = batch.Run{Items: core.CloneItems(items)}
+		}
+		got := engineRun(t, layer, n, runs, plan)
+		for i, r := range got {
+			compareRun(t, fmt.Sprintf("layer%d/lane%d", layer, i), want, r)
+		}
+		if want.retries == 0 {
+			t.Errorf("layer%d: grind plan produced no retries; ordinal test is vacuous", layer)
+		}
+	}
+}
+
+func TestEngineConfigValidation(t *testing.T) {
+	nm := func() *ecbus.Map { return newFaultMap(fault.Plan{}) }
+	bad := []batch.Config{
+		{Layer: 2, Width: 1, NewMap: nm}, // layer 2 is not batched
+		{Layer: 0, Width: 0, NewMap: nm},
+		{Layer: 0, Width: 65, NewMap: nm},
+		{Layer: 0, Width: -3, NewMap: nm},
+		{Layer: 0, Width: 1}, // NewMap required
+	}
+	for i, cfg := range bad {
+		if _, err := batch.New(cfg); err == nil {
+			t.Errorf("case %d: New accepted invalid config", i)
+		}
+	}
+	if _, err := batch.New(batch.Config{Layer: 1, Width: batch.MaxWidth, NewMap: nm, Char: charTable}); err != nil {
+		t.Errorf("New rejected valid config: %v", err)
+	}
+}
+
+// TestEngineReuseAndStats: EstimateAll fully resets the engine, so a
+// second campaign on the same engine is bit-identical to a fresh one,
+// and the activity stats reflect batched execution.
+func TestEngineReuseAndStats(t *testing.T) {
+	cfg := batch.Config{
+		Layer:  0,
+		Width:  8,
+		NewMap: func() *ecbus.Map { return newFaultMap(fault.Plan{}) },
+		Retry:  retry,
+		Gate:   gatepower.DefaultConfig(),
+	}
+	eng, err := batch.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkRuns := func() []batch.Run {
+		runs := make([]batch.Run, 12)
+		for i := range runs {
+			runs[i] = batch.Run{Items: core.RandomCorpus(uint64(i+1), 32, lay)}
+		}
+		return runs
+	}
+	first, err := eng.EstimateAll(mkRuns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Ticks == 0 || st.Transitions == 0 || st.Rises == 0 || st.Falls == 0 {
+		t.Errorf("implausible stats after campaign: %+v", st)
+	}
+	if st.LaneCycles < st.Ticks {
+		t.Errorf("lane cycles %d below tick count %d", st.LaneCycles, st.Ticks)
+	}
+	second, err := eng.EstimateAll(mkRuns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if math.Float64bits(first[i].EnergyJ) != math.Float64bits(second[i].EnergyJ) ||
+			first[i] != second[i] {
+			t.Fatalf("run %d: engine reuse diverged: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+}
+
+// TestGoldenFarWakeSparseCorpus drives scripted not-before gaps longer
+// than the timing wheel's horizon, so sleeping lanes take the far-wake
+// path (and the wheel wraps several times between issues). Staggered
+// gaps across lanes keep wheel and far sleepers concurrent.
+func TestGoldenFarWakeSparseCorpus(t *testing.T) {
+	for layer := 0; layer <= 1; layer++ {
+		var runs []batch.Run
+		var serial []serialOut
+		var serialItems, batchItems [][]core.Item
+		for s := 0; s < 4; s++ {
+			items := core.RandomCorpus(uint64(30+s), 10, lay)
+			for i := range items {
+				// 700 > wheelSize with per-lane phase stagger; lane 0
+				// keeps a dense script so wheel wakes stay in play.
+				if s > 0 {
+					items[i].NotBefore = uint64(i) * (700 + 130*uint64(s))
+				}
+			}
+			sItems := core.CloneItems(items)
+			serialItems = append(serialItems, sItems)
+			batchItems = append(batchItems, items)
+			serial = append(serial, serialRun(t, layer, sItems, fault.Plan{}))
+			runs = append(runs, batch.Run{Items: items})
+		}
+		got := engineRun(t, layer, 4, runs, fault.Plan{})
+		for s := range runs {
+			label := fmt.Sprintf("far-wake layer %d run %d", layer, s)
+			compareRun(t, label, serial[s], got[s])
+			compareTx(t, label, serialItems[s], batchItems[s])
+		}
+	}
+}

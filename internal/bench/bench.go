@@ -294,8 +294,13 @@ type FaultRow struct {
 // runLayerFault drives the corpus into a fresh bus of the given layer
 // under a fault plan with the FaultRetry master policy.
 func runLayerFault(layer int, items []core.Item, char gatepower.CharTable, plan fault.Plan) (FaultRow, error) {
+	return runLayerFaultMap(layer, items, char, newFaultMap(plan))
+}
+
+// runLayerFaultMap is runLayerFault over an explicit address map — the
+// campaign organizations build their own fault-wrapped maps.
+func runLayerFaultMap(layer int, items []core.Item, char gatepower.CharTable, bmap *ecbus.Map) (FaultRow, error) {
 	k := sim.New(0)
-	bmap := newFaultMap(plan)
 	var bus core.Initiator
 	get := func() float64 { return 0 }
 	switch layer {

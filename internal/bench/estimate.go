@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/gatepower"
@@ -79,6 +80,28 @@ func RunCorpusEstimate(layer int, corpus string, n int, plan fault.Plan) (Corpus
 	items, err := CorpusItems(corpus, n)
 	if err != nil {
 		return CorpusEstimate{}, err
+	}
+	if layer <= 1 && !core.Reference() {
+		// Layers 0 and 1 run through the batched engine at width 1 —
+		// bit-identical to the kernel path by the golden gate, and the
+		// single code path the batched campaigns scale up from. The
+		// reference toggle forces the original kernel-driven run.
+		eng, err := batch.New(batchConfig(layer, 1, plan))
+		if err != nil {
+			return CorpusEstimate{}, err
+		}
+		res, err := eng.EstimateAll([]batch.Run{{Items: items}})
+		if err != nil {
+			return CorpusEstimate{}, err
+		}
+		r := res[0]
+		return CorpusEstimate{
+			Layer:   layer,
+			Cycles:  r.Cycles,
+			EnergyJ: r.EnergyJ,
+			Errors:  r.Errors,
+			Retries: r.Retries,
+		}, nil
 	}
 	var char gatepower.CharTable
 	if layer > 0 {

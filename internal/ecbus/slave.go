@@ -85,6 +85,29 @@ func ExtraWaitOf(s Slave, k Kind, addr uint64) int {
 	return 0
 }
 
+// Passthrough is an optional Slave extension for wrappers that can be
+// behaviorally transparent: when the second result is true, every
+// Slave/DynamicWaiter call on the wrapper is a pure delegation to the
+// returned inner slave, so hot paths may call the inner slave directly.
+type Passthrough interface {
+	Passthrough() (Slave, bool)
+}
+
+// Unwrap peels transparent wrappers off a slave chain.
+func Unwrap(s Slave) Slave {
+	for {
+		p, ok := s.(Passthrough)
+		if !ok {
+			return s
+		}
+		inner, transparent := p.Passthrough()
+		if !transparent {
+			return s
+		}
+		s = inner
+	}
+}
+
 // EnergyReporter is an optional Slave extension: peripherals with
 // characterized internal access energy (the paper's future-work item)
 // report it here; the platform energy accounting adds it to bus energy.
@@ -95,9 +118,13 @@ type EnergyReporter interface {
 }
 
 // Map is the bus controller's address decoder: an ordered set of
-// non-overlapping slave ranges.
+// non-overlapping slave ranges. The configs are snapshotted at Add time
+// — every Slave in this codebase returns a fixed config — so the decode
+// fast path runs on a flat array instead of chasing Config() through
+// wrapper interfaces on every lookup.
 type Map struct {
-	slaves []Slave
+	slaves  []Slave
+	configs []SlaveConfig
 }
 
 // NewMap builds an address map from the given slaves, rejecting invalid
@@ -135,10 +162,12 @@ func (m *Map) Add(s Slave) error {
 		}
 	}
 	m.slaves = append(m.slaves, s)
+	m.configs = append(m.configs, c)
 	// Keep sorted by base for deterministic decode and iteration.
 	for i := len(m.slaves) - 1; i > 0; i-- {
-		if m.slaves[i].Config().Base < m.slaves[i-1].Config().Base {
+		if m.configs[i].Base < m.configs[i-1].Base {
 			m.slaves[i], m.slaves[i-1] = m.slaves[i-1], m.slaves[i]
+			m.configs[i], m.configs[i-1] = m.configs[i-1], m.configs[i]
 		}
 	}
 	return nil
@@ -150,9 +179,9 @@ func (m *Map) Decode(addr uint64) Slave {
 	// Linear scan: smart-card maps have a handful of slaves, and this is
 	// on the simulator fast path, where branch-predictable scans beat
 	// binary search at these sizes.
-	for _, s := range m.slaves {
-		if s.Config().Contains(addr) {
-			return s
+	for i := range m.configs {
+		if m.configs[i].Contains(addr) {
+			return m.slaves[i]
 		}
 	}
 	return nil
@@ -161,30 +190,34 @@ func (m *Map) Decode(addr uint64) Slave {
 // Slaves returns the slaves in ascending base-address order.
 func (m *Map) Slaves() []Slave { return m.slaves }
 
+// ConfigAt returns the snapshotted config of the i-th slave (the Index
+// numbering) without an interface call through the slave.
+func (m *Map) ConfigAt(i int) SlaveConfig { return m.configs[i] }
+
 // Check verifies that an access of the given kind/extent decodes to one
 // slave with sufficient rights. It returns the slave and nil, or nil and
 // a descriptive error.
 func (m *Map) Check(kind Kind, addr uint64, bytes int) (Slave, error) {
-	s := m.Decode(addr)
-	if s == nil {
+	i := m.Index(addr)
+	if i < 0 {
 		return nil, fmt.Errorf("ecbus: decode miss at %#x", addr)
 	}
-	c := s.Config()
+	c := &m.configs[i]
 	if bytes > 0 && !c.Contains(addr+uint64(bytes)-1) {
 		return nil, fmt.Errorf("ecbus: access [%#x,+%d) crosses end of slave %q", addr, bytes, c.Name)
 	}
 	if !c.Allows(kind) {
 		return nil, fmt.Errorf("ecbus: %v access to %q at %#x denied", kind, c.Name, addr)
 	}
-	return s, nil
+	return m.slaves[i], nil
 }
 
 // Index returns the position of the slave whose range contains addr, or
 // -1. The index is used by the layer-0 model as the decoder select value
 // (and so contributes decoder output transitions to the energy model).
 func (m *Map) Index(addr uint64) int {
-	for i, s := range m.slaves {
-		if s.Config().Contains(addr) {
+	for i := range m.configs {
+		if m.configs[i].Contains(addr) {
 			return i
 		}
 	}

@@ -33,6 +33,14 @@
 // Only the busy-window stretch multiplies state the wrapped slave
 // derives from the clock; it inherits the layer-2 sampling semantics of
 // the underlying DynamicWaiter.
+//
+// Ordinal bookkeeping is per-injector, and an injector wraps exactly
+// one slave of one address map — it is per-run state, never shared.
+// Batched estimation (internal/batch) relies on this: each lane builds
+// its own fault-wrapped map, so every run carries lane-local per-word
+// ordinal streams, and a run batched next to 63 neighbours observes
+// exactly the ordinal sequence — hence the fault schedule — of its own
+// serial run. The golden fault-ordinal test pins that equivalence.
 package fault
 
 import (
@@ -195,12 +203,28 @@ type Injector struct {
 	inner ecbus.Slave
 	plan  Plan
 
-	nRead  map[uint64]uint32 // accesses so far, per word address
-	nWrite map[uint64]uint32
+	// Ordinal bookkeeping. For slaves with a modest address range the
+	// counters live in flat arrays indexed by word offset — the per-beat
+	// hot path is then one array increment instead of two map operations.
+	// Larger (or out-of-range) word addresses fall back to the maps.
+	// passive marks an empty plan: no decision ever depends on the
+	// ordinals, so the bookkeeping (unobservable in that case) is
+	// skipped and data beats forward straight to the wrapped slave.
+	passive   bool
+	base      uint64
+	flatWords uint64
+	flatRead  []uint32
+	flatWrite []uint32
+	nRead     map[uint64]uint32 // accesses so far, per word address
+	nWrite    map[uint64]uint32
 
 	stats Stats
 	mx    *metrics.Registry
 }
+
+// maxFlatWords bounds the flat ordinal arrays (1 MiB of counters per
+// direction); slaves with larger ranges use the map path.
+const maxFlatWords = 1 << 18
 
 // Wrap builds an injector applying plan to s. It panics on an invalid
 // plan — plans are built by tests and tools, not parsed from input.
@@ -208,16 +232,55 @@ func Wrap(s ecbus.Slave, plan Plan) *Injector {
 	if err := plan.Validate(); err != nil {
 		panic(err)
 	}
-	return &Injector{
-		inner:  s,
-		plan:   plan,
-		nRead:  make(map[uint64]uint32),
-		nWrite: make(map[uint64]uint32),
+	in := &Injector{inner: s, plan: plan, passive: plan.Empty()}
+	if cfg := s.Config(); !in.passive && cfg.Size/4 <= maxFlatWords {
+		in.base = cfg.Base &^ 3
+		in.flatWords = (cfg.Size + 3) / 4
+		in.flatRead = make([]uint32, in.flatWords)
+		in.flatWrite = make([]uint32, in.flatWords)
 	}
+	return in
+}
+
+// ordinal returns the access count so far for (op, word) and increments
+// it — the per-word ordinal stream both beatFaulty and the cross-layer
+// determinism contract are defined over.
+func (in *Injector) ordinal(op Op, word uint64) uint32 {
+	if off := (word - in.base) / 4; off < in.flatWords {
+		if op == OpRead {
+			n := in.flatRead[off]
+			in.flatRead[off] = n + 1
+			return n
+		}
+		n := in.flatWrite[off]
+		in.flatWrite[off] = n + 1
+		return n
+	}
+	m := in.nWrite
+	if op == OpRead {
+		m = in.nRead
+	}
+	if m == nil {
+		m = make(map[uint64]uint32)
+		if op == OpRead {
+			in.nRead = m
+		} else {
+			in.nWrite = m
+		}
+	}
+	n := m[word]
+	m[word] = n + 1
+	return n
 }
 
 // Inner returns the wrapped slave.
 func (in *Injector) Inner() ecbus.Slave { return in.inner }
+
+// Passthrough implements ecbus.Passthrough: an injector with an empty
+// plan never perturbs an access — data beats forward verbatim and
+// ExtraWait reduces to the wrapped slave's own dynamic wait (no seed,
+// no stretch) — so callers may bypass it entirely.
+func (in *Injector) Passthrough() (ecbus.Slave, bool) { return in.inner, in.passive }
 
 // Plan returns the active plan.
 func (in *Injector) Plan() Plan { return in.plan }
@@ -293,9 +356,11 @@ func (in *Injector) beatFaulty(op Op, word uint64, n uint32) bool {
 // transaction payload) even though the error tells the master not to
 // consume it.
 func (in *Injector) ReadWord(addr uint64, w ecbus.Width) (uint32, bool) {
+	if in.passive {
+		return in.inner.ReadWord(addr, w)
+	}
 	word := addr &^ 3
-	n := in.nRead[word]
-	in.nRead[word] = n + 1
+	n := in.ordinal(OpRead, word)
 	data, ok := in.inner.ReadWord(addr, w)
 	if !ok {
 		return data, false
@@ -317,9 +382,11 @@ func (in *Injector) ReadWord(addr uint64, w ecbus.Width) (uint32, bool) {
 // the underlying write entirely — the flagged beat never commits, as on
 // a device that detects the failure before the array update.
 func (in *Injector) WriteWord(addr uint64, data uint32, w ecbus.Width) bool {
+	if in.passive {
+		return in.inner.WriteWord(addr, data, w)
+	}
 	word := addr &^ 3
-	n := in.nWrite[word]
-	in.nWrite[word] = n + 1
+	n := in.ordinal(OpWrite, word)
 	if in.beatFaulty(OpWrite, word, n) {
 		in.stats.WriteErrors++
 		in.mx.FaultWriteError()

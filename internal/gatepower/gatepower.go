@@ -118,6 +118,24 @@ func (c *Config) bitEnergy(id ecbus.SignalID) float64 {
 	return 0.5 * w.CapFF * 1e-15 * c.VddVolts * c.VddVolts * w.SlopeK
 }
 
+// BitEnergy exposes the per-signal base transition energy to external
+// estimation engines (the batched SoA engine) that must reproduce the
+// estimator's precomputed constants bit for bit.
+func (c *Config) BitEnergy(id ecbus.SignalID) float64 { return c.bitEnergy(id) }
+
+// ClockEnergyPerCycleJ returns the per-cycle clock-tree energy, keeping
+// the exact float expression shape NewEstimator precomputes so repeated
+// addition elsewhere stays bit-identical to Observe's accumulation.
+func (c *Config) ClockEnergyPerCycleJ() float64 {
+	return 2 * 0.5 * c.ClockCapFF * 1e-15 * c.VddVolts * c.VddVolts
+}
+
+// DecoderWireEnergyJ returns the per-glitching-wire decoder energy with
+// the same expression shape as NewEstimator's precomputed constant.
+func (c *Config) DecoderWireEnergyJ() float64 {
+	return 0.5 * c.DecoderWireCapFF * 1e-15 * c.VddVolts * c.VddVolts
+}
+
 // SigStats accumulates per-signal observations, Diesel's per-wire output.
 type SigStats struct {
 	Rises, Falls uint64
@@ -168,8 +186,8 @@ func NewEstimator(cfg Config) *Estimator {
 	}
 	// Whole-cycle constants keep the exact float expression shapes of the
 	// per-cycle reference code so repeated addition stays bit-identical.
-	e.clockJ = 2 * 0.5 * cfg.ClockCapFF * 1e-15 * cfg.VddVolts * cfg.VddVolts
-	e.decoderJ = 0.5 * cfg.DecoderWireCapFF * 1e-15 * cfg.VddVolts * cfg.VddVolts
+	e.clockJ = cfg.ClockEnergyPerCycleJ()
+	e.decoderJ = cfg.DecoderWireEnergyJ()
 	return e
 }
 

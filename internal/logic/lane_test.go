@@ -1,0 +1,111 @@
+package logic
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// Satellite coverage for the lane-word edge cases the batched engine
+// depends on: empty and full packs, all-lanes-idle early-outs, a single
+// live lane in the active mask, and Classify-Z interaction under packing.
+
+func TestLaneWidthZeroAndFullPacks(t *testing.T) {
+	// Width-0 pack: no active lanes — every helper must return zero no
+	// matter how the inactive bits toggle.
+	old, new := uint64(0xDEADBEEF12345678), uint64(0x0F0F0F0FF0F0F0F0)
+	if got := LaneChanged(old, new, 0); got != 0 {
+		t.Fatalf("LaneChanged with empty active mask = %#x, want 0", got)
+	}
+	if got := LaneRises(old, new, 0); got != 0 {
+		t.Fatalf("LaneRises with empty active mask = %#x, want 0", got)
+	}
+	if got := LaneFalls(old, new, 0); got != 0 {
+		t.Fatalf("LaneFalls with empty active mask = %#x, want 0", got)
+	}
+
+	// Width-64 pack: the full mask must reproduce the plain bitwise
+	// answers, including lane 63.
+	full := ^uint64(0)
+	if got := LaneChanged(0, full, full); got != full {
+		t.Fatalf("LaneChanged full pack = %#x, want all lanes", got)
+	}
+	if got := LaneRises(0, full, full); got != full {
+		t.Fatalf("LaneRises full pack = %#x, want all lanes", got)
+	}
+	if got := LaneFalls(full, 0, full); got != full {
+		t.Fatalf("LaneFalls full pack = %#x, want all lanes", got)
+	}
+	if got := LaneRises(full, 0, full); got != 0 {
+		t.Fatalf("LaneRises on all-falls word = %#x, want 0", got)
+	}
+}
+
+func TestLaneAllIdleEarlyOut(t *testing.T) {
+	// The engine's idle early-out is `LaneChanged(...) == 0`: an
+	// unchanged word must report no work even with every lane active.
+	w := uint64(0xA5A5A5A5A5A5A5A5)
+	if got := LaneChanged(w, w, ^uint64(0)); got != 0 {
+		t.Fatalf("unchanged word reports changed lanes %#x", got)
+	}
+	// Rises and falls of an unchanged word are empty too, so pricing
+	// loops over set bits run zero iterations.
+	if r, f := LaneRises(w, w, ^uint64(0)), LaneFalls(w, w, ^uint64(0)); r != 0 || f != 0 {
+		t.Fatalf("unchanged word reports rises %#x falls %#x", r, f)
+	}
+}
+
+func TestLaneSingleLiveLane(t *testing.T) {
+	// Only lane 17 is live; every other lane toggles wildly and must be
+	// invisible. This is the drained-lattice shape near the end of a
+	// campaign when one long run is still executing.
+	for _, lane := range []int{0, 17, 63} {
+		active := uint64(1) << uint(lane)
+		noise := ^active // all dead lanes flip 0 -> 1
+		if got := LaneChanged(0, noise|active, active); got != active {
+			t.Fatalf("lane %d: changed = %#x, want %#x", lane, got, active)
+		}
+		if got := LaneRises(0, noise|active, active); got != active {
+			t.Fatalf("lane %d: rises = %#x, want %#x", lane, got, active)
+		}
+		if got := LaneFalls(active|noise, noise, active); got != active {
+			t.Fatalf("lane %d: falls = %#x, want %#x", lane, got, active)
+		}
+		if n := bits.OnesCount64(LaneChanged(0, noise, active)); n != 0 {
+			t.Fatalf("lane %d: dead-lane noise counted %d transitions", lane, n)
+		}
+	}
+}
+
+func TestLaneClassifyUnderPacking(t *testing.T) {
+	// LaneClassify must agree with the generic Z-aware Classify when the
+	// Z-masks are zero, lane by lane across a packed word.
+	old, new := uint64(0b0110), uint64(0b0011)
+	want := []TransitionKind{Rise, NoChange, Fall, NoChange}
+	for lane, w := range want {
+		if got := LaneClassify(old, new, lane); got != w {
+			t.Fatalf("lane %d: LaneClassify = %v, want %v", lane, got, w)
+		}
+		if got := Classify(old, new, 0, 0, lane); got != w {
+			t.Fatalf("lane %d: Classify cross-check = %v, want %v", lane, got, w)
+		}
+	}
+	// A tri-stated bit in the generic classifier has no packed analogue:
+	// packing promises fully-driven wires. Verify the distinction is
+	// real — the same value change classifies differently once a Z-mask
+	// is involved, which is why the engine must never pack Z-capable
+	// wires.
+	if got := Classify(0, 1, 1, 0, 0); got != FromZ1 {
+		t.Fatalf("Z-aware classify = %v, want FromZ1", got)
+	}
+	if got := LaneClassify(0, 1, 0); got != Rise {
+		t.Fatalf("packed classify = %v, want Rise", got)
+	}
+	// Lane 63 end-of-word classification.
+	top := uint64(1) << 63
+	if got := LaneClassify(0, top, 63); got != Rise {
+		t.Fatalf("lane 63 classify = %v, want Rise", got)
+	}
+	if got := LaneClassify(top, 0, 63); got != Fall {
+		t.Fatalf("lane 63 classify = %v, want Fall", got)
+	}
+}

@@ -119,6 +119,22 @@ func NewRAM(name string, base, size uint64, addrWait, dataWait int) *RAM {
 	})}
 }
 
+// NewNVRAM creates a RAM-interface slave with NVM-class static timing:
+// asymmetric read/write wait states, the writes carrying the per-word
+// programming cost of an EEPROM/FRAM-style device. Unlike EEPROM's
+// self-timed busy window (a DynamicWaiter coupled to the kernel clock),
+// the programming wait here is folded into the write data phase as a
+// static per-beat wait state, so the slave has no clock dependency —
+// the timing model batched estimation requires, where lanes advance on
+// independent cycle counters.
+func NewNVRAM(name string, base, size uint64, addrWait, readWait, writeWait int) *RAM {
+	return &RAM{newArray(ecbus.SlaveConfig{
+		Name: name, Base: base, Size: size,
+		AddrWait: addrWait, ReadWait: readWait, WriteWait: writeWait,
+		Readable: true, Writable: true, Executable: true,
+	})}
+}
+
 // WriteWord merges the enabled byte lanes into the word at addr.
 func (r *RAM) WriteWord(addr uint64, data uint32, w ecbus.Width) bool {
 	if !r.cfg.Contains(addr) {

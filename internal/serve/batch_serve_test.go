@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+)
+
+// newBatchTestServer spins up a small server/client pair for the batch
+// endpoint tests.
+func newBatchTestServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	s := New(Options{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, &Client{BaseURL: ts.URL}
+}
+
+// TestBatchWidthInvariantCache pins the /v1/batch width-invariance
+// contract: two requests differing only in lane width share one cache
+// entry, the second is a HIT, and the decoded per-run results (down to
+// the energy bit patterns) are identical.
+func TestBatchWidthInvariantCache(t *testing.T) {
+	_, c := newBatchTestServer(t)
+	ctx := context.Background()
+
+	req := BatchRequest{Layer: 1, Seed: 7, Runs: 8, N: 24, Fault: "grind", Width: 1}
+	rows1, tr1, verdict1, err := c.Batch(ctx, req)
+	if err != nil {
+		t.Fatalf("batch width 1: %v", err)
+	}
+	if verdict1 != "miss" {
+		t.Fatalf("first batch verdict %q, want miss", verdict1)
+	}
+	if !tr1.Done || tr1.Rows != 8 || len(rows1) != 8 {
+		t.Fatalf("bad trailer/rows: %+v, %d rows", tr1, len(rows1))
+	}
+
+	req.Width = 64 // wider than runs: capped, same campaign, same key
+	rows2, tr2, verdict2, err := c.Batch(ctx, req)
+	if err != nil {
+		t.Fatalf("batch width 64: %v", err)
+	}
+	if verdict2 != "hit" {
+		t.Fatalf("second batch verdict %q, want hit (width must not change the key)", verdict2)
+	}
+	if tr2.Key != tr1.Key {
+		t.Fatalf("keys differ across widths: %s vs %s", tr1.Key, tr2.Key)
+	}
+	for i := range rows1 {
+		if rows1[i] != rows2[i] {
+			t.Fatalf("run %d differs across widths: %+v vs %+v", i, rows1[i], rows2[i])
+		}
+	}
+
+	// A different seed is a different campaign: fresh compute.
+	req.Seed = 8
+	_, tr3, verdict3, err := c.Batch(ctx, req)
+	if err != nil {
+		t.Fatalf("batch seed 8: %v", err)
+	}
+	if verdict3 != "miss" || tr3.Key == tr1.Key {
+		t.Fatalf("seed change: verdict %q key %s, want a fresh miss", verdict3, tr3.Key)
+	}
+
+	// Fault plans must change the result: grind retries, clean does not.
+	retries := 0
+	for _, r := range rows1 {
+		retries += r.Retries
+	}
+	if retries == 0 {
+		t.Fatal("grind campaign had no retries; fault test is vacuous")
+	}
+}
+
+// TestBatchRequestValidation pins the 400 surface of /v1/batch.
+func TestBatchRequestValidation(t *testing.T) {
+	_, c := newBatchTestServer(t)
+	ctx := context.Background()
+	bad := []BatchRequest{
+		{Layer: 2},                       // TL2 is not batched
+		{Layer: -1},                      // negative layer
+		{Layer: 0, Width: 65},            // over MaxWidth
+		{Layer: 0, Runs: 2000},           // over runs limit
+		{Layer: 0, N: 5000},              // over n limit
+		{Layer: 0, Fault: "no-such-one"}, // unknown plan
+	}
+	for i, req := range bad {
+		if _, _, _, err := c.Batch(ctx, req); err == nil {
+			t.Fatalf("bad request %d (%+v) accepted", i, req)
+		}
+	}
+	if _, tr, _, err := c.Batch(ctx, BatchRequest{Layer: 0, Runs: 4, N: 8}); err != nil || tr.Rows != 4 {
+		t.Fatalf("valid minimal request failed: %v, trailer %+v", err, tr)
+	}
+}

@@ -140,11 +140,11 @@ func itemBytes(items []core.Item) []byte {
 // POST /v1/sweep. Zero-valued axes take the full default vocabulary,
 // so the empty request is the complete §4.3 exploration.
 type SweepRequest struct {
-	Layers     []int    `json:"layers,omitempty"`     // default [1, 2]
-	Orgs       []string `json:"orgs,omitempty"`       // default all SFR organizations
-	AddrMaps   []string `json:"addr_maps,omitempty"`  // default ["near", "far"]
-	Workloads  []string `json:"workloads,omitempty"`  // default all named workloads
-	Faults     []string `json:"faults,omitempty"`     // named plans; empty = clean only
+	Layers     []int    `json:"layers,omitempty"`    // default [1, 2]
+	Orgs       []string `json:"orgs,omitempty"`      // default all SFR organizations
+	AddrMaps   []string `json:"addr_maps,omitempty"` // default ["near", "far"]
+	Workloads  []string `json:"workloads,omitempty"` // default all named workloads
+	Faults     []string `json:"faults,omitempty"`    // named plans; empty = clean only
 	DeadlineMs int64    `json:"deadline_ms,omitempty"`
 	// Async queues the sweep as a job and returns 202 with its id
 	// instead of holding the connection open; poll GET /v1/jobs/{id}.

@@ -50,6 +50,11 @@ var idleSkipDisabled atomic.Bool
 // Run and RunUntil. Used by the golden-equivalence reference mode.
 func SetIdleSkipDisabled(off bool) { idleSkipDisabled.Store(off) }
 
+// IdleSkipDisabled reports the current global idle-skip setting so other
+// execution engines (the batched SoA engine) can honor the same
+// reference-mode contract as the kernel.
+func IdleSkipDisabled() bool { return idleSkipDisabled.Load() }
+
 // Phase identifies one of the three sub-steps of a simulated clock cycle.
 type Phase int
 

@@ -1,0 +1,39 @@
+#!/bin/sh
+# bench.sh — the estimation-throughput benchmark table: the Table-3
+# model-throughput family plus the BatchCorpus whole-corpus campaign
+# family (serial reference vs batched engine across lane widths and
+# memory organizations), with a machine-readable BENCH_6.json emitted
+# alongside the usual go test output.
+#
+#   BENCHTIME=20x ./scripts/bench.sh       # per-benchmark time/iterations
+#   BENCH_OUT=path.json ./scripts/bench.sh # where the JSON table goes
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-10x}"
+BENCH_OUT="${BENCH_OUT:-BENCH_6.json}"
+
+out=$(go test -run '^$' -bench 'BenchmarkTable3_|BenchmarkBatchCorpus_' \
+	-benchtime "$BENCHTIME" -benchmem .)
+echo "$out"
+
+echo "$out" | awk -v outfile="$BENCH_OUT" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = "null"; kts = "null"; allocs = "null"
+	for (i = 2; i < NF; i++) {
+		if ($(i + 1) == "ns/op") ns = $i
+		if ($(i + 1) == "kT/s") kts = $i
+		if ($(i + 1) == "allocs/op") allocs = $i
+	}
+	rows[++n] = sprintf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"kt_per_s\": %s, \"allocs_per_op\": %s}",
+		name, ns, kts, allocs)
+}
+END {
+	print "[" > outfile
+	for (i = 1; i <= n; i++) print rows[i] (i < n ? "," : "") >> outfile
+	print "]" >> outfile
+}
+'
+echo "bench: wrote $BENCH_OUT"

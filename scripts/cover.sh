@@ -1,7 +1,8 @@
 #!/bin/sh
 # cover.sh — per-package coverage floors for the packages whose tests
-# carry the observability and fault-injection contracts. Prints every
-# package's line, fails if any floored package is below its floor.
+# carry the observability, fault-injection and batched-equivalence
+# contracts. Prints every package's line, fails if any floored
+# package is below its floor.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -10,9 +11,10 @@ FLOORS="
 repro/internal/metrics:70
 repro/internal/fault:70
 repro/internal/checker:70
+repro/internal/batch:70
 "
 
-out=$(go test -cover ./internal/metrics/ ./internal/fault/ ./internal/checker/)
+out=$(go test -cover ./internal/metrics/ ./internal/fault/ ./internal/checker/ ./internal/batch/)
 echo "$out"
 
 fail=0

@@ -14,8 +14,8 @@ go test ./...
 echo "== vet"
 go vet ./...
 
-echo "== race gate (explore, sim, fault, serve)"
-go test -race ./internal/explore/... ./internal/sim/... ./internal/fault/... ./internal/serve/...
+echo "== race gate (explore, sim, fault, serve, batch)"
+go test -race ./internal/explore/... ./internal/sim/... ./internal/fault/... ./internal/serve/... ./internal/batch/...
 
 echo "== coverage floors"
 ./scripts/cover.sh
@@ -30,5 +30,8 @@ go run ./cmd/ecbench -fault grind > /dev/null
 
 echo "== benchmark smoke (1 iteration each)"
 go test -run '^$' -bench . -benchtime 1x ./... > /dev/null
+
+echo "== bench table smoke (bench.sh, 1 iteration)"
+BENCHTIME=1x BENCH_OUT=/tmp/bench6_smoke.json ./scripts/bench.sh > /dev/null
 
 echo "verify: OK"
