@@ -14,7 +14,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/explore/... ./internal/sim/... ./internal/fault/... ./internal/serve/... ./internal/batch/...
+	$(GO) test -race ./internal/explore/... ./internal/sim/... ./internal/fault/... ./internal/serve/... ./internal/batch/... ./internal/tlm3/... ./internal/calib/...
 
 # cover enforces per-package coverage floors (70% for metrics, fault
 # and checker, the packages carrying the observability contracts).

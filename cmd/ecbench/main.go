@@ -9,6 +9,7 @@
 //	ecbench -table 2     # one table
 //	ecbench -figure 6    # the sampling figure
 //	ecbench -explore     # the case-study sweep only
+//	ecbench -explore -layer 1,2,3  # sweep a chosen layer list (3 = analytic)
 //	ecbench -fault grind # the fault-robustness table only (plans: none, flaky, storm, grind)
 //	ecbench -metrics     # per-layer metrics breakdown + clean-vs-fault diff (plan from -fault, default storm)
 //	ecbench -batch 64    # serial-vs-batched corpus estimation table at this lane width
@@ -36,6 +37,7 @@ func main() {
 	table := flag.Int("table", 0, "print only table 1, 2 or 3")
 	figure := flag.Int("figure", 0, "print only figure 6")
 	exploreOnly := flag.Bool("explore", false, "print only the case-study exploration")
+	layerSpec := flag.String("layer", "", "comma-separated exploration sweep layers (valid: "+explore.LayerVocab()+"); empty = 1,2")
 	faultPlan := flag.String("fault", "", "print only the fault-robustness table for this plan (none, flaky, storm, grind)")
 	metricsOn := flag.Bool("metrics", false, "print the per-layer metrics report; diffs clean vs the -fault plan (default storm)")
 	batchN := flag.Int("batch", 0, "print only the serial-vs-batched corpus table at this lane width (1..64)")
@@ -55,6 +57,18 @@ func main() {
 				*faultPlan, strings.Join(fault.Names, ", "))
 			os.Exit(2)
 		}
+	}
+
+	// Same up-front discipline for the exploration layer list: reject
+	// an unknown layer before any table spends minutes simulating.
+	exploreLayers := []int{1, 2}
+	if *layerSpec != "" {
+		parsed, err := explore.ParseLayers(*layerSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ecbench:", err)
+			os.Exit(2)
+		}
+		exploreLayers = parsed
 	}
 
 	// Same up-front discipline for the lane width: reject nonsense now,
@@ -155,7 +169,7 @@ func main() {
 				fmt.Fprint(os.Stderr, explore.Row(r))
 			}
 		}
-		text, err := bench.ExplorationWith(opts)
+		text, err := bench.ExplorationLayers(opts, exploreLayers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ecbench:", err)
 			os.Exit(1)

@@ -6,6 +6,9 @@
 //
 //	jcexplore                 # full sweep, table + Pareto frontier
 //	jcexplore -layer 2        # only the timed layer (fastest)
+//	jcexplore -layer 1,2,3    # include the analytic layer-3 rows
+//	jcexplore -fidelity confirm  # screen analytically, prune, confirm survivors
+//	jcexplore -fidelity screen   # analytic predictions only (microseconds/config)
 //	jcexplore -workload wallet
 //	jcexplore -faults none,flaky  # add fault-plan sweep axis
 //	jcexplore -batch 64 -layer 1  # batched corpus campaign instead of the sweep
@@ -23,17 +26,21 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"repro/internal/batch"
 	"repro/internal/bench"
 	"repro/internal/explore"
 	"repro/internal/fault"
 	"repro/internal/javacard"
+	"repro/internal/metrics"
 	"repro/internal/serve"
 )
 
 func main() {
-	layer := flag.Int("layer", 0, "restrict to one bus layer (1 or 2); 0 = both")
+	layerSpec := flag.String("layer", "", "comma-separated bus layers to sweep (valid: "+explore.LayerVocab()+"); empty = 1,2. With -batch: the single batched layer (0 or 1)")
+	fidelity := flag.String("fidelity", "", "sweep fidelity: exhaustive (default), screen (analytic predictions only) or confirm (screen, prune, confirm survivors exactly)")
 	workload := flag.String("workload", "", "restrict to one workload (arith-loop, stack-churn, wallet)")
 	faults := flag.String("faults", "", "comma-separated fault plans as an extra sweep axis (none, flaky, storm, grind)")
 	batchN := flag.Int("batch", 0, "run the batched corpus campaign at this lane width (1..64) instead of the sweep")
@@ -73,9 +80,22 @@ func main() {
 		}()
 	}
 
+	// Validate the layer list and the fidelity before any pool work: a
+	// typo exits 2 with the vocabulary, mirroring the fault-plan
+	// validation discipline.
 	layers := []int{1, 2}
-	if *layer != 0 {
-		layers = []int{*layer}
+	if *layerSpec != "" && *batchN == 0 {
+		parsed, err := explore.ParseLayers(*layerSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jcexplore:", err)
+			os.Exit(2)
+		}
+		layers = parsed
+	}
+	fid, err := explore.ParseFidelity(*fidelity)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jcexplore:", err)
+		os.Exit(2)
 	}
 	workloads := javacard.Workloads()
 	if *workload != "" {
@@ -112,12 +132,13 @@ func main() {
 			os.Exit(2)
 		}
 		blayer := 1
-		if *layer != 0 {
-			blayer = *layer
-		}
-		if blayer != 0 && blayer != 1 {
-			fmt.Fprintf(os.Stderr, "jcexplore: -batch models layers 0 and 1, not %d\n", blayer)
-			os.Exit(2)
+		if *layerSpec != "" {
+			n, err := strconv.Atoi(*layerSpec)
+			if err != nil || (n != 0 && n != 1) {
+				fmt.Fprintf(os.Stderr, "jcexplore: -batch models layers 0 and 1, not %q\n", *layerSpec)
+				os.Exit(2)
+			}
+			blayer = n
 		}
 		width := *batchN
 		if width > bench.BatchCampaignRuns {
@@ -138,7 +159,7 @@ func main() {
 		if *report || *progress {
 			fmt.Fprintln(os.Stderr, "jcexplore: -report and -progress are local-only; ignored with -remote")
 		}
-		results, err := remoteSweep(*remote, layers, workloads, faultNames)
+		results, err := remoteSweep(*remote, fid, layers, workloads, faultNames)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "jcexplore:", err)
 			os.Exit(1)
@@ -157,6 +178,12 @@ func main() {
 			fmt.Fprint(os.Stderr, explore.Row(r))
 		}
 	}
+
+	if fid != explore.FidelityExhaustive {
+		runMultiFidelity(fid, opts, layers, workloads, *report)
+		return
+	}
+
 	results, err := explore.SweepWith(opts, layers, javacard.Organizations, explore.AddrMaps, workloads)
 	if err != nil {
 		// Partial-failure semantics: report every failed configuration
@@ -167,6 +194,63 @@ func main() {
 		}
 	}
 	printTables(results, *report)
+}
+
+// runMultiFidelity runs the screen or confirm fidelity and prints the
+// screened/pruned/confirmed accounting before the tables — pruning is
+// never silent.
+func runMultiFidelity(fid explore.Fidelity, opts explore.SweepOpts, layers []int, workloads []javacard.Workload, report bool) {
+	mfOpts := explore.MultiFidelityOpts{
+		SweepOpts:   opts,
+		SkipConfirm: fid == explore.FidelityScreen,
+	}
+	if report {
+		mfOpts.Registry = metrics.New("sweep")
+	}
+	mf, err := explore.SweepMultiFidelity(mfOpts, layers, javacard.Organizations, explore.AddrMaps, workloads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jcexplore:", err)
+		if len(mf.Confirmed) == 0 && len(mf.Screened) == 0 {
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("multi-fidelity (%s): screened %d  pruned %d  confirmed %d  screen %.3fms  confirm %.3fms\n",
+		fid, mf.ScreenedConfigs, mf.PrunedConfigs, mf.ConfirmedConfigs,
+		float64(mf.ScreenTime.Microseconds())/1e3, float64(mf.ConfirmTime.Microseconds())/1e3)
+	for _, l := range layers {
+		fmt.Printf("  layer %d pruning margin: energy ±%.2f%%  cycles ±%.2f%%\n",
+			l, mf.EpsEnergy[l]*100, mf.EpsCycles[l]*100)
+	}
+	fmt.Println()
+	if fid == explore.FidelityScreen {
+		fmt.Println("Analytic predictions (screen fidelity; energies are model estimates, not measurements):")
+		fmt.Print(predictionTable(mf.Screened))
+		return
+	}
+	printTables(mf.Confirmed, false)
+	if report && mfOpts.Registry != nil {
+		fmt.Println()
+		fmt.Println("Sweep metrics:")
+		snap := mfOpts.Registry.Snapshot()
+		fmt.Print(snap.Table())
+	}
+}
+
+// predictionTable renders screening predictions in the exploration
+// table's shape, with the pruning decision as the final column.
+func predictionTable(preds []explore.Prediction) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %-22s %12s %14s %6s\n",
+		"workload", "config", "cycles~", "energy[pJ]~", "kept")
+	for _, p := range preds {
+		kept := "prune"
+		if p.Kept {
+			kept = "keep"
+		}
+		fmt.Fprintf(&sb, "%-12s %-22s %12.0f %14.1f %6s\n",
+			p.Workload, p.Config.String(), p.Cycles, p.EnergyJ*1e12, kept)
+	}
+	return sb.String()
 }
 
 func printTables(results []explore.Result, report bool) {
@@ -192,8 +276,8 @@ func printTables(results []explore.Result, report bool) {
 // NDJSON rows back into explore results. Energies come from the exact
 // IEEE-754 bit pattern in the stream, so the printed tables are
 // identical to a local run of the same axes.
-func remoteSweep(base string, layers []int, workloads []javacard.Workload, faultNames []string) ([]explore.Result, error) {
-	req := serve.SweepRequest{Layers: layers, Faults: faultNames}
+func remoteSweep(base string, fid explore.Fidelity, layers []int, workloads []javacard.Workload, faultNames []string) ([]explore.Result, error) {
+	req := serve.SweepRequest{Layers: layers, Faults: faultNames, Fidelity: string(fid)}
 	for _, w := range workloads {
 		req.Workloads = append(req.Workloads, w.Name)
 	}
@@ -204,6 +288,10 @@ func remoteSweep(base string, layers []int, workloads []javacard.Workload, fault
 	}
 	for _, msg := range trailer.Errors {
 		fmt.Fprintln(os.Stderr, "jcexplore: remote:", msg)
+	}
+	if trailer.Fidelity != "" {
+		fmt.Printf("multi-fidelity (%s): screened %d  pruned %d  confirmed %d\n\n",
+			trailer.Fidelity, trailer.Screened, trailer.Pruned, trailer.Confirmed)
 	}
 	results := make([]explore.Result, 0, len(rows))
 	for _, row := range rows {

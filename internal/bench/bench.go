@@ -383,7 +383,13 @@ func Exploration() (string, error) {
 // ExplorationWith is Exploration with caller-tuned sweep options, so
 // cmd/ecbench can set the worker count and stream rows as they land.
 func ExplorationWith(opts explore.SweepOpts) (string, error) {
-	results, err := explore.SweepWith(opts, []int{1, 2}, javacard.Organizations, explore.AddrMaps, javacard.Workloads())
+	return ExplorationLayers(opts, []int{1, 2})
+}
+
+// ExplorationLayers is ExplorationWith over a caller-chosen layer list
+// (explore.SweepLayers vocabulary, validated by the sweep).
+func ExplorationLayers(opts explore.SweepOpts, layers []int) (string, error) {
+	results, err := explore.SweepWith(opts, layers, javacard.Organizations, explore.AddrMaps, javacard.Workloads())
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,125 @@
+package calib
+
+import (
+	"errors"
+	"math"
+)
+
+// pivotTol is the scaled-pivot threshold below which a column is
+// treated as linearly dependent on its predecessors and dropped to a
+// zero coefficient. The normal equations are built on unit-scaled
+// columns, so diagonal entries of an independent column are O(n);
+// exact duplicates eliminate down to rounding noise (~1e-14·n), while
+// genuinely distinct-but-correlated count features keep pivots many
+// orders above this.
+const pivotTol = 1e-9
+
+// solveLSQ computes the least-squares coefficients of y ≈ rows·coef
+// via the normal equations with per-column unit scaling (the raw
+// features span ~1e0..1e5 counts against ~1e-12 J targets, so scaling
+// is what keeps the solve conditioned) and Gaussian elimination with
+// partial pivoting. All-zero and linearly dependent columns get a
+// deterministic zero coefficient. Every floating-point operation runs
+// in a fixed order, so the result is bit-stable for a fixed row order.
+func solveLSQ(rows [][]float64, y []float64, p int) ([]float64, error) {
+	n := len(rows)
+	if n == 0 {
+		return nil, errors.New("no samples")
+	}
+
+	// Column scales: the max absolute entry, 0 for an all-zero column.
+	scale := make([]float64, p)
+	for j := 0; j < p; j++ {
+		for i := 0; i < n; i++ {
+			if a := math.Abs(rows[i][j]); a > scale[j] {
+				scale[j] = a
+			}
+		}
+	}
+
+	xs := func(i, j int) float64 {
+		if scale[j] == 0 {
+			return 0
+		}
+		return rows[i][j] / scale[j]
+	}
+
+	// Normal equations on the scaled system: A = Xsᵀ·Xs, b = Xsᵀ·y.
+	a := make([][]float64, p)
+	for j := range a {
+		a[j] = make([]float64, p)
+	}
+	b := make([]float64, p)
+	for j := 0; j < p; j++ {
+		for k := j; k < p; k++ {
+			var s float64
+			for i := 0; i < n; i++ {
+				s += xs(i, j) * xs(i, k)
+			}
+			a[j][k] = s
+			a[k][j] = s
+		}
+		var s float64
+		for i := 0; i < n; i++ {
+			s += xs(i, j) * y[i]
+		}
+		b[j] = s
+	}
+
+	// Gaussian elimination, partial pivoting. A step whose best pivot
+	// falls under pivotTol marks the column dependent: its row becomes
+	// the identity equation coef=0 and the column is zeroed below, so
+	// the remaining solve proceeds as if the feature were absent.
+	for k := 0; k < p; k++ {
+		piv, pa := k, math.Abs(a[k][k])
+		for i := k + 1; i < p; i++ {
+			if ab := math.Abs(a[i][k]); ab > pa {
+				piv, pa = i, ab
+			}
+		}
+		if pa <= pivotTol {
+			for i := k; i < p; i++ {
+				a[i][k] = 0
+			}
+			for j := k + 1; j < p; j++ {
+				a[k][j] = 0
+			}
+			a[k][k] = 1
+			b[k] = 0
+			continue
+		}
+		if piv != k {
+			a[piv], a[k] = a[k], a[piv]
+			b[piv], b[k] = b[k], b[piv]
+		}
+		for i := k + 1; i < p; i++ {
+			f := a[i][k] / a[k][k]
+			if f == 0 {
+				continue
+			}
+			a[i][k] = 0
+			for j := k + 1; j < p; j++ {
+				a[i][j] -= f * a[k][j]
+			}
+			b[i] -= f * b[k]
+		}
+	}
+
+	// Back substitution, then undo the column scaling.
+	coef := make([]float64, p)
+	for k := p - 1; k >= 0; k-- {
+		s := b[k]
+		for j := k + 1; j < p; j++ {
+			s -= a[k][j] * coef[j]
+		}
+		coef[k] = s / a[k][k]
+	}
+	for j := 0; j < p; j++ {
+		if scale[j] == 0 {
+			coef[j] = 0
+		} else {
+			coef[j] /= scale[j]
+		}
+	}
+	return coef, nil
+}

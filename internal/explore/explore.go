@@ -21,9 +21,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -53,8 +55,78 @@ const (
 // workload program must fit.
 const romSize = 0x1000
 
-// AddrMaps names the explored address maps.
+// AddrMaps names the default explored address maps — the two the
+// paper's case study evaluates. The full named vocabulary (AllAddrMaps)
+// is wider; the default sweep stays on these two so historical outputs
+// are unchanged.
 var AddrMaps = []string{"near", "far"}
+
+// mapBases names every address map the harness can build: the stack
+// SFR base for each. The extra maps beyond near/far span the address
+// space with distinct Hamming profiles against the code ROM at 0 —
+// the enlarged design space the multi-fidelity sweep screens. All
+// bases are 16-byte aligned (the burst organization requires it).
+var mapBases = map[string]uint64{
+	"near":   NearBase,
+	"far":    FarBase,
+	"dense":  0x0000_1040, // adjacent to near: minimal address toggling
+	"page":   0x0000_4000, // one page bit away from the code ROM
+	"mid":    0x0001_0000, // single high bit
+	"sparse": 0x0005_5540, // alternating bits, wider than far
+	"hi":     0x0010_0000, // high single bit, long carry runs
+	"top":    0x0800_0000, // top of the explored space
+}
+
+// AllAddrMaps lists every named address map, the default pair first.
+var AllAddrMaps = []string{"near", "far", "dense", "page", "mid", "sparse", "hi", "top"}
+
+// BaseForMap resolves a named address map to its stack SFR base.
+func BaseForMap(name string) (uint64, bool) {
+	b, ok := mapBases[name]
+	return b, ok
+}
+
+// SweepLayers lists the bus abstraction layers a sweep accepts: the
+// timed layers 1 and 2, and the analytic layer 3 (calibrated
+// event-count model, no cycle simulation).
+var SweepLayers = []int{1, 2, 3}
+
+// ValidLayer reports whether l is a sweepable layer.
+func ValidLayer(l int) bool { return l >= 1 && l <= 3 }
+
+// LayerVocab renders the valid sweep layers for error messages.
+func LayerVocab() string {
+	parts := make([]string, len(SweepLayers))
+	for i, l := range SweepLayers {
+		parts[i] = fmt.Sprint(l)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ParseLayers parses a comma-separated layer list ("1,2,3"),
+// rejecting unknown layers upfront — the command-line mirror of
+// fault.ParseNames, so a bad layer fails loudly before any pool work.
+func ParseLayers(spec string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		l, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("explore: bad layer %q (valid layers: %s)", part, LayerVocab())
+		}
+		if !ValidLayer(l) {
+			return nil, fmt.Errorf("explore: unsupported layer %d (valid layers: %s)", l, LayerVocab())
+		}
+		out = append(out, l)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("explore: empty layer list (valid layers: %s)", LayerVocab())
+	}
+	return out, nil
+}
 
 // SweepRetry is the master retry policy paired with an active fault
 // plan: generous enough that seeded-random error runs cannot abort a
@@ -63,9 +135,9 @@ var SweepRetry = core.RetryPolicy{MaxRetries: 16, Backoff: 1}
 
 // Config is one point of the design space.
 type Config struct {
-	Layer   int // bus abstraction layer: 1 or 2
+	Layer   int // bus abstraction layer: 1, 2 (timed) or 3 (analytic)
 	Org     javacard.Organization
-	AddrMap string // "near" or "far"
+	AddrMap string // named address map (AllAddrMaps)
 	Fault   string // named fault plan (fault.Names); "" or "none" = clean
 }
 
@@ -185,6 +257,7 @@ type prepared struct {
 	w    javacard.Workload
 	prog javacard.Program
 	rom  *mem.ROM
+	fp   uint64 // fingerprint of (name, program image), the feature-cache identity
 }
 
 func prepare(w javacard.Workload) (prepared, error) {
@@ -193,7 +266,11 @@ func prepare(w javacard.Workload) (prepared, error) {
 	if err := rom.Load(0, prog.Main); err != nil {
 		return prepared{}, err
 	}
-	return prepared{w: w, prog: prog, rom: rom}, nil
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(w.Name))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write(prog.Main)
+	return prepared{w: w, prog: prog, rom: rom, fp: h.Sum64()}, nil
 }
 
 // Run evaluates one configuration on one workload.
@@ -245,25 +322,16 @@ func runVM(ctx context.Context, vm *javacard.VM) error {
 	return nil
 }
 
-// runPrepared evaluates one configuration against prepared workload
-// state. It builds a fully private simulation context — kernel, bus,
-// power model, adapter, VM — and therefore may run concurrently with
-// other calls sharing the same prepared value. With metered set, the
-// run additionally carries a private metrics registry whose final
-// snapshot lands in Result.Metrics.
-func runPrepared(ctx context.Context, cfg Config, p prepared, char gatepower.CharTable, metered bool) (Result, error) {
-	if err := ctx.Err(); err != nil {
-		return Result{}, &CancelledError{Config: cfg, Workload: p.w.Name, Cause: err}
-	}
-	var reg *metrics.Registry
-	if metered {
-		reg = metrics.New(fmt.Sprintf("L%d", cfg.Layer))
-		reg.SetMaster(p.w.Name)
-	}
-	k := sim.New(0)
-	base := uint64(NearBase)
-	if cfg.AddrMap == "far" {
-		base = FarBase
+// buildMap constructs the per-run address map of a configuration: the
+// shared read-only code ROM plus a private hardware stack at the
+// configured base, each wrapped in a private fault injector when the
+// configuration carries an active plan. It returns the stack base, the
+// map, and the retry policy the masters should use.
+func buildMap(cfg Config, p prepared, reg *metrics.Registry) (uint64, *ecbus.Map, core.RetryPolicy, error) {
+	base, ok := BaseForMap(cfg.AddrMap)
+	if !ok {
+		return 0, nil, core.RetryPolicy{}, fmt.Errorf("explore: unknown address map %q (valid maps: %s)",
+			cfg.AddrMap, strings.Join(AllAddrMaps, ", "))
 	}
 	hs := javacard.NewHardStack("stack", base)
 
@@ -273,7 +341,7 @@ func runPrepared(ctx context.Context, cfg Config, p prepared, char gatepower.Cha
 	// read-only across workers.
 	plan, ok := fault.Named(cfg.Fault)
 	if !ok {
-		return Result{}, fmt.Errorf("explore: unknown fault plan %q", cfg.Fault)
+		return 0, nil, core.RetryPolicy{}, fmt.Errorf("explore: unknown fault plan %q", cfg.Fault)
 	}
 	var retry core.RetryPolicy
 	rom, stack := ecbus.Slave(p.rom), ecbus.Slave(hs)
@@ -285,6 +353,35 @@ func runPrepared(ctx context.Context, cfg Config, p prepared, char gatepower.Cha
 		retry = SweepRetry
 	}
 	bmap, err := ecbus.NewMap(rom, stack)
+	if err != nil {
+		return 0, nil, core.RetryPolicy{}, err
+	}
+	return base, bmap, retry, nil
+}
+
+// runPrepared evaluates one configuration against prepared workload
+// state. It builds a fully private simulation context — kernel, bus,
+// power model, adapter, VM — and therefore may run concurrently with
+// other calls sharing the same prepared value. With metered set, the
+// run additionally carries a private metrics registry whose final
+// snapshot lands in Result.Metrics.
+func runPrepared(ctx context.Context, cfg Config, p prepared, char gatepower.CharTable, metered bool) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, &CancelledError{Config: cfg, Workload: p.w.Name, Cause: err}
+	}
+	if cfg.Layer == 3 {
+		// The analytic layer does not simulate cycles: it counts the
+		// configuration's traffic once and evaluates the calibrated
+		// model. See screen.go.
+		return runAnalytic(ctx, cfg, p, metered)
+	}
+	var reg *metrics.Registry
+	if metered {
+		reg = metrics.New(fmt.Sprintf("L%d", cfg.Layer))
+		reg.SetMaster(p.w.Name)
+	}
+	k := sim.New(0)
+	base, bmap, retry, err := buildMap(cfg, p, reg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -305,7 +402,7 @@ func runPrepared(ctx context.Context, cfg Config, p prepared, char gatepower.Cha
 		}
 		bus, energy = b, b.Power().TotalEnergy
 	default:
-		return Result{}, fmt.Errorf("explore: unsupported layer %d", cfg.Layer)
+		return Result{}, fmt.Errorf("explore: unsupported layer %d (valid layers: %s)", cfg.Layer, LayerVocab())
 	}
 
 	adapter := javacard.NewMasterAdapter(k, bus, base, cfg.Org)
@@ -395,11 +492,34 @@ func SweepWith(opts SweepOpts, layers []int, orgs []javacard.Organization, maps 
 // result-order and partial-failure contracts of SweepWith are
 // unchanged.
 func SweepContext(ctx context.Context, opts SweepOpts, layers []int, orgs []javacard.Organization, maps []string, workloads []javacard.Workload) ([]Result, error) {
-	type job struct {
-		idx int
-		cfg Config
-		p   prepared
+	jobs, prepErrs := enumerateJobs(opts, layers, orgs, maps, workloads)
+	results, errs := runJobs(ctx, opts, jobs)
+
+	out := make([]Result, 0, len(jobs))
+	joined := prepErrs
+	for i := range jobs {
+		if errs[i] != nil {
+			joined = append(joined, errs[i])
+			continue
+		}
+		out = append(out, results[i])
 	}
+	return out, errors.Join(joined...)
+}
+
+// job is one pool unit: a configuration paired with its prepared
+// workload state and its position in cross-product order.
+type job struct {
+	idx int
+	cfg Config
+	p   prepared
+}
+
+// enumerateJobs builds the cross product in canonical order (workloads
+// outer, then layers, organizations, maps, faults) with per-workload
+// preparation hoisted. Workloads that fail to prepare contribute an
+// error instead of jobs.
+func enumerateJobs(opts SweepOpts, layers []int, orgs []javacard.Organization, maps []string, workloads []javacard.Workload) ([]job, []error) {
 	faults := opts.Faults
 	if len(faults) == 0 {
 		faults = []string{""}
@@ -422,7 +542,14 @@ func SweepContext(ctx context.Context, opts SweepOpts, layers []int, orgs []java
 			}
 		}
 	}
+	return jobs, prepErrs
+}
 
+// runJobs fans jobs over the bounded worker pool and returns results
+// and errors indexed by job position — the engine shared by the
+// exhaustive sweep and the multi-fidelity confirmation pass. Exactly
+// one of results[i] / errs[i] is meaningful per slot.
+func runJobs(ctx context.Context, opts SweepOpts, jobs []job) ([]Result, []error) {
 	// Characterize once before the fan-out so workers share the cached
 	// table instead of racing to build it (DefaultCharTable is
 	// once-guarded either way; this keeps the cost out of the pool).
@@ -467,17 +594,7 @@ func SweepContext(ctx context.Context, opts SweepOpts, layers []int, orgs []java
 	}
 	close(jobCh)
 	wg.Wait()
-
-	out := make([]Result, 0, len(jobs))
-	joined := prepErrs
-	for i := range jobs {
-		if errs[i] != nil {
-			joined = append(joined, errs[i])
-			continue
-		}
-		out = append(out, results[i])
-	}
-	return out, errors.Join(joined...)
+	return results, errs
 }
 
 // Pareto returns the results not dominated in (Cycles, BusEnergyJ)

@@ -196,15 +196,15 @@ func TestSweepStreamsEveryConfiguration(t *testing.T) {
 }
 
 func TestSweepContinuesPastFailures(t *testing.T) {
-	// Layer 3 is unsupported, so half the cross product fails; the sweep
+	// Layer 9 is unsupported, so half the cross product fails; the sweep
 	// must still deliver every layer-1 result plus a joined error naming
 	// the failed configurations.
-	results, err := SweepWith(SweepOpts{Workers: 4}, []int{1, 3}, javacard.Organizations, AddrMaps,
+	results, err := SweepWith(SweepOpts{Workers: 4}, []int{1, 9}, javacard.Organizations, AddrMaps,
 		[]javacard.Workload{churn()})
 	if err == nil {
 		t.Fatal("expected joined error for unsupported layer")
 	}
-	if !strings.Contains(err.Error(), "unsupported layer 3") {
+	if !strings.Contains(err.Error(), "unsupported layer 9") {
 		t.Fatalf("error does not name the failing layer: %v", err)
 	}
 	want := len(javacard.Organizations) * len(AddrMaps)

@@ -1,0 +1,307 @@
+package explore
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/calib"
+	"repro/internal/javacard"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+)
+
+// mfSpace is the design space the multi-fidelity tests sweep: all three
+// layers, every organization, the default maps, a clean and a faulted
+// plan — large enough that pruning has something to do, small enough
+// for the race detector.
+func mfSpace() (layers []int, orgs []javacard.Organization, maps []string, faults []string, wls []javacard.Workload) {
+	return []int{1, 2, 3}, javacard.Organizations, AddrMaps, []string{"", "flaky"}, javacard.Workloads()
+}
+
+func resultKey(r Result) string { return r.Config.String() + "|" + r.Workload }
+
+// TestMultiFidelityFrontierFidelity is the pruning soundness
+// regression: the confirmed set must contain every point of the
+// exhaustive sweep's Pareto frontier, and each confirmed result must be
+// bit-identical to its exhaustive counterpart.
+func TestMultiFidelityFrontierFidelity(t *testing.T) {
+	layers, orgs, maps, faults, wls := mfSpace()
+	opts := SweepOpts{Faults: faults}
+
+	exhaustive, err := SweepWith(opts, layers, orgs, maps, wls)
+	if err != nil {
+		t.Fatalf("exhaustive sweep: %v", err)
+	}
+	reg := metrics.New("sweep")
+	mf, err := SweepMultiFidelity(MultiFidelityOpts{SweepOpts: opts, Registry: reg}, layers, orgs, maps, wls)
+	if err != nil {
+		t.Fatalf("multi-fidelity sweep: %v", err)
+	}
+
+	if mf.ScreenedConfigs != len(exhaustive) {
+		t.Fatalf("screened %d configs, exhaustive evaluated %d", mf.ScreenedConfigs, len(exhaustive))
+	}
+	if mf.PrunedConfigs == 0 {
+		t.Error("expected the screen to prune at least one configuration")
+	}
+	if mf.ConfirmedConfigs == 0 || mf.ConfirmedConfigs >= mf.ScreenedConfigs {
+		t.Errorf("confirmed %d of %d screened: want 0 < confirmed < screened",
+			mf.ConfirmedConfigs, mf.ScreenedConfigs)
+	}
+	if mf.PrunedConfigs+mf.ConfirmedConfigs != mf.ScreenedConfigs {
+		t.Errorf("pruned %d + confirmed %d != screened %d",
+			mf.PrunedConfigs, mf.ConfirmedConfigs, mf.ScreenedConfigs)
+	}
+
+	// Bit-identical confirmation: every confirmed result equals the
+	// exhaustive evaluation of the same configuration, to the last bit.
+	exact := map[string]Result{}
+	for _, r := range exhaustive {
+		exact[resultKey(r)] = r
+	}
+	for _, c := range mf.Confirmed {
+		e, ok := exact[resultKey(c)]
+		if !ok {
+			t.Fatalf("confirmed %s not in exhaustive result set", resultKey(c))
+		}
+		if math.Float64bits(c.BusEnergyJ) != math.Float64bits(e.BusEnergyJ) ||
+			c.Cycles != e.Cycles || c.Transactions != e.Transactions ||
+			c.Retries != e.Retries || c.Steps != e.Steps {
+			t.Errorf("%s: confirmed result differs from exhaustive:\n  confirmed %+v\n  exhaustive %+v",
+				resultKey(c), c, e)
+		}
+	}
+
+	// Frontier recall: the exhaustive Pareto frontier survives pruning.
+	confirmed := map[string]bool{}
+	for _, c := range mf.Confirmed {
+		confirmed[resultKey(c)] = true
+	}
+	frontier := Pareto(exhaustive)
+	if len(frontier) == 0 {
+		t.Fatal("exhaustive frontier is empty")
+	}
+	for _, f := range frontier {
+		if !confirmed[resultKey(f)] {
+			t.Errorf("frontier point %s was pruned", resultKey(f))
+		}
+	}
+
+	// The screening predictions cover the full space in cross-product
+	// order, and Kept mirrors the confirmed set.
+	if len(mf.Screened) != mf.ScreenedConfigs {
+		t.Fatalf("Screened has %d entries, want %d", len(mf.Screened), mf.ScreenedConfigs)
+	}
+	for _, p := range mf.Screened {
+		key := p.Config.String() + "|" + p.Workload
+		if p.Kept != confirmed[key] {
+			t.Errorf("%s: Kept=%v but confirmed=%v", key, p.Kept, confirmed[key])
+		}
+		if p.Kept && p.Config.Layer != 3 {
+			// Sanity: predictions of kept timed configs should sit within
+			// the layer band of the exact value.
+			e := exact[key]
+			rel := math.Abs(p.EnergyJ-e.BusEnergyJ) / e.BusEnergyJ
+			if rel > mf.EpsEnergy[p.Config.Layer] {
+				t.Errorf("%s: prediction off by %.4f, beyond ε=%.4f", key, rel, mf.EpsEnergy[p.Config.Layer])
+			}
+		}
+	}
+
+	// The registry carries the sweep-level fidelity attribution.
+	fi := reg.Snapshot().Fidelity
+	if fi.Screened != uint64(mf.ScreenedConfigs) || fi.Pruned != uint64(mf.PrunedConfigs) ||
+		fi.Confirmed != uint64(mf.ConfirmedConfigs) {
+		t.Errorf("registry fidelity counters %+v disagree with result %d/%d/%d",
+			fi, mf.ScreenedConfigs, mf.PrunedConfigs, mf.ConfirmedConfigs)
+	}
+	if fi.ScreenNanos == 0 || fi.ConfirmNanos == 0 {
+		t.Error("fidelity phase timings should be nonzero")
+	}
+}
+
+// TestMultiFidelityEpsilonDerived: the pruning margins are the
+// calibrated residual bands inflated by the safety factor — derived,
+// never hand-picked.
+func TestMultiFidelityEpsilonDerived(t *testing.T) {
+	layers, orgs, maps, faults, wls := mfSpace()
+	model, err := DefaultModel()
+	if err != nil {
+		t.Fatalf("DefaultModel: %v", err)
+	}
+	const safety = 3
+	mf, err := SweepMultiFidelity(MultiFidelityOpts{SweepOpts: SweepOpts{Faults: faults}, Safety: safety},
+		layers, orgs, maps, wls)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	for _, l := range layers {
+		target := l
+		if l == 3 {
+			target = AnalyticTargetLayer
+		}
+		var wantE, wantC float64
+		for _, o := range orgs {
+			lm, ok := model.Fits[calib.GroupKey{Layer: target, Group: calibGroup(o)}]
+			if !ok {
+				t.Fatalf("model has no fit for layer %d org %s", target, o)
+			}
+			wantE = math.Max(wantE, safety*lm.EnergyMaxRel)
+			wantC = math.Max(wantC, safety*lm.CycleMaxRel)
+		}
+		if mf.EpsEnergy[l] != wantE || mf.EpsCycles[l] != wantC {
+			t.Errorf("layer %d: ε = %g/%g, want safety×band = %g/%g",
+				l, mf.EpsEnergy[l], mf.EpsCycles[l], wantE, wantC)
+		}
+		if mf.EpsEnergy[l] <= 0 {
+			t.Errorf("layer %d: energy ε should be positive", l)
+		}
+	}
+}
+
+// TestMultiFidelityDeterministic: two runs with different worker counts
+// agree bit-for-bit on predictions, pruning decisions and confirmed
+// results.
+func TestMultiFidelityDeterministic(t *testing.T) {
+	layers, orgs, maps, faults, wls := mfSpace()
+	run := func(workers int) MultiFidelityResult {
+		mf, err := SweepMultiFidelity(MultiFidelityOpts{SweepOpts: SweepOpts{Faults: faults, Workers: workers}},
+			layers, orgs, maps, wls)
+		if err != nil {
+			t.Fatalf("sweep (workers=%d): %v", workers, err)
+		}
+		return mf
+	}
+	a, b := run(1), run(7)
+	if len(a.Screened) != len(b.Screened) || len(a.Confirmed) != len(b.Confirmed) {
+		t.Fatalf("shape differs: %d/%d screened, %d/%d confirmed",
+			len(a.Screened), len(b.Screened), len(a.Confirmed), len(b.Confirmed))
+	}
+	for i := range a.Screened {
+		pa, pb := a.Screened[i], b.Screened[i]
+		if pa.Config != pb.Config || pa.Workload != pb.Workload || pa.Kept != pb.Kept ||
+			math.Float64bits(pa.EnergyJ) != math.Float64bits(pb.EnergyJ) ||
+			math.Float64bits(pa.Cycles) != math.Float64bits(pb.Cycles) {
+			t.Errorf("screened[%d] differs across worker counts: %+v vs %+v", i, pa, pb)
+		}
+	}
+	for i := range a.Confirmed {
+		ca, cb := a.Confirmed[i], b.Confirmed[i]
+		if resultKey(ca) != resultKey(cb) || math.Float64bits(ca.BusEnergyJ) != math.Float64bits(cb.BusEnergyJ) ||
+			ca.Cycles != cb.Cycles {
+			t.Errorf("confirmed[%d] differs across worker counts: %s vs %s", i, resultKey(ca), resultKey(cb))
+		}
+	}
+}
+
+// TestRunLayer3Accuracy: the analytic layer's prediction of a clean
+// configuration stays within the calibrated band of the exact TL2
+// figure.
+func TestRunLayer3Accuracy(t *testing.T) {
+	model, err := DefaultModel()
+	if err != nil {
+		t.Fatalf("DefaultModel: %v", err)
+	}
+	char := platform.DefaultCharTable()
+	for _, o := range javacard.Organizations {
+		for _, m := range AddrMaps {
+			w := javacard.Workloads()[0]
+			exact, err := Run(Config{Layer: 2, Org: o, AddrMap: m}, w, char)
+			if err != nil {
+				t.Fatalf("L2 run: %v", err)
+			}
+			pred, err := Run(Config{Layer: 3, Org: o, AddrMap: m}, w, char)
+			if err != nil {
+				t.Fatalf("L3 run: %v", err)
+			}
+			lm := model.Fits[calib.GroupKey{Layer: 2, Group: calibGroup(o)}]
+			relE := math.Abs(pred.BusEnergyJ-exact.BusEnergyJ) / exact.BusEnergyJ
+			if relE > lm.EnergyMaxRel {
+				t.Errorf("%s/%s: L3 energy off by %.5f, band %.5f", o, m, relE, lm.EnergyMaxRel)
+			}
+			relC := math.Abs(float64(pred.Cycles)-float64(exact.Cycles)) / float64(exact.Cycles)
+			if relC > lm.CycleMaxRel+1.0/float64(exact.Cycles) { // rounding to integer cycles
+				t.Errorf("%s/%s: L3 cycles off by %.2e, band %.2e", o, m, relC, lm.CycleMaxRel)
+			}
+			if pred.Transactions != exact.Transactions || pred.Retries != exact.Retries || pred.Steps != exact.Steps {
+				t.Errorf("%s/%s: counting-run stats differ from timed run: %+v vs %+v", o, m, pred, exact)
+			}
+		}
+	}
+}
+
+func TestParseFidelity(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Fidelity
+	}{
+		{"", FidelityExhaustive},
+		{"exhaustive", FidelityExhaustive},
+		{"screen", FidelityScreen},
+		{"confirm", FidelityConfirm},
+	} {
+		got, err := ParseFidelity(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseFidelity(%q) = %q, %v; want %q", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseFidelity("quick"); err == nil || !strings.Contains(err.Error(), "valid: exhaustive, screen, confirm") {
+		t.Errorf("ParseFidelity(quick) should fail with vocabulary, got %v", err)
+	}
+}
+
+func TestParseLayersValidation(t *testing.T) {
+	got, err := ParseLayers(" 1, 3 ,2")
+	if err != nil {
+		t.Fatalf("ParseLayers: %v", err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 2 {
+		t.Errorf("ParseLayers = %v, want [1 3 2]", got)
+	}
+	for _, bad := range []string{"0", "4", "two", "1,9", ""} {
+		if _, err := ParseLayers(bad); err == nil {
+			t.Errorf("ParseLayers(%q) should fail", bad)
+		} else if !strings.Contains(err.Error(), "valid layers: 1, 2, 3") {
+			t.Errorf("ParseLayers(%q) error should list valid layers, got %v", bad, err)
+		}
+	}
+}
+
+func TestBaseForMapVocabulary(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, name := range AllAddrMaps {
+		b, ok := BaseForMap(name)
+		if !ok {
+			t.Fatalf("BaseForMap(%q) missing", name)
+		}
+		if b%16 != 0 {
+			t.Errorf("map %q base %#x not 16-byte aligned (burst org requires it)", name, b)
+		}
+		if prev, dup := seen[b]; dup {
+			t.Errorf("maps %q and %q share base %#x", name, prev, b)
+		}
+		seen[b] = name
+	}
+	if _, ok := BaseForMap("nowhere"); ok {
+		t.Error(`BaseForMap("nowhere") should not resolve`)
+	}
+	if AllAddrMaps[0] != "near" || AllAddrMaps[1] != "far" {
+		t.Error("AllAddrMaps must keep the default pair first")
+	}
+}
+
+func TestMultiFidelityRejectsBadLayer(t *testing.T) {
+	_, _, _, _, wls := mfSpace()
+	_, err := SweepMultiFidelity(MultiFidelityOpts{}, []int{1, 9}, javacard.Organizations, AddrMaps, wls)
+	if err == nil || !strings.Contains(err.Error(), "valid layers: 1, 2, 3") {
+		t.Errorf("bad layer should fail with vocabulary, got %v", err)
+	}
+}
+
+func TestCalibrateRejectsLayer3(t *testing.T) {
+	_, err := Calibrate(t.Context(), SweepOpts{}, []int{1, 3}, javacard.Organizations[:1], AddrMaps[:1], javacard.Workloads()[:1])
+	if err == nil || !strings.Contains(err.Error(), "cannot calibrate against layer 3") {
+		t.Errorf("calibrating against layer 3 should fail, got %v", err)
+	}
+}

@@ -57,25 +57,25 @@ func TestSweepWithJoinOrdering(t *testing.T) {
 		{
 			name:        "prep errors precede config errors",
 			workloads:   []javacard.Workload{oversized("too-big-a"), churn(), oversized("too-big-b")},
-			layers:      []int{3},
+			layers:      []int{9},
 			wantPrefix:  []string{"too-big-a", "too-big-b"},
-			wantJobs:    jobErrWants(t, []string{"stack-churn"}, []int{3}),
+			wantJobs:    jobErrWants(t, []string{"stack-churn"}, []int{9}),
 			wantResults: 0,
 		},
 		{
 			name:        "config errors in cross-product order",
 			workloads:   []javacard.Workload{churn(), arith()},
-			layers:      []int{3, 1},
+			layers:      []int{9, 1},
 			wantPrefix:  nil,
-			wantJobs:    jobErrWants(t, []string{"stack-churn", "arith-loop"}, []int{3}),
+			wantJobs:    jobErrWants(t, []string{"stack-churn", "arith-loop"}, []int{9}),
 			wantResults: 2 * len(javacard.Organizations) * len(AddrMaps),
 		},
 		{
 			name:        "prep and config failures combine",
 			workloads:   []javacard.Workload{oversized("too-big"), churn()},
-			layers:      []int{1, 3},
+			layers:      []int{1, 9},
 			wantPrefix:  []string{"too-big"},
-			wantJobs:    jobErrWants(t, []string{"stack-churn"}, []int{3}),
+			wantJobs:    jobErrWants(t, []string{"stack-churn"}, []int{9}),
 			wantResults: len(javacard.Organizations) * len(AddrMaps),
 		},
 	}
@@ -88,7 +88,7 @@ func TestSweepWithJoinOrdering(t *testing.T) {
 					t.Fatalf("kept %d results, want %d", len(results), tc.wantResults)
 				}
 				for _, r := range results {
-					if r.Layer == 3 {
+					if r.Layer == 9 {
 						t.Fatalf("result leaked from failed layer: %+v", r)
 					}
 				}

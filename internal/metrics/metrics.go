@@ -115,6 +115,18 @@ func (k *kahan) add(v float64) {
 	k.sum = t
 }
 
+// FidelityCounters attributes a multi-fidelity sweep's work between
+// the analytic screen and the exact confirmation pass: configuration
+// counts plus wall-clock nanoseconds per phase. The zero value means
+// the run was not a multi-fidelity sweep and nothing is reported.
+type FidelityCounters struct {
+	Screened     uint64 // configurations evaluated analytically
+	Pruned       uint64 // configurations dropped by ε-domination
+	Confirmed    uint64 // configurations confirmed exactly
+	ScreenNanos  uint64 // wall clock spent screening
+	ConfirmNanos uint64 // wall clock spent confirming
+}
+
 // FaultCounters aggregates injected-fault events observed by
 // fault.Injector instances attached to the registry.
 type FaultCounters struct {
@@ -167,7 +179,8 @@ type Registry struct {
 	slaves []slaveAcc
 	unattr kahan
 
-	fault FaultCounters
+	fault    FaultCounters
+	fidelity FidelityCounters
 }
 
 // New creates an enabled registry labelled with the abstraction layer
@@ -375,6 +388,28 @@ func (r *Registry) RecordKernel(cycles, skippedCycles, idleSkips, procsRun uint6
 	r.skipped = skippedCycles
 	r.idleSkips = idleSkips
 	r.procsRun = procsRun
+}
+
+// FidelityScreen records the analytic screening pass of a
+// multi-fidelity sweep: configurations screened, configurations pruned
+// by ε-domination, and the wall-clock nanoseconds spent.
+func (r *Registry) FidelityScreen(screened, pruned, nanos uint64) {
+	if r == nil {
+		return
+	}
+	r.fidelity.Screened += screened
+	r.fidelity.Pruned += pruned
+	r.fidelity.ScreenNanos += nanos
+}
+
+// FidelityConfirm records the exact confirmation pass of a
+// multi-fidelity sweep.
+func (r *Registry) FidelityConfirm(confirmed, nanos uint64) {
+	if r == nil {
+		return
+	}
+	r.fidelity.Confirmed += confirmed
+	r.fidelity.ConfirmNanos += nanos
 }
 
 // FaultReadError counts one injected read error.

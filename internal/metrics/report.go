@@ -45,7 +45,8 @@ type Snapshot struct {
 	Occupancy [ecbus.NumCategories]HistogramSnapshot
 	Latency   HistogramSnapshot
 
-	Fault FaultCounters
+	Fault    FaultCounters
+	Fidelity FidelityCounters
 }
 
 // Snapshot returns a copy of the registry's current state. Call
@@ -76,6 +77,7 @@ func (r *Registry) Snapshot() Snapshot {
 		UnattributedJ: r.unattr.sum,
 		Latency:       r.latency.snapshot(),
 		Fault:         r.fault,
+		Fidelity:      r.fidelity,
 	}
 	for k := 0; k < int(NumPhaseKinds); k++ {
 		s.EnergyJ[k] = r.phase[k].sum
@@ -162,6 +164,11 @@ func (s Snapshot) Table() string {
 	if f := s.Fault; f != (FaultCounters{}) {
 		fmt.Fprintf(&b, "  faults injected: %d read err  %d write err  %d corruptions  %d wait cycles  %d stretches\n",
 			f.ReadErrors, f.WriteErrors, f.Corruptions, f.ExtraWaits, f.Stretched)
+	}
+	if fi := s.Fidelity; fi != (FidelityCounters{}) {
+		fmt.Fprintf(&b, "  multi-fidelity: screened %d  pruned %d  confirmed %d  screen %.3fms  confirm %.3fms\n",
+			fi.Screened, fi.Pruned, fi.Confirmed,
+			float64(fi.ScreenNanos)/1e6, float64(fi.ConfirmNanos)/1e6)
 	}
 	return b.String()
 }

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/calib"
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/fault"
@@ -145,14 +146,23 @@ type SweepRequest struct {
 	AddrMaps   []string `json:"addr_maps,omitempty"` // default ["near", "far"]
 	Workloads  []string `json:"workloads,omitempty"` // default all named workloads
 	Faults     []string `json:"faults,omitempty"`    // named plans; empty = clean only
-	DeadlineMs int64    `json:"deadline_ms,omitempty"`
+	// Fidelity selects how the sweep spends its time (explore.Fidelities):
+	// "exhaustive" (default) evaluates every configuration at its
+	// requested layer; "screen" returns analytic predictions only;
+	// "confirm" screens, prunes by calibrated ε-domination and confirms
+	// the survivors exactly.
+	Fidelity   string `json:"fidelity,omitempty"`
+	DeadlineMs int64  `json:"deadline_ms,omitempty"`
 	// Async queues the sweep as a job and returns 202 with its id
 	// instead of holding the connection open; poll GET /v1/jobs/{id}.
 	Async bool `json:"async,omitempty"`
 }
 
 // SweepRow is one configuration's outcome in the sweep's NDJSON
-// stream.
+// stream. Under the "screen" fidelity the row carries the analytic
+// prediction instead of an exact measurement: Predicted is set, Kept
+// reports the pruning decision, and the exact-only counters (Tx,
+// Retries, Steps) stay zero.
 type SweepRow struct {
 	Workload   string  `json:"workload"`
 	Layer      int     `json:"layer"`
@@ -165,14 +175,27 @@ type SweepRow struct {
 	Tx         uint64  `json:"tx"`
 	Retries    uint64  `json:"retries"`
 	Steps      uint64  `json:"steps"`
+	Predicted  bool    `json:"predicted,omitempty"`
+	Kept       bool    `json:"kept,omitempty"`
 }
 
-// SweepTrailer is the final NDJSON line of a sweep response.
+// SweepTrailer is the final NDJSON line of a sweep response. The
+// screening metadata fields are present only for the non-exhaustive
+// fidelities, so exhaustive sweep bodies are byte-identical to the
+// historical rendering.
 type SweepTrailer struct {
 	Done   bool     `json:"done"`
 	Key    string   `json:"key"`
 	Rows   int      `json:"rows"`
 	Errors []string `json:"errors,omitempty"`
+
+	// Multi-fidelity accounting (fidelity "screen" / "confirm").
+	Fidelity  string             `json:"fidelity,omitempty"`
+	Screened  int                `json:"screened,omitempty"`
+	Pruned    int                `json:"pruned,omitempty"`
+	Confirmed int                `json:"confirmed,omitempty"`
+	EpsEnergy map[string]float64 `json:"eps_energy,omitempty"` // per layer, ε derived from the calibrated band
+	EpsCycles map[string]float64 `json:"eps_cycles,omitempty"`
 }
 
 // canonSweep is a validated sweep request with defaults applied and
@@ -184,6 +207,7 @@ type canonSweep struct {
 	Maps      []string
 	Workloads []javacard.Workload
 	Faults    []string
+	Fidelity  explore.Fidelity
 }
 
 // OrgByName resolves an SFR-organization name (the Organization.String
@@ -204,10 +228,15 @@ func canonicalizeSweep(req SweepRequest) (canonSweep, error) {
 		c.Layers = []int{1, 2}
 	}
 	for _, l := range c.Layers {
-		if l != 1 && l != 2 {
-			return c, fmt.Errorf("serve: unsupported sweep layer %d (valid layers: 1, 2)", l)
+		if !explore.ValidLayer(l) {
+			return c, fmt.Errorf("serve: unsupported sweep layer %d (valid layers: %s)", l, explore.LayerVocab())
 		}
 	}
+	fid, err := explore.ParseFidelity(req.Fidelity)
+	if err != nil {
+		return c, fmt.Errorf("serve: %w", err)
+	}
+	c.Fidelity = fid
 	if len(req.Orgs) == 0 {
 		c.Orgs = append(c.Orgs, javacard.Organizations...)
 	} else {
@@ -232,8 +261,9 @@ func canonicalizeSweep(req SweepRequest) (canonSweep, error) {
 		c.Maps = append(c.Maps, explore.AddrMaps...)
 	}
 	for _, m := range c.Maps {
-		if m != "near" && m != "far" {
-			return c, fmt.Errorf("serve: unknown address map %q (valid: near, far)", m)
+		if _, ok := explore.BaseForMap(m); !ok {
+			return c, fmt.Errorf("serve: unknown address map %q (valid: %s)",
+				m, strings.Join(explore.AllAddrMaps, ", "))
 		}
 	}
 	all := javacard.Workloads()
@@ -275,8 +305,11 @@ func canonicalizeSweep(req SweepRequest) (canonSweep, error) {
 // so it is part of the address.
 func (c canonSweep) key() string {
 	h := sha256.New()
-	fmt.Fprintf(h, "%s\x00sweep\x00layers=%v\x00orgs=%v\x00maps=%v\x00faults=%v\x00",
-		Version, c.Layers, c.OrgNames, c.Maps, c.Faults)
+	// The calibration version is part of the address: layer-3 rows and
+	// the screen/confirm fidelities are functions of the fitted model,
+	// so a new fit procedure must miss the old cache entries.
+	fmt.Fprintf(h, "%s\x00sweep\x00%s\x00fidelity=%s\x00layers=%v\x00orgs=%v\x00maps=%v\x00faults=%v\x00",
+		Version, calib.Version, c.Fidelity, c.Layers, c.OrgNames, c.Maps, c.Faults)
 	for _, w := range c.Workloads {
 		prog := w.Program()
 		fmt.Fprintf(h, "workload=%s\x00main=%d\x00", w.Name, len(prog.Main))

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 
 	"repro/internal/bench"
 	"repro/internal/explore"
@@ -69,9 +70,14 @@ func EnergyFromBits(s string) (float64, error) {
 // cross-product order, then a SweepTrailer. Deterministic per-config
 // failures are part of the content (they travel in the trailer and are
 // cached); a cancelled or expired sweep is not cached at all, since
-// its row set depends on timing.
+// its row set depends on timing. The exhaustive fidelity renders
+// exactly as it always has; the screen and confirm fidelities add
+// their accounting to the trailer.
 func (s *Server) computeSweep(ctx context.Context, key string, c canonSweep) ([]byte, error) {
 	opts := explore.SweepOpts{Workers: s.opts.SweepWorkers, Faults: c.Faults}
+	if c.Fidelity != explore.FidelityExhaustive {
+		return s.computeSweepMultiFi(ctx, key, c, opts)
+	}
 	results, err := explore.SweepContext(ctx, opts, c.Layers, c.Orgs, c.Maps, c.Workloads)
 	if cerr := ctx.Err(); cerr != nil {
 		return nil, cerr
@@ -79,38 +85,124 @@ func (s *Server) computeSweep(ctx context.Context, key string, c canonSweep) ([]
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	for _, r := range results {
-		row := SweepRow{
-			Workload:   r.Workload,
-			Layer:      r.Config.Layer,
-			Org:        r.Config.Org.String(),
-			AddrMap:    r.Config.AddrMap,
-			Fault:      r.Config.Fault,
-			Cycles:     r.Cycles,
-			EnergyJ:    r.BusEnergyJ,
-			EnergyBits: EnergyBits(r.BusEnergyJ),
-			Tx:         r.Transactions,
-			Retries:    r.Retries,
-			Steps:      r.Steps,
-		}
-		if err := enc.Encode(row); err != nil {
+		if err := enc.Encode(exactRow(r)); err != nil {
 			return nil, err
 		}
 	}
 	trailer := SweepTrailer{Done: true, Key: key, Rows: len(results)}
-	if err != nil {
-		var joined interface{ Unwrap() []error }
-		if errors.As(err, &joined) {
-			for _, e := range joined.Unwrap() {
-				trailer.Errors = append(trailer.Errors, e.Error())
-			}
-		} else {
-			trailer.Errors = append(trailer.Errors, err.Error())
-		}
-	}
+	appendSweepErrors(&trailer, err)
 	if err := enc.Encode(trailer); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil
+}
+
+// computeSweepMultiFi renders the screen and confirm fidelities. Screen
+// streams every configuration's analytic prediction (Predicted set,
+// exact-only counters zero); confirm streams the exact results of the
+// pruning survivors. Both carry the screened/pruned/confirmed counts
+// and the calibrated ε margins in the trailer, so pruning is never
+// silent in the wire format either.
+func (s *Server) computeSweepMultiFi(ctx context.Context, key string, c canonSweep, opts explore.SweepOpts) ([]byte, error) {
+	mfOpts := explore.MultiFidelityOpts{
+		SweepOpts:   opts,
+		SkipConfirm: c.Fidelity == explore.FidelityScreen,
+	}
+	mf, err := explore.SweepMultiFidelityContext(ctx, mfOpts, c.Layers, c.Orgs, c.Maps, c.Workloads)
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	rows := 0
+	if c.Fidelity == explore.FidelityScreen {
+		for _, p := range mf.Screened {
+			row := SweepRow{
+				Workload:   p.Workload,
+				Layer:      p.Layer,
+				Org:        p.Org.String(),
+				AddrMap:    p.AddrMap,
+				Fault:      p.Fault,
+				Cycles:     uint64(math.Round(p.Cycles)),
+				EnergyJ:    p.EnergyJ,
+				EnergyBits: EnergyBits(p.EnergyJ),
+				Predicted:  true,
+				Kept:       p.Kept,
+			}
+			if err := enc.Encode(row); err != nil {
+				return nil, err
+			}
+			rows++
+		}
+	} else {
+		for _, r := range mf.Confirmed {
+			if err := enc.Encode(exactRow(r)); err != nil {
+				return nil, err
+			}
+			rows++
+		}
+	}
+	trailer := SweepTrailer{
+		Done:      true,
+		Key:       key,
+		Rows:      rows,
+		Fidelity:  string(c.Fidelity),
+		Screened:  mf.ScreenedConfigs,
+		Pruned:    mf.PrunedConfigs,
+		Confirmed: mf.ConfirmedConfigs,
+		EpsEnergy: epsByLayer(mf.EpsEnergy),
+		EpsCycles: epsByLayer(mf.EpsCycles),
+	}
+	appendSweepErrors(&trailer, err)
+	if err := enc.Encode(trailer); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// exactRow renders one exact sweep result as its NDJSON row.
+func exactRow(r explore.Result) SweepRow {
+	return SweepRow{
+		Workload:   r.Workload,
+		Layer:      r.Config.Layer,
+		Org:        r.Config.Org.String(),
+		AddrMap:    r.Config.AddrMap,
+		Fault:      r.Config.Fault,
+		Cycles:     r.Cycles,
+		EnergyJ:    r.BusEnergyJ,
+		EnergyBits: EnergyBits(r.BusEnergyJ),
+		Tx:         r.Transactions,
+		Retries:    r.Retries,
+		Steps:      r.Steps,
+	}
+}
+
+// epsByLayer renders the per-layer ε map with decimal string keys —
+// JSON objects cannot key on integers.
+func epsByLayer(in map[int]float64) map[string]float64 {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(in))
+	for l, v := range in {
+		out[strconv.Itoa(l)] = v
+	}
+	return out
+}
+
+// appendSweepErrors flattens a sweep's errors.Join into trailer lines.
+func appendSweepErrors(trailer *SweepTrailer, err error) {
+	if err == nil {
+		return
+	}
+	var joined interface{ Unwrap() []error }
+	if errors.As(err, &joined) {
+		for _, e := range joined.Unwrap() {
+			trailer.Errors = append(trailer.Errors, e.Error())
+		}
+	} else {
+		trailer.Errors = append(trailer.Errors, err.Error())
+	}
 }
 
 // ParseSweepBody decodes a sweep NDJSON body back into rows and the

@@ -466,6 +466,110 @@ func TestSweepCacheBitEqual(t *testing.T) {
 	}
 }
 
+// The fidelity knob over the wire: screen streams predictions, confirm
+// streams exact survivors bit-identical to the exhaustive rows, both
+// carry the screened/pruned/confirmed accounting and calibrated ε in
+// the trailer, and cached bodies replay verbatim. The exhaustive
+// trailer stays free of screening metadata.
+func TestSweepFidelityKnob(t *testing.T) {
+	_, hs, client := newTestServer(t, Options{Workers: 2})
+	base := SweepRequest{
+		Layers:    []int{1, 2, 3},
+		Orgs:      []string{"burst4", "byte-staged"},
+		AddrMaps:  []string{"near", "far"},
+		Workloads: []string{"arith-loop"},
+		Faults:    []string{"none", "flaky"},
+	}
+
+	exact := base
+	exactRows, exactTrailer, err := client.Sweep(context.Background(), exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exactTrailer.Fidelity != "" || exactTrailer.Screened != 0 || exactTrailer.EpsEnergy != nil {
+		t.Fatalf("exhaustive trailer leaked screening metadata: %+v", exactTrailer)
+	}
+	exactBy := map[string]SweepRow{}
+	for _, r := range exactRows {
+		exactBy[fmt.Sprintf("%s|%d|%s|%s|%s", r.Workload, r.Layer, r.Org, r.AddrMap, r.Fault)] = r
+	}
+
+	conf := base
+	conf.Fidelity = "confirm"
+	cold := postJSON(t, hs.URL+"/v1/sweep", conf)
+	if cold.StatusCode != http.StatusOK {
+		t.Fatalf("confirm sweep status %d: %s", cold.StatusCode, readAll(t, cold))
+	}
+	coldBody := readAll(t, cold)
+	warm := postJSON(t, hs.URL+"/v1/sweep", conf)
+	if got := warm.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("warm confirm sweep X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(coldBody, readAll(t, warm)) {
+		t.Fatal("confirm sweep cache hit not byte-identical")
+	}
+	rows, trailer, err := ParseSweepBody(coldBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trailer.Errors) != 0 {
+		t.Fatalf("confirm sweep errors: %v", trailer.Errors)
+	}
+	if trailer.Fidelity != "confirm" || trailer.Screened != len(exactRows) ||
+		trailer.Confirmed != len(rows) || trailer.Pruned != trailer.Screened-trailer.Confirmed {
+		t.Fatalf("confirm accounting off: %+v (rows %d, space %d)", trailer, len(rows), len(exactRows))
+	}
+	if trailer.Pruned == 0 || trailer.Confirmed == 0 {
+		t.Fatalf("confirm sweep should both prune and confirm: %+v", trailer)
+	}
+	for l := range map[string]bool{"1": true, "2": true, "3": true} {
+		if trailer.EpsEnergy[l] <= 0 || trailer.EpsCycles[l] <= 0 {
+			t.Fatalf("trailer ε missing for layer %s: %+v / %+v", l, trailer.EpsEnergy, trailer.EpsCycles)
+		}
+	}
+	for i, r := range rows {
+		if r.Predicted || r.Kept {
+			t.Fatalf("confirm row %d carries screening flags: %+v", i, r)
+		}
+		want, ok := exactBy[fmt.Sprintf("%s|%d|%s|%s|%s", r.Workload, r.Layer, r.Org, r.AddrMap, r.Fault)]
+		if !ok {
+			t.Fatalf("confirmed row %d not in exhaustive sweep: %+v", i, r)
+		}
+		if r != want {
+			t.Fatalf("confirmed row %d not bit-identical to exhaustive: %+v vs %+v", i, r, want)
+		}
+	}
+
+	screen := base
+	screen.Fidelity = "screen"
+	sRows, sTrailer, err := client.Sweep(context.Background(), screen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sTrailer.Fidelity != "screen" || sTrailer.Screened != len(exactRows) ||
+		sTrailer.Confirmed != 0 || len(sRows) != len(exactRows) {
+		t.Fatalf("screen accounting off: %+v (rows %d)", sTrailer, len(sRows))
+	}
+	kept := 0
+	for i, r := range sRows {
+		if !r.Predicted {
+			t.Fatalf("screen row %d not marked predicted: %+v", i, r)
+		}
+		if r.Tx != 0 || r.Retries != 0 || r.Steps != 0 {
+			t.Fatalf("screen row %d carries exact-only counters: %+v", i, r)
+		}
+		if r.Kept {
+			kept++
+		}
+	}
+	if kept != sTrailer.Screened-sTrailer.Pruned {
+		t.Fatalf("screen kept %d rows, trailer says %d", kept, sTrailer.Screened-sTrailer.Pruned)
+	}
+	if kept != trailer.Confirmed {
+		t.Fatalf("screen kept %d, confirm confirmed %d — same space should agree", kept, trailer.Confirmed)
+	}
+}
+
 // Async jobs: 202 + handle, poll to done, and the job result is the
 // same cached body a synchronous request gets.
 func TestAsyncSweepJob(t *testing.T) {
@@ -529,9 +633,10 @@ func TestRequestValidation(t *testing.T) {
 		{"/v1/estimate", EstimateRequest{Layer: 1, Fault: "bogus"}, "fault"},
 		{"/v1/sweep", SweepRequest{Layers: []int{0}}, "valid layers"},
 		{"/v1/sweep", SweepRequest{Orgs: []string{"nope"}}, "organization"},
-		{"/v1/sweep", SweepRequest{AddrMaps: []string{"mid"}}, "address map"},
+		{"/v1/sweep", SweepRequest{AddrMaps: []string{"warp"}}, "address map"},
 		{"/v1/sweep", SweepRequest{Workloads: []string{"nope"}}, "workload"},
 		{"/v1/sweep", SweepRequest{Faults: []string{"bogus"}}, "valid plans"},
+		{"/v1/sweep", SweepRequest{Fidelity: "turbo"}, "fidelity"},
 	}
 	for _, tc := range cases {
 		resp := postJSON(t, hs.URL+tc.path, tc.req)

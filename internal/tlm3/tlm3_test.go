@@ -2,13 +2,16 @@ package tlm3
 
 import (
 	"bytes"
+	"math"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/checker"
 	"repro/internal/ecbus"
 	"repro/internal/gatepower"
 	"repro/internal/mem"
 	"repro/internal/platform"
+	"repro/internal/rtlbus"
 	"repro/internal/sim"
 	"repro/internal/tlm1"
 	"repro/internal/tlm2"
@@ -200,5 +203,84 @@ func TestEstimateUsesCharPrices(t *testing.T) {
 	real := b.Estimate(platform.DefaultCharTable(), 0, 0)
 	if cheap.EnergyJ != 0 || real.EnergyJ <= 0 {
 		t.Fatalf("char pricing not applied: %g / %g", cheap.EnergyJ, real.EnergyJ)
+	}
+}
+
+// TestBridgeRoundTripEquivalence is the full round trip of the
+// message-layer abstraction: one deterministic layer-3 script is
+// bridged down to every refinement — the gate-level reference under
+// the protocol checker (must be violation-free) and the timed TL1/TL2
+// buses with energy estimation attached. The resulting cycle counts
+// and IEEE-754 energy bit patterns are golden-pinned: any drift in the
+// bridge's transaction synthesis, the timed models or the power
+// booking shows up as a bit mismatch, not a silent estimate shift.
+func TestBridgeRoundTripEquivalence(t *testing.T) {
+	char := platform.DefaultCharTable()
+	l3 := NewRecorder(New(busMap()))
+	blob := make([]byte, 96)
+	for i := range blob {
+		blob[i] = byte(i*7 + 3)
+	}
+	script := func(fail string, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v", fail, err)
+		}
+	}
+	script("aligned write", l3.Write(0x200, blob))
+	script("unaligned write", l3.Write(0x305, blob[:13]))
+	script("slow-region write", l3.Write(0x10010, blob[:32]))
+	_, err := l3.Read(0x200, 64)
+	script("aligned read", err)
+	_, err = l3.Read(0x305, 13)
+	script("unaligned read", err)
+	_, err = l3.Read(0x10010, 32)
+	script("slow-region read", err)
+
+	// Gate-level replay under the protocol checker: the synthesized
+	// transaction stream must be protocol-clean, not merely complete.
+	k0 := sim.New(0)
+	b0 := rtlbus.New(k0, busMap())
+	chk := checker.New()
+	k0.At(sim.Post, "chk", func(uint64) { chk.Observe(b0.Wires()) })
+	if _, err := Bridge(k0, b0, l3.Log, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !chk.Clean() {
+		for _, v := range chk.Violations() {
+			t.Log(v)
+		}
+		t.Fatalf("bridged replay raised %d protocol violations", len(chk.Violations()))
+	}
+
+	// Timed replays with energy attached, golden-pinned.
+	k1 := sim.New(0)
+	b1 := tlm1.New(k1, busMap()).AttachPower(tlm1.NewPowerModel(char))
+	cycles1, err := Bridge(k1, b1, l3.Log, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2 := sim.New(0)
+	b2 := tlm2.New(k2, busMap()).AttachPower(tlm2.NewPowerModel(char))
+	cycles2, err := Bridge(k2, b2, l3.Log, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		goldenCycles1 = uint64(80)
+		goldenCycles2 = uint64(82)
+		goldenBits1   = uint64(0x3ddc68bd45957d05)
+		goldenBits2   = uint64(0x3ddffc375d9e4f4e)
+	)
+	bits1 := math.Float64bits(b1.Power().TotalEnergy())
+	bits2 := math.Float64bits(b2.Power().TotalEnergy())
+	t.Logf("TL1: %d cycles, energy bits %#016x", cycles1, bits1)
+	t.Logf("TL2: %d cycles, energy bits %#016x", cycles2, bits2)
+	if cycles1 != goldenCycles1 || bits1 != goldenBits1 {
+		t.Errorf("TL1 bridge drifted: cycles %d bits %#016x, golden %d / %#016x",
+			cycles1, bits1, goldenCycles1, goldenBits1)
+	}
+	if cycles2 != goldenCycles2 || bits2 != goldenBits2 {
+		t.Errorf("TL2 bridge drifted: cycles %d bits %#016x, golden %d / %#016x",
+			cycles2, bits2, goldenCycles2, goldenBits2)
 	}
 }

@@ -1,19 +1,23 @@
 #!/bin/sh
 # bench.sh — the estimation-throughput benchmark table: the Table-3
-# model-throughput family plus the BatchCorpus whole-corpus campaign
+# model-throughput family, the BatchCorpus whole-corpus campaign
 # family (serial reference vs batched engine across lane widths and
-# memory organizations), with a machine-readable BENCH_6.json emitted
-# alongside the usual go test output.
+# memory organizations) and the multi-fidelity sweep family (analytic
+# per-config screening, screened-pruned-confirmed sweep vs exhaustive
+# sweep on the enlarged design space), with a machine-readable JSON
+# table emitted alongside the usual go test output.
 #
 #   BENCHTIME=20x ./scripts/bench.sh       # per-benchmark time/iterations
 #   BENCH_OUT=path.json ./scripts/bench.sh # where the JSON table goes
+#   BENCH_RE='BenchmarkSweep' ./scripts/bench.sh  # benchmark selection
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-10x}"
-BENCH_OUT="${BENCH_OUT:-BENCH_6.json}"
+BENCH_OUT="${BENCH_OUT:-BENCH_7.json}"
+BENCH_RE="${BENCH_RE:-BenchmarkTable3_|BenchmarkBatchCorpus_|BenchmarkScreenConfig|BenchmarkSweepMultiFidelity|BenchmarkSweepExhaustive}"
 
-out=$(go test -run '^$' -bench 'BenchmarkTable3_|BenchmarkBatchCorpus_' \
+out=$(go test -run '^$' -bench "$BENCH_RE" \
 	-benchtime "$BENCHTIME" -benchmem .)
 echo "$out"
 
@@ -22,18 +26,31 @@ echo "$out" | awk -v outfile="$BENCH_OUT" '
 	name = $1
 	sub(/-[0-9]+$/, "", name)
 	ns = "null"; kts = "null"; allocs = "null"
+	screened = "null"; pruned = "null"; confirmed = "null"; screenus = "null"
 	for (i = 2; i < NF; i++) {
 		if ($(i + 1) == "ns/op") ns = $i
 		if ($(i + 1) == "kT/s") kts = $i
 		if ($(i + 1) == "allocs/op") allocs = $i
+		if ($(i + 1) == "screened") screened = $i
+		if ($(i + 1) == "pruned") pruned = $i
+		if ($(i + 1) == "confirmed") confirmed = $i
+		if ($(i + 1) == "screen_us/config") screenus = $i
 	}
-	rows[++n] = sprintf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"kt_per_s\": %s, \"allocs_per_op\": %s}",
+	row = sprintf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"kt_per_s\": %s, \"allocs_per_op\": %s",
 		name, ns, kts, allocs)
+	if (screened != "null")
+		row = row sprintf(", \"screened\": %s, \"pruned\": %s, \"confirmed\": %s, \"screen_us_per_config\": %s",
+			screened, pruned, confirmed, screenus)
+	if (name == "BenchmarkSweepExhaustive") exhaustive_ns = ns
+	if (name == "BenchmarkSweepMultiFidelity") multifi_ns = ns
+	rows[++n] = row "}"
 }
 END {
 	print "[" > outfile
 	for (i = 1; i <= n; i++) print rows[i] (i < n ? "," : "") >> outfile
 	print "]" >> outfile
+	if (exhaustive_ns != "" && multifi_ns != "" && multifi_ns + 0 > 0)
+		printf "bench: multi-fidelity speedup %.1fx over exhaustive\n", exhaustive_ns / multifi_ns
 }
 '
 echo "bench: wrote $BENCH_OUT"

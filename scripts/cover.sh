@@ -12,9 +12,11 @@ repro/internal/metrics:70
 repro/internal/fault:70
 repro/internal/checker:70
 repro/internal/batch:70
+repro/internal/tlm3:70
+repro/internal/calib:70
 "
 
-out=$(go test -cover ./internal/metrics/ ./internal/fault/ ./internal/checker/ ./internal/batch/)
+out=$(go test -cover ./internal/metrics/ ./internal/fault/ ./internal/checker/ ./internal/batch/ ./internal/tlm3/ ./internal/calib/)
 echo "$out"
 
 fail=0

@@ -14,8 +14,8 @@ go test ./...
 echo "== vet"
 go vet ./...
 
-echo "== race gate (explore, sim, fault, serve, batch)"
-go test -race ./internal/explore/... ./internal/sim/... ./internal/fault/... ./internal/serve/... ./internal/batch/...
+echo "== race gate (explore, sim, fault, serve, batch, tlm3, calib)"
+go test -race ./internal/explore/... ./internal/sim/... ./internal/fault/... ./internal/serve/... ./internal/batch/... ./internal/tlm3/... ./internal/calib/...
 
 echo "== coverage floors"
 ./scripts/cover.sh
@@ -28,10 +28,21 @@ go test -run '^$' -fuzz '^FuzzCheckerRules$' -fuzztime 10s ./internal/checker/
 echo "== fault-plan smoke (ecbench)"
 go run ./cmd/ecbench -fault grind > /dev/null
 
+echo "== multi-fidelity smoke (jcexplore -fidelity confirm)"
+mf=$(go run ./cmd/jcexplore -fidelity confirm -workload arith-loop | head -1)
+echo "$mf"
+screened=$(echo "$mf" | sed -n 's/.*screened \([0-9]*\).*/\1/p')
+confirmed=$(echo "$mf" | sed -n 's/.*confirmed \([0-9]*\).*/\1/p')
+if [ -z "$screened" ] || [ -z "$confirmed" ] || \
+   [ "$confirmed" -le 0 ] || [ "$screened" -le "$confirmed" ]; then
+	echo "verify: multi-fidelity smoke wants screened > confirmed > 0, got screened=$screened confirmed=$confirmed" >&2
+	exit 1
+fi
+
 echo "== benchmark smoke (1 iteration each)"
 go test -run '^$' -bench . -benchtime 1x ./... > /dev/null
 
 echo "== bench table smoke (bench.sh, 1 iteration)"
-BENCHTIME=1x BENCH_OUT=/tmp/bench6_smoke.json ./scripts/bench.sh > /dev/null
+BENCHTIME=1x BENCH_OUT=/tmp/bench_smoke.json ./scripts/bench.sh > /dev/null
 
 echo "verify: OK"
