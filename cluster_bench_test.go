@@ -1,0 +1,137 @@
+// Cluster serving benchmarks (BENCH_8): cached-hit replay throughput
+// of the estimation service, single node vs a two-node cluster. Every
+// timed request replays an already-computed result — single-node from
+// the local LRU, two-node from whichever tier answers first (local
+// hit, or one peer fetch that then seeds the local cache) — so the
+// figures isolate the serving/routing overhead the cluster layer adds
+// on the hot path, reported as ests/s.
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/serve"
+)
+
+// benchSwap lets an httptest.Server start (and yield its URL) before
+// the cluster.Node that will serve it exists.
+type benchSwap struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (s *benchSwap) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+func (s *benchSwap) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := s.h
+	s.mu.Unlock()
+	if h == nil {
+		http.Error(w, "node not ready", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// startBenchNodes brings up count estimation nodes: one plain server
+// for count == 1 (the ecserved no-peers deployment), a full-mesh
+// cluster otherwise. Returns the base URLs.
+func startBenchNodes(b *testing.B, count int) []string {
+	b.Helper()
+	if count == 1 {
+		srv := serve.New(serve.Options{})
+		ht := httptest.NewServer(srv.Handler())
+		b.Cleanup(func() { ht.Close(); srv.Close() })
+		return []string{ht.URL}
+	}
+	swaps := make([]*benchSwap, count)
+	hts := make([]*httptest.Server, count)
+	urls := make([]string, count)
+	for i := range swaps {
+		swaps[i] = &benchSwap{}
+		hts[i] = httptest.NewServer(swaps[i])
+		urls[i] = hts[i].URL
+	}
+	var nodes []*cluster.Node
+	var srvs []*serve.Server
+	for i := 0; i < count; i++ {
+		srv := serve.New(serve.Options{})
+		srvs = append(srvs, srv)
+		var peers []string
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		n := cluster.New(srv, cluster.Options{
+			Self:          urls[i],
+			Peers:         peers,
+			ProbeInterval: time.Hour, // membership is static here
+		})
+		nodes = append(nodes, n)
+		swaps[i].set(n.Handler())
+	}
+	b.Cleanup(func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+		for _, ht := range hts {
+			ht.Close()
+		}
+		for _, s := range srvs {
+			s.Close()
+		}
+	})
+	return urls
+}
+
+func postCached(client *http.Client, url string, body []byte) error {
+	resp, err := client.Post(url+"/v1/estimate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, payload)
+	}
+	return nil
+}
+
+// benchClusterCached warms one estimate key on every node, then times
+// b.N replays round-robined across the nodes.
+func benchClusterCached(b *testing.B, count int) {
+	urls := startBenchNodes(b, count)
+	client := &http.Client{Timeout: 30 * time.Second}
+	body := []byte(`{"layer":1,"corpus":"perf","n":128}`)
+	for _, u := range urls { // compute once, seed every local cache
+		if err := postCached(client, u, body); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := postCached(client, urls[i%len(urls)], body); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ests/s")
+}
+
+func BenchmarkClusterCached_SingleNode(b *testing.B) { benchClusterCached(b, 1) }
+func BenchmarkClusterCached_TwoNode(b *testing.B)    { benchClusterCached(b, 2) }

@@ -10,8 +10,21 @@
 //	ecserved -cache 512           # cap the result cache at 512 entries
 //	ecserved -timeout 30s         # default per-request compute deadline
 //
-// Endpoints: POST /v1/estimate, POST /v1/sweep, GET /v1/jobs/{id},
-// GET /v1/jobs/{id}/result, GET /healthz, GET /metricz.
+// Multi-node serving: pass the other nodes' base URLs via -peers to
+// join a cluster. Requests are routed to each content address's owner
+// (rendezvous hashing), results are shared through a two-tier cache
+// (local LRU, then peer fetch), and exhaustive sweeps are distributed
+// work-stealing style across every live node:
+//
+//	ecserved -addr 127.0.0.1:8372 -peers http://127.0.0.1:8373
+//	ecserved -addr 127.0.0.1:8373 -peers http://127.0.0.1:8372
+//
+// -self overrides the advertised URL when the listen address is not
+// how peers reach this node; -probe tunes the health-probe interval.
+//
+// Endpoints: POST /v1/estimate, POST /v1/sweep, POST /v1/batch,
+// POST /v1/config, GET /v1/jobs/{id}, GET /v1/jobs/{id}/result,
+// GET /healthz, GET /metricz.
 //
 // SIGINT/SIGTERM drains gracefully: in-flight jobs finish and are
 // delivered, new work is refused with 503.
@@ -26,9 +39,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/serve"
 )
 
@@ -39,6 +54,9 @@ func main() {
 	cache := flag.Int("cache", 0, "result cache capacity in entries; 0 = 1024")
 	timeout := flag.Duration("timeout", 0, "default per-request compute deadline; 0 = 1m")
 	sweepWorkers := flag.Int("sweep-workers", 0, "workers inside each sweep job; 0 = one per CPU")
+	peers := flag.String("peers", "", "comma-separated peer base URLs; non-empty joins a cluster")
+	self := flag.String("self", "", "advertised base URL of this node; default http://<listen addr>")
+	probe := flag.Duration("probe", 0, "peer health-probe interval; 0 = 250ms")
 	flag.Parse()
 
 	if err := run(*addr, serve.Options{
@@ -47,19 +65,46 @@ func main() {
 		CacheEntries:   *cache,
 		DefaultTimeout: *timeout,
 		SweepWorkers:   *sweepWorkers,
-	}); err != nil {
+	}, *peers, *self, *probe); err != nil {
 		fmt.Fprintln(os.Stderr, "ecserved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, opts serve.Options) error {
+// splitPeers parses the -peers flag into a clean URL list.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func run(addr string, opts serve.Options, peers, self string, probe time.Duration) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	srv := serve.New(opts)
-	hs := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+
+	var node *cluster.Node
+	if peerList := splitPeers(peers); len(peerList) > 0 {
+		if self == "" {
+			self = "http://" + ln.Addr().String()
+		}
+		node = cluster.New(srv, cluster.Options{
+			Self:          self,
+			Peers:         peerList,
+			ProbeInterval: probe,
+		})
+		handler = node.Handler()
+		fmt.Printf("ecserved: cluster node %s, %d peer(s), version %s\n",
+			self, len(peerList), cluster.VersionTag())
+	}
+	hs := &http.Server{Handler: handler}
 
 	// The actual address matters when the caller asked for port 0; the
 	// smoke test and scripts scrape it from this line.
@@ -78,6 +123,9 @@ func run(addr string, opts serve.Options) error {
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case err := <-errc:
+		if node != nil {
+			node.Close()
+		}
 		srv.Close()
 		return err
 	case sig := <-sigc:
@@ -89,6 +137,9 @@ func run(addr string, opts serve.Options) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	shutdownErr := hs.Shutdown(ctx)
+	if node != nil {
+		node.Close()
+	}
 	srv.Close()
 	if err := <-errc; err != nil {
 		return err

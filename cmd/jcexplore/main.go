@@ -23,6 +23,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -47,7 +49,7 @@ func main() {
 	report := flag.Bool("report", false, "collect per-configuration metrics and print the run-report breakdown")
 	workers := flag.Int("workers", 0, "parallel sweep workers; 0 = one per CPU")
 	progress := flag.Bool("progress", false, "stream per-configuration rows to stderr as they complete")
-	remote := flag.String("remote", "", "base URL of an ecserved instance; runs the sweep there instead of in-process")
+	remote := flag.String("remote", "", "comma-separated base URLs of ecserved instances; runs the sweep there instead of in-process, failing over between peers")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -272,20 +274,76 @@ func printTables(results []explore.Result, report bool) {
 	}
 }
 
-// remoteSweep runs the sweep on an ecserved instance and converts the
-// NDJSON rows back into explore results. Energies come from the exact
-// IEEE-754 bit pattern in the stream, so the printed tables are
-// identical to a local run of the same axes.
+// remoteSweep runs the sweep on an ecserved deployment — a single
+// instance or a comma-separated peer list — and converts the NDJSON
+// rows back into explore results. With multiple peers the first
+// healthy one takes the request and the rest are failover targets; any
+// cluster node answers identically (content-addressed routing makes
+// the entry node irrelevant), so failover never changes the result.
+// Energies come from the exact IEEE-754 bit pattern in the stream, so
+// the printed tables are identical to a local run of the same axes.
 func remoteSweep(base string, fid explore.Fidelity, layers []int, workloads []javacard.Workload, faultNames []string) ([]explore.Result, error) {
 	req := serve.SweepRequest{Layers: layers, Faults: faultNames, Fidelity: string(fid)}
 	for _, w := range workloads {
 		req.Workloads = append(req.Workloads, w.Name)
 	}
-	client := &serve.Client{BaseURL: base}
-	rows, trailer, err := client.Sweep(context.Background(), req)
+	var peers []string
+	for _, p := range strings.Split(base, ",") {
+		if p = strings.TrimSpace(strings.TrimRight(p, "/")); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("no remote peer URLs in %q", base)
+	}
+	rows, trailer, err := sweepAnyPeer(peers, req)
 	if err != nil {
 		return nil, err
 	}
+	return rowsToResults(rows, trailer)
+}
+
+// healthy reports whether a peer's /healthz answers 200.
+func healthy(base string) bool {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// sweepAnyPeer orders the peers healthy-first and returns the first
+// successful sweep, failing over on request errors.
+func sweepAnyPeer(peers []string, req serve.SweepRequest) ([]serve.SweepRow, serve.SweepTrailer, error) {
+	ordered := make([]string, 0, len(peers))
+	var down []string
+	for _, p := range peers {
+		if len(peers) == 1 || healthy(p) {
+			ordered = append(ordered, p)
+		} else {
+			down = append(down, p)
+		}
+	}
+	ordered = append(ordered, down...) // last resort: maybe healthz lied
+	var lastErr error
+	for i, p := range ordered {
+		if i > 0 {
+			fmt.Fprintf(os.Stderr, "jcexplore: failing over to %s (%v)\n", p, lastErr)
+		}
+		client := &serve.Client{BaseURL: p}
+		rows, trailer, err := client.Sweep(context.Background(), req)
+		if err == nil {
+			return rows, trailer, nil
+		}
+		lastErr = err
+	}
+	return nil, serve.SweepTrailer{}, fmt.Errorf("all %d remote peer(s) failed; last: %w", len(ordered), lastErr)
+}
+
+// rowsToResults converts remote NDJSON rows back into explore results.
+func rowsToResults(rows []serve.SweepRow, trailer serve.SweepTrailer) ([]explore.Result, error) {
 	for _, msg := range trailer.Errors {
 		fmt.Fprintln(os.Stderr, "jcexplore: remote:", msg)
 	}

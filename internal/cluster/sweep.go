@@ -1,0 +1,263 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/explore"
+	"repro/internal/metrics"
+	"repro/internal/serve"
+)
+
+// handleSweep routes /v1/sweep. Async sweeps stay node-local (the job
+// registry is not replicated). Synchronous sweeps go through the same
+// two-tier cache as the keyed endpoints; an exhaustive sweep that ends
+// up coordinated here is then distributed — split into configurations
+// and work-stolen across the live node set — while the multi-fidelity
+// fidelities compute locally (their pruning decisions are global, not
+// per-configuration).
+func (n *Node) handleSweep(w http.ResponseWriter, r *http.Request) {
+	body, ok := n.readRequest(w, r)
+	if !ok {
+		return
+	}
+	var req serve.SweepRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		n.reg().Request("sweep")
+		respondError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return
+	}
+	key, configs, err := serve.ExpandSweep(req)
+	if err != nil {
+		n.reg().Request("sweep")
+		respondError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Async {
+		n.delegate(w, r, body)
+		return
+	}
+	if cached, ok := n.srv.CacheGet(key); ok {
+		n.reg().Request("sweep")
+		n.reg().Outcome("sweep", metrics.ServeHit, 0)
+		n.writeBody(w, "sweep", key, "hit", n.opts.Self, cached)
+		return
+	}
+	forwarded := r.Header.Get(forwardHeader) != ""
+	if !forwarded {
+		if owner := n.owner(key); owner != n.opts.Self {
+			if n.tryPeerFetch(w, r.Context(), "sweep", "/v1/sweep", key, owner, body) {
+				return
+			}
+			// Owner unreachable: coordinate here instead.
+		}
+	}
+	exhaustive := req.Fidelity == "" || req.Fidelity == string(explore.FidelityExhaustive)
+	if n.opts.DisableDistribution || !exhaustive || len(n.alivePeers()) == 0 {
+		n.delegate(w, r, body)
+		return
+	}
+	n.distributedSweep(w, r, key, req, configs)
+}
+
+// distributedSweep coordinates an exhaustive sweep's fan-out. The
+// assembly runs under the sweep key through the server's own
+// singleflight/queue machinery, so concurrent identical sweeps dedup
+// onto one fan-out, backpressure still answers 429/503, and the
+// assembled body lands in the local cache tier like any other result.
+func (n *Node) distributedSweep(w http.ResponseWriter, r *http.Request, key string,
+	req serve.SweepRequest, configs []serve.ConfigRequest) {
+	start := time.Now()
+	n.reg().Request("sweep")
+	body, outcome, status, err := n.srv.Do(r.Context(), "sweep", key, req.DeadlineMs,
+		func(ctx context.Context) ([]byte, error) {
+			return n.sweepBody(ctx, key, req, configs)
+		})
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		n.reg().Rejected(status)
+	}
+	if err != nil {
+		respondError(w, status, err)
+		return
+	}
+	n.reg().Outcome("sweep", outcome, uint64(time.Since(start).Microseconds()))
+	n.writeBody(w, "sweep", key, outcome.String(), n.opts.Self, body)
+}
+
+// sweepBody computes an exhaustive sweep's bytes by work stealing: the
+// configurations sit in one shared queue, and lanes — local workers
+// computing inline plus per-peer fetch lanes — pull from it at
+// whatever rate they can sustain, so a fast node simply takes more of
+// the work. A configuration held by a lane that fails is requeued for
+// the others (counted in /metricz), which is the no-lost-work
+// guarantee: a peer dying mid-sweep costs time, not configurations.
+// Rows are reassembled in cross-product order and closed with the
+// standard trailer, making the body byte-identical to a single-node
+// compute. Any deterministic per-configuration failure aborts the
+// fan-out and falls back to a full local compute, whose error
+// rendering (errors in the trailer) is again byte-identical.
+func (n *Node) sweepBody(ctx context.Context, key string, req serve.SweepRequest,
+	configs []serve.ConfigRequest) ([]byte, error) {
+	rows := make([][]byte, len(configs))
+	queue := make(chan int, len(configs))
+	for i := range configs {
+		queue <- i
+	}
+	var remaining atomic.Int64
+	remaining.Store(int64(len(configs)))
+	done := make(chan struct{})
+	fallback := make(chan error, 1)
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	finish := func(idx int, body []byte) {
+		rows[idx] = body
+		if remaining.Add(-1) == 0 {
+			close(done)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < n.opts.SelfConcurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				var idx int
+				select {
+				case <-wctx.Done():
+					return
+				case <-done:
+					return
+				case idx = <-queue:
+				}
+				body, err := n.srv.ConfigBodyInline(wctx, configs[idx])
+				if err != nil {
+					// First failure wins; the coordinator falls back to a
+					// full local sweep so deterministic errors render
+					// exactly as a single node would render them.
+					select {
+					case fallback <- err:
+					default:
+					}
+					return
+				}
+				finish(idx, body)
+			}
+		}()
+	}
+	for _, peer := range n.alivePeers() {
+		for i := 0; i < n.opts.PeerConcurrency; i++ {
+			wg.Add(1)
+			go func(peer string) {
+				defer wg.Done()
+				for {
+					var idx int
+					select {
+					case <-wctx.Done():
+						return
+					case <-done:
+						return
+					case idx = <-queue:
+					}
+					body, retryable, err := n.fetchConfig(wctx, peer, configs[idx])
+					if err != nil {
+						// The held configuration goes back in the queue
+						// either way — never lost. A busy peer keeps its
+						// lane (it will drain); a dead one retires it.
+						n.reg().Requeue(1)
+						queue <- idx
+						if retryable {
+							select {
+							case <-wctx.Done():
+								return
+							case <-time.After(10 * time.Millisecond):
+							}
+							continue
+						}
+						n.reg().PeerError()
+						n.markDead(peer)
+						return
+					}
+					finish(idx, body)
+				}
+			}(peer)
+		}
+	}
+
+	select {
+	case <-done:
+		cancel()
+		wg.Wait()
+	case err := <-fallback:
+		cancel()
+		wg.Wait()
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		_ = err // deterministic failure: the local sweep re-derives and renders it
+		return n.srv.ComputeSweepBody(ctx, req)
+	case <-ctx.Done():
+		cancel()
+		wg.Wait()
+		return nil, ctx.Err()
+	}
+
+	var buf bytes.Buffer
+	for _, row := range rows {
+		buf.Write(row)
+	}
+	trailer, err := serve.SweepTrailerLine(key, len(configs))
+	if err != nil {
+		return nil, err
+	}
+	buf.Write(trailer)
+	return buf.Bytes(), nil
+}
+
+// fetchConfig asks a peer for one configuration row. retryable=true
+// marks peer backpressure (429/503): the lane requeues and tries
+// again. Everything else — network errors, truncated rows, 5xx —
+// retires the lane and the configuration is requeued for others.
+func (n *Node) fetchConfig(ctx context.Context, peer string, cfg serve.ConfigRequest) (body []byte, retryable bool, err error) {
+	payload, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+"/v1/config", bytes.NewReader(payload))
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(forwardHeader, "1")
+	req.Header.Set(versionHeader, VersionTag())
+	req.Header.Set(nodeHeader, n.opts.Self)
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	peerBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, err
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		if err := validateStream("config", peerBody); err != nil {
+			return nil, false, err
+		}
+		n.reg().PeerFetch()
+		return peerBody, false, nil
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		return nil, true, fmt.Errorf("cluster: peer %s backpressure: %d", peer, resp.StatusCode)
+	default:
+		return nil, false, fmt.Errorf("cluster: peer %s config status %d", peer, resp.StatusCode)
+	}
+}

@@ -43,7 +43,8 @@ func (o ServeOutcome) String() string {
 type ServerRegistry struct {
 	mu sync.Mutex
 
-	requests map[string]uint64 // by endpoint label
+	requests   map[string]uint64                    // by endpoint label
+	outcomesBy map[string]*[NumServeOutcomes]uint64 // per-endpoint cache outcomes
 
 	outcomes [NumServeOutcomes]uint64
 	computes uint64 // computations actually executed
@@ -53,12 +54,21 @@ type ServerRegistry struct {
 	rejected429 uint64 // bounded-queue backpressure rejections
 	rejected503 uint64 // refused while draining for shutdown
 
+	// Cluster counters (multi-node ecserved; zero on a solo node).
+	peerFetches uint64 // results served by fetching from a peer node
+	peerErrors  uint64 // peer requests that failed (network, 5xx)
+	steals      uint64 // sweep configurations computed for a remote coordinator
+	requeues    uint64 // configurations requeued after a peer died mid-sweep
+
 	latency [NumServeOutcomes]Histogram // service time in microseconds
 }
 
 // NewServer creates an enabled server registry.
 func NewServer() *ServerRegistry {
-	return &ServerRegistry{requests: make(map[string]uint64)}
+	return &ServerRegistry{
+		requests:   make(map[string]uint64),
+		outcomesBy: make(map[string]*[NumServeOutcomes]uint64),
+	}
 }
 
 // Request counts one request against an endpoint label ("estimate",
@@ -72,15 +82,69 @@ func (s *ServerRegistry) Request(endpoint string) {
 	s.mu.Unlock()
 }
 
-// Outcome records how a request was satisfied together with its
-// service latency in microseconds.
-func (s *ServerRegistry) Outcome(o ServeOutcome, latencyUS uint64) {
+// Outcome records how a request was satisfied — both globally and
+// against its endpoint label — together with its service latency in
+// microseconds. Every /v1/* route that consults the result cache must
+// report through here, so per-endpoint hit/dedup/miss accounting stays
+// complete as endpoints are added.
+func (s *ServerRegistry) Outcome(endpoint string, o ServeOutcome, latencyUS uint64) {
 	if s == nil || o < 0 || o >= NumServeOutcomes {
 		return
 	}
 	s.mu.Lock()
 	s.outcomes[o]++
+	by := s.outcomesBy[endpoint]
+	if by == nil {
+		by = new([NumServeOutcomes]uint64)
+		s.outcomesBy[endpoint] = by
+	}
+	by[o]++
 	s.latency[o].Observe(latencyUS)
+	s.mu.Unlock()
+}
+
+// PeerFetch records one result served by fetching the owning peer's
+// cached or computed bytes instead of computing locally.
+func (s *ServerRegistry) PeerFetch() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.peerFetches++
+	s.mu.Unlock()
+}
+
+// PeerError records one failed peer request (connection refused, 5xx,
+// truncated body) — the signal that routed work fell back to a local
+// compute.
+func (s *ServerRegistry) PeerError() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.peerErrors++
+	s.mu.Unlock()
+}
+
+// Steal records one sweep configuration this node computed on behalf of
+// a remote coordinator's work-stealing fan-out.
+func (s *ServerRegistry) Steal() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.steals++
+	s.mu.Unlock()
+}
+
+// Requeue records configurations put back on the work queue after the
+// node computing them died mid-sweep.
+func (s *ServerRegistry) Requeue(n int) {
+	if s == nil || n <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.requeues += uint64(n)
 	s.mu.Unlock()
 }
 
@@ -125,7 +189,8 @@ func (s *ServerRegistry) Rejected(status int) {
 
 // ServerSnapshot is an immutable copy of a server registry's state.
 type ServerSnapshot struct {
-	Requests map[string]uint64
+	Requests   map[string]uint64
+	OutcomesBy map[string][NumServeOutcomes]uint64
 
 	Outcomes [NumServeOutcomes]uint64
 	Computes uint64
@@ -134,6 +199,11 @@ type ServerSnapshot struct {
 
 	Rejected429 uint64
 	Rejected503 uint64
+
+	PeerFetches uint64
+	PeerErrors  uint64
+	Steals      uint64
+	Requeues    uint64
 
 	Latency [NumServeOutcomes]HistogramSnapshot
 }
@@ -147,15 +217,23 @@ func (s *ServerRegistry) Snapshot() ServerSnapshot {
 	defer s.mu.Unlock()
 	snap := ServerSnapshot{
 		Requests:    make(map[string]uint64, len(s.requests)),
+		OutcomesBy:  make(map[string][NumServeOutcomes]uint64, len(s.outcomesBy)),
 		Outcomes:    s.outcomes,
 		Computes:    s.computes,
 		Failures:    s.failures,
 		Evicted:     s.evicted,
 		Rejected429: s.rejected429,
 		Rejected503: s.rejected503,
+		PeerFetches: s.peerFetches,
+		PeerErrors:  s.peerErrors,
+		Steals:      s.steals,
+		Requeues:    s.requeues,
 	}
 	for k, v := range s.requests {
 		snap.Requests[k] = v
+	}
+	for k, v := range s.outcomesBy {
+		snap.OutcomesBy[k] = *v
 	}
 	for i := range s.latency {
 		snap.Latency[i] = s.latency[i].snapshot()
@@ -163,22 +241,28 @@ func (s *ServerRegistry) Snapshot() ServerSnapshot {
 	return snap
 }
 
+// sortedKeys returns m's keys in lexical order — endpoint order in the
+// rendered table must not depend on map iteration.
+func sortedKeys[V any](m map[string]V) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	return keys
+}
+
 // Table renders the snapshot as the /metricz text page.
 func (s ServerSnapshot) Table() string {
 	var sb strings.Builder
 	sb.WriteString("estimation server metrics\n")
-	var eps []string
-	for ep := range s.Requests {
-		eps = append(eps, ep)
-	}
-	// Endpoint order must not depend on map iteration.
-	for i := 0; i < len(eps); i++ {
-		for j := i + 1; j < len(eps); j++ {
-			if eps[j] < eps[i] {
-				eps[i], eps[j] = eps[j], eps[i]
-			}
-		}
-	}
+	eps := sortedKeys(s.Requests)
 	sb.WriteString("  requests     ")
 	if len(eps) == 0 {
 		sb.WriteString("(none)")
@@ -194,8 +278,18 @@ func (s ServerSnapshot) Table() string {
 	}
 	fmt.Fprintf(&sb, "  cache         hit=%d dedup=%d miss=%d evicted=%d (saved %.1f%%)\n",
 		s.Outcomes[ServeHit], s.Outcomes[ServeDedup], s.Outcomes[ServeMiss], s.Evicted, ratio)
+	for _, ep := range sortedKeys(s.OutcomesBy) {
+		by := s.OutcomesBy[ep]
+		fmt.Fprintf(&sb, "  cache[%s]%s hit=%d dedup=%d miss=%d\n",
+			ep, strings.Repeat(" ", max(1, 6-len(ep))),
+			by[ServeHit], by[ServeDedup], by[ServeMiss])
+	}
 	fmt.Fprintf(&sb, "  compute       runs=%d failures=%d\n", s.Computes, s.Failures)
 	fmt.Fprintf(&sb, "  backpressure  429=%d 503=%d\n", s.Rejected429, s.Rejected503)
+	if s.PeerFetches+s.PeerErrors+s.Steals+s.Requeues > 0 {
+		fmt.Fprintf(&sb, "  cluster       peer-fetch=%d peer-err=%d steals=%d requeues=%d\n",
+			s.PeerFetches, s.PeerErrors, s.Steals, s.Requeues)
+	}
 	for o := ServeMiss; o < NumServeOutcomes; o++ {
 		h := s.Latency[o]
 		fmt.Fprintf(&sb, "  latency-us    %-5s n=%-6d mean=%-10.1f max=%d\n",

@@ -11,12 +11,17 @@ import (
 func TestServerRegistryNil(t *testing.T) {
 	var s *ServerRegistry
 	s.Request("estimate")
-	s.Outcome(ServeHit, 10)
+	s.Outcome("estimate", ServeHit, 10)
 	s.Compute(true)
 	s.Evicted(3)
 	s.Rejected(429)
+	s.PeerFetch()
+	s.PeerError()
+	s.Steal()
+	s.Requeue(2)
 	snap := s.Snapshot()
-	if snap.Computes != 0 || snap.Outcomes[ServeHit] != 0 || len(snap.Requests) != 0 {
+	if snap.Computes != 0 || snap.Outcomes[ServeHit] != 0 || len(snap.Requests) != 0 ||
+		snap.PeerFetches != 0 || snap.Requeues != 0 {
 		t.Fatalf("nil registry recorded state: %+v", snap)
 	}
 }
@@ -26,10 +31,10 @@ func TestServerRegistryCounters(t *testing.T) {
 	s.Request("estimate")
 	s.Request("estimate")
 	s.Request("sweep")
-	s.Outcome(ServeMiss, 1000)
-	s.Outcome(ServeHit, 10)
-	s.Outcome(ServeHit, 30)
-	s.Outcome(ServeDedup, 500)
+	s.Outcome("estimate", ServeMiss, 1000)
+	s.Outcome("estimate", ServeHit, 10)
+	s.Outcome("sweep", ServeHit, 30)
+	s.Outcome("sweep", ServeDedup, 500)
 	s.Compute(false)
 	s.Rejected(429)
 	s.Rejected(503)
@@ -42,6 +47,12 @@ func TestServerRegistryCounters(t *testing.T) {
 	if snap.Outcomes[ServeHit] != 2 || snap.Outcomes[ServeMiss] != 1 || snap.Outcomes[ServeDedup] != 1 {
 		t.Fatalf("outcome counters wrong: %v", snap.Outcomes)
 	}
+	if by := snap.OutcomesBy["estimate"]; by[ServeHit] != 1 || by[ServeMiss] != 1 || by[ServeDedup] != 0 {
+		t.Fatalf("per-endpoint estimate outcomes wrong: %v", by)
+	}
+	if by := snap.OutcomesBy["sweep"]; by[ServeHit] != 1 || by[ServeDedup] != 1 || by[ServeMiss] != 0 {
+		t.Fatalf("per-endpoint sweep outcomes wrong: %v", by)
+	}
 	if snap.Latency[ServeHit].Count != 2 || snap.Latency[ServeHit].Max != 30 {
 		t.Fatalf("hit latency histogram wrong: %+v", snap.Latency[ServeHit])
 	}
@@ -49,10 +60,33 @@ func TestServerRegistryCounters(t *testing.T) {
 		t.Fatalf("rejection/eviction counters wrong: %+v", snap)
 	}
 	text := snap.Table()
-	for _, want := range []string{"estimate=2", "sweep=1", "hit=2", "dedup=1", "miss=1", "429=1", "503=1"} {
+	for _, want := range []string{"estimate=2", "sweep=1", "hit=2", "dedup=1", "miss=1", "429=1", "503=1",
+		"cache[estimate]", "cache[sweep]"} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("Table() missing %q:\n%s", want, text)
 		}
+	}
+	// A solo node's table carries no cluster line; the counters appear
+	// once any of them is nonzero.
+	if strings.Contains(text, "cluster") {
+		t.Fatalf("solo snapshot rendered a cluster line:\n%s", text)
+	}
+}
+
+func TestServerRegistryClusterCounters(t *testing.T) {
+	s := NewServer()
+	s.PeerFetch()
+	s.PeerFetch()
+	s.PeerError()
+	s.Steal()
+	s.Requeue(3)
+	snap := s.Snapshot()
+	if snap.PeerFetches != 2 || snap.PeerErrors != 1 || snap.Steals != 1 || snap.Requeues != 3 {
+		t.Fatalf("cluster counters wrong: %+v", snap)
+	}
+	text := snap.Table()
+	if !strings.Contains(text, "peer-fetch=2") || !strings.Contains(text, "requeues=3") {
+		t.Fatalf("Table() missing cluster line:\n%s", text)
 	}
 }
 
@@ -67,15 +101,25 @@ func TestServerRegistryConcurrent(t *testing.T) {
 			defer wg.Done()
 			for j := 0; j < 1000; j++ {
 				s.Request("estimate")
-				s.Outcome(ServeOutcome(j%int(NumServeOutcomes)), uint64(j))
+				s.Outcome("estimate", ServeOutcome(j%int(NumServeOutcomes)), uint64(j))
 				s.Compute(j%10 == 0)
 				s.Rejected(429)
+				s.PeerFetch()
+				s.Requeue(1)
 			}
 		}()
 	}
 	wg.Wait()
 	snap := s.Snapshot()
-	if snap.Requests["estimate"] != 8000 || snap.Computes != 8000 || snap.Rejected429 != 8000 {
+	if snap.Requests["estimate"] != 8000 || snap.Computes != 8000 || snap.Rejected429 != 8000 ||
+		snap.PeerFetches != 8000 || snap.Requeues != 8000 {
 		t.Fatalf("lost updates: %+v", snap)
+	}
+	var sum uint64
+	for _, n := range snap.OutcomesBy["estimate"] {
+		sum += n
+	}
+	if sum != 8000 {
+		t.Fatalf("per-endpoint outcomes lost updates: %v", snap.OutcomesBy)
 	}
 }

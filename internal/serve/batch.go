@@ -10,6 +10,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/batch"
@@ -121,19 +122,77 @@ func canonicalizeBatch(req BatchRequest) (canonBatch, error) {
 	return c, nil
 }
 
+// campaignGen is the corpus generator behind campaignDigest — a seam
+// the memoization test swaps to count generator invocations.
+var campaignGen = bench.CampaignRuns
+
+// campaignKey identifies one deterministic campaign corpus.
+type campaignKey struct {
+	seed    uint64
+	runs, n int
+}
+
+// campaignDigests memoizes corpus digests per (seed, runs, n): the
+// corpus is a pure function of those three numbers, so hashing the
+// generated transaction bytes once is enough. Without this, every
+// /v1/batch request — cache hits included — regenerated the entire
+// campaign (up to 1024×4096 transactions) just to compute its key.
+// Bounded FIFO keeps the memo from growing with request diversity.
+var (
+	campMu      sync.Mutex
+	campDigests = map[campaignKey][sha256.Size]byte{}
+	campOrder   []campaignKey
+)
+
+const maxCampaignDigests = 128
+
+// campaignDigest returns the SHA-256 digest of the campaign's
+// generated transaction bytes, generating the corpus only on the first
+// request for a given (seed, runs, n).
+func campaignDigest(seed uint64, runs, n int) [sha256.Size]byte {
+	k := campaignKey{seed, runs, n}
+	campMu.Lock()
+	if d, ok := campDigests[k]; ok {
+		campMu.Unlock()
+		return d
+	}
+	campMu.Unlock()
+
+	// Generate and hash outside the lock so distinct campaigns digest
+	// concurrently; a racing duplicate computes the same bytes.
+	h := sha256.New()
+	for _, run := range campaignGen(seed, runs, n) {
+		h.Write(itemBytes(run.Items))
+	}
+	var d [sha256.Size]byte
+	h.Sum(d[:0])
+
+	campMu.Lock()
+	if _, ok := campDigests[k]; !ok {
+		campDigests[k] = d
+		campOrder = append(campOrder, k)
+		for len(campOrder) > maxCampaignDigests {
+			delete(campDigests, campOrder[0])
+			campOrder = campOrder[1:]
+		}
+	}
+	campMu.Unlock()
+	return d
+}
+
 // key content-addresses the campaign. Width is deliberately absent:
 // the engine's golden gate makes per-run results width-invariant, so
 // all widths of the same campaign share one cache entry. The campaign
 // identity is a digest of the actual generated transaction bytes, not
 // just (seed, runs, n), so a corpus-generator change changes the
-// address.
+// address; the digest is memoized so the key of a repeated campaign
+// costs O(1) instead of a full corpus generation.
 func (c canonBatch) key() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "%s\x00batch\x00layer=%d\x00seed=%d\x00runs=%d\x00n=%d\x00fault=%s\x00",
 		Version, c.Layer, c.Seed, c.Runs, c.N, c.Spec)
-	for _, run := range bench.CampaignRuns(c.Seed, c.Runs, c.N) {
-		h.Write(itemBytes(run.Items))
-	}
+	d := campaignDigest(c.Seed, c.Runs, c.N)
+	h.Write(d[:])
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -175,7 +234,8 @@ func computeBatch(ctx context.Context, key string, c canonBatch) ([]byte, error)
 }
 
 // ParseBatchBody decodes a batch NDJSON body back into rows and the
-// trailer — the inverse of computeBatch's rendering.
+// trailer — the inverse of computeBatch's rendering. A body that ends
+// without its trailer returns an error wrapping ErrTruncatedBody.
 func ParseBatchBody(body []byte) ([]BatchRow, BatchTrailer, error) {
 	var rows []BatchRow
 	var trailer BatchTrailer
@@ -183,7 +243,7 @@ func ParseBatchBody(body []byte) ([]BatchRow, BatchTrailer, error) {
 	for {
 		var raw json.RawMessage
 		if err := dec.Decode(&raw); err != nil {
-			return rows, trailer, fmt.Errorf("serve: bad batch stream: %w", err)
+			return rows, trailer, streamError("batch", err)
 		}
 		var probe struct {
 			Done bool `json:"done"`
@@ -225,7 +285,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		respondError(w, status, err)
 		return
 	}
-	s.reg.Outcome(outcome, uint64(time.Since(start).Microseconds()))
+	s.reg.Outcome("batch", outcome, uint64(time.Since(start).Microseconds()))
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Cache", outcome.String())
 	w.Header().Set("X-Key", key)

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/batch"
+)
+
+// TestCampaignDigestMemoized is the hot-path fix's regression test:
+// computing a batch key must generate the campaign corpus exactly once
+// per (seed, runs, n) — every later key computation for the same
+// campaign reuses the memoized digest, whatever the request rate.
+func TestCampaignDigestMemoized(t *testing.T) {
+	orig := campaignGen
+	t.Cleanup(func() { campaignGen = orig })
+	var calls atomic.Int64
+	campaignGen = func(seed uint64, runs, n int) []batch.Run {
+		calls.Add(1)
+		return orig(seed, runs, n)
+	}
+
+	// Seeds nothing else uses, so the shared memo cannot pre-contain them.
+	req := BatchRequest{Layer: 0, Seed: 0xFEED_0001, Runs: 4, N: 32}
+	c, err := canonicalizeBatch(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := c.key()
+	for i := 0; i < 16; i++ {
+		if k2 := c.key(); k2 != k1 {
+			t.Fatalf("key unstable across calls: %s vs %s", k2, k1)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("17 key computations generated the corpus %d times, want 1", got)
+	}
+
+	// A different campaign is a fresh generation — the memo keys on the
+	// full (seed, runs, n) identity.
+	for i, alt := range []BatchRequest{
+		{Layer: 0, Seed: 0xFEED_0002, Runs: 4, N: 32},
+		{Layer: 0, Seed: 0xFEED_0001, Runs: 5, N: 32},
+		{Layer: 0, Seed: 0xFEED_0001, Runs: 4, N: 33},
+	} {
+		ca, err := canonicalizeBatch(alt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ca.key() == k1 {
+			t.Fatalf("variant %d collided with the base key", i)
+		}
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("3 distinct campaigns after the base generated %d extra corpora, want 3 (total 4, got %d)",
+			got-1, got)
+	}
+}
+
+// TestCampaignDigestBounded: the memo is a bounded FIFO — unbounded
+// request diversity must not grow it past its cap.
+func TestCampaignDigestBounded(t *testing.T) {
+	for i := 0; i < maxCampaignDigests+32; i++ {
+		campaignDigest(0xB0DE_0000+uint64(i), 1, 1)
+	}
+	campMu.Lock()
+	n := len(campDigests)
+	campMu.Unlock()
+	if n > maxCampaignDigests {
+		t.Fatalf("memo holds %d digests, cap is %d", n, maxCampaignDigests)
+	}
+}
+
+// The satellite's perf contract: once the digest is memoized, key cost
+// is independent of campaign size. Compare the warm ns/op of a tiny
+// campaign against one 256× larger — they should be indistinguishable,
+// because neither regenerates its corpus.
+func benchmarkBatchKeyWarm(b *testing.B, runs, n int) {
+	c, err := canonicalizeBatch(BatchRequest{Layer: 0, Seed: 0xBE9C_0000 + uint64(runs*n), Runs: runs, N: n})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.key() // warm the memo: the one allowed corpus generation
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.key() == "" {
+			b.Fatal("empty key")
+		}
+	}
+}
+
+func BenchmarkBatchKeyWarmSmall(b *testing.B) { benchmarkBatchKeyWarm(b, 4, 64) }
+
+func BenchmarkBatchKeyWarmLarge(b *testing.B) { benchmarkBatchKeyWarm(b, 256, 4096) }

@@ -89,6 +89,44 @@ func (c *Cache) join(key string) (e *entry, leader bool, body []byte) {
 	return ent, true, nil
 }
 
+// peek returns a committed body without joining an in-flight compute —
+// the local tier of the cluster's two-tier lookup, where a miss falls
+// through to a peer fetch rather than a local compute.
+func (c *Cache) peek(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.ready[key]; ok {
+		c.lru.MoveToFront(el)
+		return el.Value.(*entry).body, true
+	}
+	return nil, false
+}
+
+// insert stores an externally-computed body (a peer fetch) as a
+// completed entry, returning the number of entries evicted. A key
+// already committed keeps its original bytes — the first body a node
+// serves for a key is the one it keeps replaying — and an in-flight
+// local compute for the same key is left to finish on its own.
+func (c *Cache) insert(key string, body []byte) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.ready[key]; ok {
+		return 0
+	}
+	e := &entry{key: key, done: make(chan struct{}), body: body}
+	close(e.done)
+	e.elem = c.lru.PushFront(e)
+	c.ready[key] = e.elem
+	evicted := 0
+	for c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.ready, oldest.Value.(*entry).key)
+		evicted++
+	}
+	return evicted
+}
+
 // setCancel arms the entry's compute-abandonment hook.
 func (c *Cache) setCancel(e *entry, cancel context.CancelFunc) {
 	c.mu.Lock()

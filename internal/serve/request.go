@@ -141,11 +141,11 @@ func itemBytes(items []core.Item) []byte {
 // POST /v1/sweep. Zero-valued axes take the full default vocabulary,
 // so the empty request is the complete §4.3 exploration.
 type SweepRequest struct {
-	Layers     []int    `json:"layers,omitempty"`    // default [1, 2]
-	Orgs       []string `json:"orgs,omitempty"`      // default all SFR organizations
-	AddrMaps   []string `json:"addr_maps,omitempty"` // default ["near", "far"]
-	Workloads  []string `json:"workloads,omitempty"` // default all named workloads
-	Faults     []string `json:"faults,omitempty"`    // named plans; empty = clean only
+	Layers    []int    `json:"layers,omitempty"`    // default [1, 2]
+	Orgs      []string `json:"orgs,omitempty"`      // default all SFR organizations
+	AddrMaps  []string `json:"addr_maps,omitempty"` // default ["near", "far"]
+	Workloads []string `json:"workloads,omitempty"` // default all named workloads
+	Faults    []string `json:"faults,omitempty"`    // named plans; empty = clean only
 	// Fidelity selects how the sweep spends its time (explore.Fidelities):
 	// "exhaustive" (default) evaluates every configuration at its
 	// requested layer; "screen" returns analytic predictions only;
@@ -311,14 +311,7 @@ func (c canonSweep) key() string {
 	fmt.Fprintf(h, "%s\x00sweep\x00%s\x00fidelity=%s\x00layers=%v\x00orgs=%v\x00maps=%v\x00faults=%v\x00",
 		Version, calib.Version, c.Fidelity, c.Layers, c.OrgNames, c.Maps, c.Faults)
 	for _, w := range c.Workloads {
-		prog := w.Program()
-		fmt.Fprintf(h, "workload=%s\x00main=%d\x00", w.Name, len(prog.Main))
-		h.Write(prog.Main)
-		for _, m := range prog.Methods {
-			fmt.Fprintf(h, "method=%d\x00", len(m.Code))
-			h.Write(m.Code)
-		}
-		fmt.Fprintf(h, "statics=%d\x00", prog.Statics)
+		hashWorkload(h, w)
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"strconv"
 
@@ -205,9 +206,27 @@ func appendSweepErrors(trailer *SweepTrailer, err error) {
 	}
 }
 
+// ErrTruncatedBody reports an NDJSON body that ended before its
+// trailer: the stream is well-formed as far as it goes, it just stops.
+// That is the signature of a cut-off transfer or a partially-written
+// cached body — retryable from another source — whereas a syntax error
+// inside the stream means corruption and fails fast. The cluster's
+// peer-fetch layer branches on exactly this distinction.
+var ErrTruncatedBody = errors.New("serve: truncated body (stream ended before trailer)")
+
+// streamError classifies a decode failure: clean or mid-value EOF is
+// truncation (the trailer never arrived), anything else is corruption.
+func streamError(what string, err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("serve: bad %s stream: %w", what, ErrTruncatedBody)
+	}
+	return fmt.Errorf("serve: bad %s stream: %w", what, err)
+}
+
 // ParseSweepBody decodes a sweep NDJSON body back into rows and the
 // trailer — the inverse of computeSweep's rendering, shared by the
-// client and the tests.
+// client and the tests. A body that ends without its trailer returns
+// an error wrapping ErrTruncatedBody.
 func ParseSweepBody(body []byte) ([]SweepRow, SweepTrailer, error) {
 	var rows []SweepRow
 	var trailer SweepTrailer
@@ -215,7 +234,7 @@ func ParseSweepBody(body []byte) ([]SweepRow, SweepTrailer, error) {
 	for {
 		var raw json.RawMessage
 		if err := dec.Decode(&raw); err != nil {
-			return rows, trailer, fmt.Errorf("serve: bad sweep stream: %w", err)
+			return rows, trailer, streamError("sweep", err)
 		}
 		var probe struct {
 			Done bool `json:"done"`

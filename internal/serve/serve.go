@@ -27,7 +27,9 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -75,6 +77,7 @@ type Job struct {
 	Error  string `json:"error,omitempty"`
 
 	body []byte
+	code int // HTTP status of a failed job, from statusFor
 }
 
 // maxJobs bounds the completed-job registry; the oldest finished jobs
@@ -138,9 +141,9 @@ func New(opts Options) *Server {
 		jobs:  make(map[string]*Job),
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
-	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	for path, h := range s.computeRoutes() {
+		s.mux.HandleFunc(path, h)
+	}
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -152,11 +155,56 @@ func New(opts Options) *Server {
 	return s
 }
 
+// computeRoutes maps every cache-backed /v1 route to its handler. The
+// route set is the contract the per-endpoint /metricz accounting is
+// tested against: a new compute endpoint registered here automatically
+// joins ComputeEndpoints and must report its outcomes with that label.
+func (s *Server) computeRoutes() map[string]http.HandlerFunc {
+	return map[string]http.HandlerFunc{
+		"POST /v1/estimate": s.handleEstimate,
+		"POST /v1/sweep":    s.handleSweep,
+		"POST /v1/batch":    s.handleBatch,
+		"POST /v1/config":   s.handleConfig,
+	}
+}
+
+// ComputeEndpoints returns the metric labels of every registered
+// cache-backed /v1 route, sorted — the vocabulary of the per-endpoint
+// requests/hit/dedup/miss accounting on /metricz.
+func (s *Server) ComputeEndpoints() []string {
+	var out []string
+	for path := range s.computeRoutes() {
+		out = append(out, strings.TrimPrefix(path, "POST /v1/"))
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Stats returns a snapshot of the per-server metrics registry.
 func (s *Server) Stats() metrics.ServerSnapshot { return s.reg.Snapshot() }
+
+// Registry exposes the server's metrics registry so wrapping layers
+// (the cluster router) account their peer traffic in the same /metricz.
+func (s *Server) Registry() *metrics.ServerRegistry { return s.reg }
+
+// SetComputeHook installs a hook invoked at the start of every queued
+// compute, before any work happens — a test seam (the cluster tests
+// gate a peer's compute on it to kill the peer mid-sweep
+// deterministically). Must be set before the server takes traffic.
+func (s *Server) SetComputeHook(hook func(kind string)) { s.computeHook = hook }
+
+// CacheGet peeks the content-addressed cache: the local tier of the
+// cluster's two-tier lookup. It does not join in-flight computes.
+func (s *Server) CacheGet(key string) ([]byte, bool) { return s.cache.peek(key) }
+
+// CachePut stores a completed body under key — how peer-fetched bytes
+// enter the local tier so they replay verbatim from here on.
+func (s *Server) CachePut(key string, body []byte) {
+	s.reg.Evicted(s.cache.insert(key, body))
+}
 
 // Close drains the server: new work is refused with 503, every
 // accepted job runs to completion, then the workers stop. It is the
@@ -218,6 +266,27 @@ func (s *Server) deadline(deadlineMs int64) time.Duration {
 	return s.opts.DefaultTimeout
 }
 
+// statusFor maps a failed compute onto its client-visible HTTP status.
+// This mapping is part of the protocol contract (pinned by a table
+// test): canonicalization failures are 400 before work is scheduled,
+// backpressure answers 429, drain and cancellation 503, a deadline that
+// fired 504 — and only genuinely unexplained failures fall through to
+// 500. Peers forwarding requests rely on these codes to tell "retry
+// elsewhere" from "the request itself is bad".
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, errOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
 // schedule runs the singleflight admission for key: a cached body is
 // returned immediately (ServeHit); otherwise the caller either joins
 // an in-flight compute (ServeDedup) or leads a fresh one (ServeMiss)
@@ -251,21 +320,50 @@ func (s *Server) schedule(ctx context.Context, kind, key string, deadlineMs int6
 	select {
 	case <-e.done:
 		if e.err != nil {
-			switch {
-			case errors.Is(e.err, errOverloaded):
-				return nil, outcome, http.StatusTooManyRequests, e.err
-			case errors.Is(e.err, errDraining):
-				return nil, outcome, http.StatusServiceUnavailable, e.err
-			case errors.Is(e.err, context.DeadlineExceeded):
-				return nil, outcome, http.StatusGatewayTimeout, e.err
-			case errors.Is(e.err, context.Canceled):
-				return nil, outcome, http.StatusServiceUnavailable, e.err
-			}
-			return nil, outcome, http.StatusInternalServerError, e.err
+			return nil, outcome, statusFor(e.err), e.err
 		}
 		return e.body, outcome, 0, nil
 	case <-ctx.Done():
 		return nil, outcome, http.StatusRequestTimeout, ctx.Err()
+	}
+}
+
+// Do exposes the singleflight/queue machinery to wrapping layers: the
+// cluster router schedules a distributed sweep's assembly under the
+// sweep key exactly as a local compute would be, so concurrent
+// identical sweeps dedup onto one fan-out and the assembled body lands
+// in the local cache tier.
+func (s *Server) Do(ctx context.Context, kind, key string, deadlineMs int64,
+	run func(context.Context) ([]byte, error)) ([]byte, metrics.ServeOutcome, int, error) {
+	return s.schedule(ctx, kind, key, deadlineMs, run)
+}
+
+// DoInline is singleflight admission without the bounded queue: the
+// compute runs on the caller's goroutine. It exists for the cluster's
+// work-stealing self-lane — a distributed sweep already occupies a
+// queue worker, so its locally-executed configurations must not also
+// contend for queue slots (that would deadlock a full queue against
+// itself). Cache and dedup semantics are identical to Do.
+func (s *Server) DoInline(ctx context.Context, key string,
+	run func(context.Context) ([]byte, error)) ([]byte, metrics.ServeOutcome, error) {
+	e, leader, cached := s.cache.join(key)
+	if cached != nil {
+		return cached, metrics.ServeHit, nil
+	}
+	if leader {
+		body, err := run(ctx)
+		evicted := s.cache.commit(e, body, err)
+		s.reg.Evicted(evicted)
+		s.reg.Compute(err != nil)
+		s.cache.leave(e)
+		return body, metrics.ServeMiss, err
+	}
+	defer s.cache.leave(e)
+	select {
+	case <-e.done:
+		return e.body, metrics.ServeDedup, e.err
+	case <-ctx.Done():
+		return nil, metrics.ServeDedup, ctx.Err()
 	}
 }
 
@@ -304,7 +402,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		respondError(w, status, err)
 		return
 	}
-	s.reg.Outcome(outcome, uint64(time.Since(start).Microseconds()))
+	s.reg.Outcome("estimate", outcome, uint64(time.Since(start).Microseconds()))
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", outcome.String())
 	w.Header().Set("X-Key", key)
@@ -340,7 +438,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		respondError(w, status, err)
 		return
 	}
-	s.reg.Outcome(outcome, uint64(time.Since(start).Microseconds()))
+	s.reg.Outcome("sweep", outcome, uint64(time.Since(start).Microseconds()))
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Cache", outcome.String())
 	w.Header().Set("X-Key", key)
@@ -368,14 +466,14 @@ func (s *Server) startJob(w http.ResponseWriter, kind, key string, deadlineMs in
 		s.jobMu.Lock()
 		defer s.jobMu.Unlock()
 		if err != nil {
-			job.Status, job.Error = "failed", err.Error()
+			job.Status, job.Error, job.code = "failed", err.Error(), statusFor(err)
 			return
 		}
 		job.Status, job.body = "done", body
 	}
 
 	if cached != nil {
-		s.reg.Outcome(metrics.ServeHit, 0)
+		s.reg.Outcome(kind, metrics.ServeHit, 0)
 		finish(cached, nil)
 	} else {
 		if leader {
@@ -395,9 +493,9 @@ func (s *Server) startJob(w http.ResponseWriter, kind, key string, deadlineMs in
 				respondError(w, st, cause)
 				return
 			}
-			s.reg.Outcome(metrics.ServeMiss, 0)
+			s.reg.Outcome(kind, metrics.ServeMiss, 0)
 		} else {
-			s.reg.Outcome(metrics.ServeDedup, 0)
+			s.reg.Outcome(kind, metrics.ServeDedup, 0)
 		}
 		s.jobWg.Add(1)
 		go func() {
@@ -440,7 +538,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.jobMu.Lock()
-	status, body, errMsg := job.Status, job.body, job.Error
+	status, body, errMsg, code := job.Status, job.body, job.Error, job.code
 	s.jobMu.Unlock()
 	switch status {
 	case "done":
@@ -448,7 +546,12 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Key", job.Key)
 		w.Write(body)
 	case "failed":
-		respondError(w, http.StatusInternalServerError, errors.New(errMsg))
+		// Failed jobs replay the status their synchronous twin would
+		// have answered (504 deadline, 503 drain, ...), not a blanket 500.
+		if code == 0 {
+			code = http.StatusInternalServerError
+		}
+		respondError(w, code, errors.New(errMsg))
 	default:
 		respondError(w, http.StatusConflict, fmt.Errorf("serve: job %s still pending", job.ID))
 	}

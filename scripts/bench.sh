@@ -4,8 +4,10 @@
 # family (serial reference vs batched engine across lane widths and
 # memory organizations) and the multi-fidelity sweep family (analytic
 # per-config screening, screened-pruned-confirmed sweep vs exhaustive
-# sweep on the enlarged design space), with a machine-readable JSON
-# table emitted alongside the usual go test output.
+# sweep on the enlarged design space) and the cluster cached-hit
+# serving family (1-node vs 2-node replay throughput), with a
+# machine-readable JSON table emitted alongside the usual go test
+# output.
 #
 #   BENCHTIME=20x ./scripts/bench.sh       # per-benchmark time/iterations
 #   BENCH_OUT=path.json ./scripts/bench.sh # where the JSON table goes
@@ -14,8 +16,8 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-10x}"
-BENCH_OUT="${BENCH_OUT:-BENCH_7.json}"
-BENCH_RE="${BENCH_RE:-BenchmarkTable3_|BenchmarkBatchCorpus_|BenchmarkScreenConfig|BenchmarkSweepMultiFidelity|BenchmarkSweepExhaustive}"
+BENCH_OUT="${BENCH_OUT:-BENCH_8.json}"
+BENCH_RE="${BENCH_RE:-BenchmarkTable3_|BenchmarkBatchCorpus_|BenchmarkScreenConfig|BenchmarkSweepMultiFidelity|BenchmarkSweepExhaustive|BenchmarkClusterCached}"
 
 out=$(go test -run '^$' -bench "$BENCH_RE" \
 	-benchtime "$BENCHTIME" -benchmem .)
@@ -25,12 +27,13 @@ echo "$out" | awk -v outfile="$BENCH_OUT" '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
-	ns = "null"; kts = "null"; allocs = "null"
+	ns = "null"; kts = "null"; allocs = "null"; ests = "null"
 	screened = "null"; pruned = "null"; confirmed = "null"; screenus = "null"
 	for (i = 2; i < NF; i++) {
 		if ($(i + 1) == "ns/op") ns = $i
 		if ($(i + 1) == "kT/s") kts = $i
 		if ($(i + 1) == "allocs/op") allocs = $i
+		if ($(i + 1) == "ests/s") ests = $i
 		if ($(i + 1) == "screened") screened = $i
 		if ($(i + 1) == "pruned") pruned = $i
 		if ($(i + 1) == "confirmed") confirmed = $i
@@ -41,6 +44,8 @@ echo "$out" | awk -v outfile="$BENCH_OUT" '
 	if (screened != "null")
 		row = row sprintf(", \"screened\": %s, \"pruned\": %s, \"confirmed\": %s, \"screen_us_per_config\": %s",
 			screened, pruned, confirmed, screenus)
+	if (ests != "null")
+		row = row sprintf(", \"ests_per_s\": %s", ests)
 	if (name == "BenchmarkSweepExhaustive") exhaustive_ns = ns
 	if (name == "BenchmarkSweepMultiFidelity") multifi_ns = ns
 	rows[++n] = row "}"

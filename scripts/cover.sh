@@ -14,9 +14,10 @@ repro/internal/checker:70
 repro/internal/batch:70
 repro/internal/tlm3:70
 repro/internal/calib:70
+repro/internal/cluster:70
 "
 
-out=$(go test -cover ./internal/metrics/ ./internal/fault/ ./internal/checker/ ./internal/batch/ ./internal/tlm3/ ./internal/calib/)
+out=$(go test -cover ./internal/metrics/ ./internal/fault/ ./internal/checker/ ./internal/batch/ ./internal/tlm3/ ./internal/calib/ ./internal/cluster/)
 echo "$out"
 
 fail=0

@@ -14,8 +14,8 @@ go test ./...
 echo "== vet"
 go vet ./...
 
-echo "== race gate (explore, sim, fault, serve, batch, tlm3, calib)"
-go test -race ./internal/explore/... ./internal/sim/... ./internal/fault/... ./internal/serve/... ./internal/batch/... ./internal/tlm3/... ./internal/calib/...
+echo "== race gate (explore, sim, fault, serve, batch, tlm3, calib, cluster)"
+go test -race ./internal/explore/... ./internal/sim/... ./internal/fault/... ./internal/serve/... ./internal/batch/... ./internal/tlm3/... ./internal/calib/... ./internal/cluster/...
 
 echo "== coverage floors"
 ./scripts/cover.sh
@@ -38,6 +38,58 @@ if [ -z "$screened" ] || [ -z "$confirmed" ] || \
 	echo "verify: multi-fidelity smoke wants screened > confirmed > 0, got screened=$screened confirmed=$confirmed" >&2
 	exit 1
 fi
+
+echo "== cluster smoke (2 nodes, SIGKILL one mid-sweep)"
+tmpd=$(mktemp -d)
+A_PID=""; B_PID=""; C_PID=""
+trap 'kill -9 $A_PID $B_PID $C_PID 2>/dev/null || true; rm -rf "$tmpd"' EXIT
+go build -o "$tmpd/ecserved" ./cmd/ecserved
+SWEEP='{"layers":[1],"workloads":["arith-loop","stack-churn"]}'
+
+scrape_url() { # scrape_url <logfile>
+	for _ in $(seq 1 100); do
+		url=$(sed -n 's|.*listening on \(http://[^ ]*\).*|\1|p' "$1")
+		[ -n "$url" ] && { echo "$url"; return 0; }
+		sleep 0.1
+	done
+	echo "verify: no listen line in $1" >&2
+	return 1
+}
+
+# Single-node reference bytes.
+"$tmpd/ecserved" -addr 127.0.0.1:0 -workers 2 > "$tmpd/c.log" 2>&1 &
+C_PID=$!
+C_URL=$(scrape_url "$tmpd/c.log")
+curl -sS -X POST -d "$SWEEP" "$C_URL/v1/sweep" -o "$tmpd/ref.ndjson"
+kill "$C_PID" 2>/dev/null || true
+
+# Two-node cluster: B plain, A peering with B (A coordinates; A only
+# needs to reach B for work stealing).
+"$tmpd/ecserved" -addr 127.0.0.1:0 -workers 2 > "$tmpd/b.log" 2>&1 &
+B_PID=$!
+B_URL=$(scrape_url "$tmpd/b.log")
+"$tmpd/ecserved" -addr 127.0.0.1:0 -workers 2 -peers "$B_URL" > "$tmpd/a.log" 2>&1 &
+A_PID=$!
+A_URL=$(scrape_url "$tmpd/a.log")
+
+# Sweep through A; SIGKILL B mid-flight. The work-stealing loop must
+# requeue whatever B held and still assemble the identical bytes.
+curl -sS -X POST -d "$SWEEP" "$A_URL/v1/sweep" -o "$tmpd/got.ndjson" &
+CURL_PID=$!
+sleep 0.3
+kill -9 "$B_PID" 2>/dev/null || true
+wait "$CURL_PID"
+if ! cmp -s "$tmpd/ref.ndjson" "$tmpd/got.ndjson"; then
+	echo "verify: cluster sweep bytes differ from single-node reference" >&2
+	diff "$tmpd/ref.ndjson" "$tmpd/got.ndjson" | head -5 >&2
+	exit 1
+fi
+# A must keep serving (and now replay the assembled body from cache).
+curl -sS -X POST -d "$SWEEP" "$A_URL/v1/sweep" -o "$tmpd/again.ndjson"
+cmp -s "$tmpd/ref.ndjson" "$tmpd/again.ndjson" || {
+	echo "verify: cluster replay after peer death differs" >&2; exit 1; }
+kill "$A_PID" 2>/dev/null || true
+echo "cluster smoke: OK (bytes identical, survivor kept serving)"
 
 echo "== benchmark smoke (1 iteration each)"
 go test -run '^$' -bench . -benchtime 1x ./... > /dev/null
