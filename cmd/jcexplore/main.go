@@ -11,6 +11,7 @@
 //	jcexplore -fidelity screen   # analytic predictions only (microseconds/config)
 //	jcexplore -workload wallet
 //	jcexplore -faults none,flaky  # add fault-plan sweep axis
+//	jcexplore -arb none,rr    # add arbitration-policy sweep axis (multi-master)
 //	jcexplore -batch 64 -layer 1  # batched corpus campaign instead of the sweep
 //	jcexplore -report         # per-configuration metrics breakdown after the tables
 //	jcexplore -workers 1      # serial sweep (default: one worker per CPU)
@@ -45,6 +46,7 @@ func main() {
 	fidelity := flag.String("fidelity", "", "sweep fidelity: exhaustive (default), screen (analytic predictions only) or confirm (screen, prune, confirm survivors exactly)")
 	workload := flag.String("workload", "", "restrict to one workload (arith-loop, stack-churn, wallet)")
 	faults := flag.String("faults", "", "comma-separated fault plans as an extra sweep axis (none, flaky, storm, grind)")
+	arbSpec := flag.String("arb", "", "comma-separated arbitration policies as an extra sweep axis (none, fixed, rr)")
 	batchN := flag.Int("batch", 0, "run the batched corpus campaign at this lane width (1..64) instead of the sweep")
 	report := flag.Bool("report", false, "collect per-configuration metrics and print the run-report breakdown")
 	workers := flag.Int("workers", 0, "parallel sweep workers; 0 = one per CPU")
@@ -124,6 +126,16 @@ func main() {
 		faultNames = names
 	}
 
+	var arbNames []string
+	if *arbSpec != "" {
+		names, err := explore.ParseArbs(*arbSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jcexplore:", err)
+			os.Exit(2)
+		}
+		arbNames = names
+	}
+
 	if *batchN != 0 {
 		// Batched campaign mode: the bit-parallel engine models layers 0
 		// and 1; -layer here names the batched layer directly (default:
@@ -161,7 +173,7 @@ func main() {
 		if *report || *progress {
 			fmt.Fprintln(os.Stderr, "jcexplore: -report and -progress are local-only; ignored with -remote")
 		}
-		results, err := remoteSweep(*remote, fid, layers, workloads, faultNames)
+		results, err := remoteSweep(*remote, fid, layers, workloads, faultNames, arbNames)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "jcexplore:", err)
 			os.Exit(1)
@@ -170,7 +182,7 @@ func main() {
 		return
 	}
 
-	opts := explore.SweepOpts{Workers: *workers, Metrics: *report, Faults: faultNames}
+	opts := explore.SweepOpts{Workers: *workers, Metrics: *report, Faults: faultNames, Arbs: arbNames}
 	if *progress {
 		opts.OnResult = func(r explore.Result, err error) {
 			if err != nil {
@@ -282,8 +294,8 @@ func printTables(results []explore.Result, report bool) {
 // the entry node irrelevant), so failover never changes the result.
 // Energies come from the exact IEEE-754 bit pattern in the stream, so
 // the printed tables are identical to a local run of the same axes.
-func remoteSweep(base string, fid explore.Fidelity, layers []int, workloads []javacard.Workload, faultNames []string) ([]explore.Result, error) {
-	req := serve.SweepRequest{Layers: layers, Faults: faultNames, Fidelity: string(fid)}
+func remoteSweep(base string, fid explore.Fidelity, layers []int, workloads []javacard.Workload, faultNames, arbNames []string) ([]explore.Result, error) {
+	req := serve.SweepRequest{Layers: layers, Faults: faultNames, Arbs: arbNames, Fidelity: string(fid)}
 	for _, w := range workloads {
 		req.Workloads = append(req.Workloads, w.Name)
 	}
@@ -367,6 +379,7 @@ func rowsToResults(rows []serve.SweepRow, trailer serve.SweepTrailer) ([]explore
 				Org:     org,
 				AddrMap: row.AddrMap,
 				Fault:   row.Fault,
+				Arb:     row.Arb,
 			},
 			Workload:     row.Workload,
 			Cycles:       row.Cycles,

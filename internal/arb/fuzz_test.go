@@ -1,0 +1,75 @@
+package arb_test
+
+import (
+	"math/bits"
+	"testing"
+
+	"repro/internal/arb"
+)
+
+// FuzzArbiterGrant feeds the arbiter arbitrary request-mask sequences
+// and checks the grant invariants that the checker's G-rules assume:
+//
+//   - exactly one grant whenever any master requests, none otherwise;
+//   - the grant always goes to a requesting master;
+//   - fixed priority always grants the lowest requesting port;
+//   - round robin never passes over a continuously-requesting master
+//     for more than n-1 consecutive grants (the starvation bound).
+//
+// The first fuzz byte selects policy and master count; the rest are
+// consumed as request masks, one cycle per byte.
+func FuzzArbiterGrant(f *testing.F) {
+	f.Add([]byte{0x00, 0x07, 0x07, 0x07, 0x07})       // fixed, 3 masters, all requesting
+	f.Add([]byte{0x81, 0x0f, 0x0f, 0x0f, 0x0f, 0x0f}) // rr, 4 masters, all requesting
+	f.Add([]byte{0x82, 0x15, 0x0a, 0x1f, 0x00, 0x11}) // rr, 5 masters, shifting masks
+	f.Add([]byte{0x03, 0x01})                         // fixed, 6 masters, lone requester
+	f.Add([]byte{0x87})                               // rr, 1 master, no cycles
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		policy := arb.FixedPriority
+		if data[0]&0x80 != 0 {
+			policy = arb.RoundRobin
+		}
+		n := int(data[0]&0x7f)%8 + 1
+		a := arb.New(policy, n)
+		mask := uint32(1)<<uint(n) - 1
+
+		passedOver := make([]int, n)
+		for _, b := range data[1:] {
+			req := uint32(b) & mask
+			g := a.Pick(req)
+			if req == 0 {
+				if g != -1 {
+					t.Fatalf("grant %d with no request", g)
+				}
+				continue
+			}
+			if g < 0 || g >= n {
+				t.Fatalf("grant %d out of range with req=%0*b", g, n, req)
+			}
+			if req&(1<<uint(g)) == 0 {
+				t.Fatalf("granted non-requesting master %d (req=%0*b)", g, n, req)
+			}
+			if policy == arb.FixedPriority && g != bits.TrailingZeros32(req) {
+				t.Fatalf("fixed granted %d, lowest requester is %d (req=%0*b)",
+					g, bits.TrailingZeros32(req), n, req)
+			}
+			a.Commit(g)
+			for i := 0; i < n; i++ {
+				switch {
+				case i == g, req&(1<<uint(i)) == 0:
+					passedOver[i] = 0
+				default:
+					passedOver[i]++
+					if policy == arb.RoundRobin && passedOver[i] > n-1 {
+						t.Fatalf("rr starved master %d for %d grants (bound %d)",
+							i, passedOver[i], n-1)
+					}
+				}
+			}
+		}
+	})
+}

@@ -36,7 +36,7 @@ import (
 // Version identifies the model layout and fitting procedure. It is
 // folded into content-addressed cache keys by callers that persist
 // predictions, so changing the fit invalidates stale entries.
-const Version = "calib/2"
+const Version = "calib/3"
 
 // Sample is one calibration observation: the feature vector counted by
 // the untimed layer-3 run of a configuration, paired with the exact

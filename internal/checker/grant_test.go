@@ -1,0 +1,97 @@
+package checker_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arb"
+	"repro/internal/checker"
+)
+
+func rules(v []checker.Violation) []string {
+	out := make([]string, len(v))
+	for i, x := range v {
+		out[i] = x.Rule
+	}
+	return out
+}
+
+func TestGrantMonitorClean(t *testing.T) {
+	m := checker.NewGrantMonitor(arb.RoundRobin, 3)
+	// A legal rotation: every grant answers a request, one at a time,
+	// nobody waits a full rotation.
+	seq := []struct{ req, gnt uint32 }{
+		{0b111, 0b001}, {0b111, 0b010}, {0b111, 0b100},
+		{0b011, 0b001}, {0b010, 0b010}, {0b000, 0b000},
+	}
+	for c, s := range seq {
+		m.Observe(uint64(c), s.req, s.gnt)
+	}
+	if !m.Clean() {
+		t.Fatalf("legal sequence flagged: %v", m.Violations())
+	}
+	if m.Grants(0) != 2 || m.Grants(1) != 2 || m.Grants(2) != 1 {
+		t.Fatalf("grant counts %d/%d/%d, want 2/2/1", m.Grants(0), m.Grants(1), m.Grants(2))
+	}
+}
+
+func TestGrantMonitorG1(t *testing.T) {
+	m := checker.NewGrantMonitor(arb.FixedPriority, 3)
+	m.Observe(0, 0b001, 0b010) // grant to a silent master
+	got := rules(m.Violations())
+	if len(got) != 1 || got[0] != "G1" {
+		t.Fatalf("violations = %v, want [G1]", got)
+	}
+	if !strings.Contains(m.Violations()[0].Info, "grant without request") {
+		t.Fatalf("G1 info: %q", m.Violations()[0].Info)
+	}
+}
+
+func TestGrantMonitorG2(t *testing.T) {
+	m := checker.NewGrantMonitor(arb.FixedPriority, 3)
+	m.Observe(5, 0b011, 0b011) // double grant
+	got := rules(m.Violations())
+	if len(got) != 1 || got[0] != "G2" {
+		t.Fatalf("violations = %v, want [G2]", got)
+	}
+	if m.Violations()[0].Cycle != 5 {
+		t.Fatalf("violation cycle %d, want 5", m.Violations()[0].Cycle)
+	}
+}
+
+func TestGrantMonitorG3(t *testing.T) {
+	m := checker.NewGrantMonitor(arb.RoundRobin, 3)
+	// Master 2 requests continuously and is passed over for three
+	// consecutive grants — one more than the n-1 rotation bound.
+	m.Observe(0, 0b111, 0b001)
+	m.Observe(1, 0b111, 0b010)
+	if !m.Clean() {
+		t.Fatalf("bound not yet exceeded, got %v", m.Violations())
+	}
+	m.Observe(2, 0b111, 0b001)
+	got := rules(m.Violations())
+	if len(got) != 1 || got[0] != "G3" {
+		t.Fatalf("violations = %v, want [G3]", got)
+	}
+	// A request gap resets the window.
+	m = checker.NewGrantMonitor(arb.RoundRobin, 3)
+	m.Observe(0, 0b111, 0b001)
+	m.Observe(1, 0b111, 0b010)
+	m.Observe(2, 0b011, 0b001) // master 2 stops requesting
+	m.Observe(3, 0b111, 0b010)
+	m.Observe(4, 0b111, 0b001)
+	if !m.Clean() {
+		t.Fatalf("window not reset by request gap: %v", m.Violations())
+	}
+}
+
+func TestGrantMonitorG3NotForFixed(t *testing.T) {
+	m := checker.NewGrantMonitor(arb.FixedPriority, 2)
+	// Fixed priority starves by design — no G3 however long the wait.
+	for c := uint64(0); c < 100; c++ {
+		m.Observe(c, 0b11, 0b01)
+	}
+	if !m.Clean() {
+		t.Fatalf("fixed priority flagged for starvation: %v", m.Violations())
+	}
+}

@@ -1,0 +1,153 @@
+package crypto_test
+
+import (
+	"testing"
+
+	"repro/internal/arb"
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/ecbus"
+	"repro/internal/fault"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/tlm1"
+)
+
+const (
+	ptBase = uint64(0x0000)  // plaintext buffer
+	ctBase = uint64(0x10000) // ciphertext buffer
+)
+
+// plain returns the deterministic plaintext block b.
+func plain(b int) uint64 {
+	lo := 0x1111_0000 + uint64(b)
+	hi := 0x2222_0000 + uint64(b)
+	return hi<<32 | lo
+}
+
+// build assembles a tlm1 bus with plaintext pre-loaded, optionally
+// fault-wrapping the ciphertext RAM.
+func build(t *testing.T, blocks int, plan fault.Plan) (*sim.Kernel, core.Initiator, *mem.RAM) {
+	t.Helper()
+	pt := mem.NewRAM("pt", ptBase, 0x1000, 0, 0)
+	ct := mem.NewRAM("ct", ctBase, 0x1000, 1, 2)
+	for b := 0; b < blocks; b++ {
+		pt.WriteWord(ptBase+uint64(8*b), uint32(plain(b)), ecbus.W32)
+		pt.WriteWord(ptBase+uint64(8*b)+4, uint32(plain(b)>>32), ecbus.W32)
+	}
+	var ctSlave ecbus.Slave = ct
+	if !plan.Empty() {
+		ctSlave = fault.Wrap(ct, plan)
+	}
+	k := sim.New(0)
+	bus := tlm1.New(k, ecbus.MustMap(pt, ctSlave))
+	return k, bus, ct
+}
+
+func run(t *testing.T, k *sim.Kernel, m *crypto.Master) uint64 {
+	t.Helper()
+	n, done := k.RunUntil(1_000_000, m.Done)
+	if !done {
+		t.Fatal("crypto master run did not finish")
+	}
+	return n
+}
+
+// checkBlock verifies block b of ct against the pure cipher.
+func checkBlock(t *testing.T, ct *mem.RAM, key uint64, b int) {
+	t.Helper()
+	want := crypto.Encrypt(key, plain(b))
+	lo, _ := ct.ReadWord(ctBase+uint64(8*b), ecbus.W32)
+	hi, _ := ct.ReadWord(ctBase+uint64(8*b)+4, ecbus.W32)
+	if got := uint64(hi)<<32 | uint64(lo); got != want {
+		t.Fatalf("block %d: got %#x, want %#x", b, got, want)
+	}
+}
+
+func TestMasterEncryptsBlocks(t *testing.T) {
+	const key = uint64(0x0123_4567_89AB_CDEF)
+	jobs := []crypto.Job{
+		{Src: ptBase, Dst: ctBase, Blocks: 3},
+		{Src: ptBase + 24, Dst: ctBase + 24, Blocks: 0}, // empty
+		{Src: ptBase + 24, Dst: ctBase + 24, Blocks: 1},
+	}
+	k, bus, ct := build(t, 4, fault.Plan{})
+	m := crypto.NewMaster(k, bus, key, jobs)
+	m.Retry = core.RetryPolicy{MaxRetries: 4, Backoff: 1}
+	n := run(t, k, m)
+
+	for b := 0; b < 4; b++ {
+		checkBlock(t, ct, key, b)
+	}
+	if m.Blocks != 4 {
+		t.Fatalf("Blocks = %d, want 4", m.Blocks)
+	}
+	if m.Transactions != 16 {
+		t.Fatalf("Transactions = %d, want 16 (4 per block)", m.Transactions)
+	}
+	if m.Errors != 0 || m.Retries != 0 {
+		t.Fatalf("clean run recorded %d errors, %d retries", m.Errors, m.Retries)
+	}
+	// Latency floor: the engine charges Rounds*CyclesPerRound busy
+	// cycles per block on top of its bus traffic.
+	if floor := uint64(4 * crypto.Rounds * crypto.CyclesPerRound); n < floor {
+		t.Fatalf("finished in %d cycles, below the %d-cycle engine floor", n, floor)
+	}
+}
+
+func TestMasterBehindMux(t *testing.T) {
+	const key = uint64(0xDEAD_BEEF_CAFE_F00D)
+	k := sim.New(0)
+	mux := arb.NewMux(k, arb.FixedPriority, 1)
+	pt := mem.NewRAM("pt", ptBase, 0x1000, 0, 0)
+	ct := mem.NewRAM("ct", ctBase, 0x1000, 1, 2)
+	for b := 0; b < 2; b++ {
+		pt.WriteWord(ptBase+uint64(8*b), uint32(plain(b)), ecbus.W32)
+		pt.WriteWord(ptBase+uint64(8*b)+4, uint32(plain(b)>>32), ecbus.W32)
+	}
+	bus := tlm1.New(k, ecbus.MustMap(pt, ct))
+	mux.Bind(bus)
+	m := crypto.NewMaster(k, mux.Port(0), key, []crypto.Job{{Src: ptBase, Dst: ctBase, Blocks: 2}})
+	run(t, k, m)
+	for b := 0; b < 2; b++ {
+		checkBlock(t, ct, key, b)
+	}
+	if !mux.Drained() {
+		t.Fatal("mux not drained")
+	}
+	if mux.TotalGrants() != m.Transactions {
+		t.Fatalf("%d grants for %d transactions", mux.TotalGrants(), m.Transactions)
+	}
+}
+
+func TestMasterRetriesAndAbandons(t *testing.T) {
+	const key = uint64(1)
+	// Block 0's low ciphertext word: two transient write faults (must
+	// retry through); block 1's: unbounded (must abandon the job), and a
+	// third job must still complete.
+	jobs := []crypto.Job{
+		{Src: ptBase, Dst: ctBase, Blocks: 1},
+		{Src: ptBase + 8, Dst: ctBase + 8, Blocks: 1},
+		{Src: ptBase + 16, Dst: ctBase + 16, Blocks: 1},
+	}
+	plan := fault.Plan{Scripted: []fault.ScriptedFault{
+		{Op: fault.OpWrite, Addr: ctBase, After: 0, Count: 2},
+		{Op: fault.OpWrite, Addr: ctBase + 8, After: 0, Count: 0},
+	}}
+	k, bus, ct := build(t, 3, plan)
+	m := crypto.NewMaster(k, bus, key, jobs)
+	m.Retry = core.RetryPolicy{MaxRetries: 3, Backoff: 1}
+	run(t, k, m)
+
+	checkBlock(t, ct, key, 0)
+	checkBlock(t, ct, key, 2)
+	if m.Errors != 1 {
+		t.Fatalf("Errors = %d, want 1 (job 1 abandoned)", m.Errors)
+	}
+	if m.Blocks != 2 {
+		t.Fatalf("Blocks = %d, want 2", m.Blocks)
+	}
+	if m.Retries != 2+3 {
+		t.Fatalf("Retries = %d, want 5 (2 transient + 3 exhausted)", m.Retries)
+	}
+}

@@ -20,20 +20,37 @@ import (
 var CalibrationFaults = fault.Names
 
 // calibGroup is the calibration grouping: one independent regression
-// per SFR organization. The organization changes how transactions are
-// shaped (beat widths, burst framing, staging), i.e. the per-event
-// pricing itself — exactly what a single linear coefficient set cannot
-// absorb. Grouping by it tightens the residual band by roughly two
-// orders of magnitude, which is what makes ε-pruning decisive.
-func calibGroup(org javacard.Organization) string { return org.String() }
+// per SFR organization, and per (organization, arbitration policy) for
+// multi-master configurations. The organization changes how
+// transactions are shaped (beat widths, burst framing, staging), i.e.
+// the per-event pricing itself — exactly what a single linear
+// coefficient set cannot absorb; an arbitration policy changes the
+// traffic mix (three masters' interleaved streams plus the grant
+// wires' own energy), so contended runs get their own coefficients.
+// Single-master groups keep the historical org-only key, which keeps
+// existing calibrations and content hashes stable.
+func calibGroup(org javacard.Organization, arbPolicy string) string {
+	if arbPolicy == "" || arbPolicy == "none" {
+		return org.String()
+	}
+	return org.String() + "+arb:" + arbPolicy
+}
+
+// CalibrationArbs is the default arbitration axis of a calibration
+// run: both arbiter policies, each calibrated clean-only (the fault ×
+// arbitration cross product is exempt from ε-pruning, so its band is
+// never consulted — see SweepMultiFidelityContext).
+var CalibrationArbs = ArbPolicies
 
 // Calibrate fits the layer-3 analytic model: it measures every
 // configuration of the given axes exactly at the timed layers (the
 // standard parallel sweep), counts each configuration's traffic once
 // with the layer-3 counting bus, and regresses per-event-count
-// coefficients per (layer, organization) via deterministic least
-// squares. The faults axis comes from opts.Faults, defaulting to
-// CalibrationFaults.
+// coefficients per (layer, group) via deterministic least squares —
+// one group per organization, plus one per (organization, arbitration
+// policy) when opts.Arbs names policies. The faults axis comes from
+// opts.Faults, defaulting to CalibrationFaults; arbitrated groups are
+// measured on clean runs only.
 //
 // Calibration is strict about failures: a configuration that cannot be
 // measured poisons the fit, so any sweep error aborts instead of
@@ -42,6 +59,7 @@ func Calibrate(ctx context.Context, opts SweepOpts, layers []int, orgs []javacar
 	sweepOpts := opts
 	sweepOpts.OnResult = nil
 	sweepOpts.Metrics = false
+	sweepOpts.Arbs = nil
 	if len(sweepOpts.Faults) == 0 {
 		sweepOpts.Faults = CalibrationFaults
 	}
@@ -56,42 +74,66 @@ func Calibrate(ctx context.Context, opts SweepOpts, layers []int, orgs []javacar
 		return calib.Model{}, fmt.Errorf("explore: calibration sweep: %w", err)
 	}
 
-	// One counting run per unique (workload, org, map, fault): the
-	// feature vector does not depend on the measured layer.
-	type fkey struct {
-		wl       string
-		org      javacard.Organization
-		m, fault string
+	// The arbitrated groups get their own clean-only measurement sweep:
+	// the contended system's traffic (and the grant wires' energy) is
+	// what their coefficients must price.
+	var arbPolicies []string
+	for _, a := range opts.Arbs {
+		if canonArb(a) != "" {
+			arbPolicies = append(arbPolicies, canonArb(a))
+		}
 	}
-	feats := map[fkey][]float64{}
+	if len(arbPolicies) > 0 {
+		arbOpts := sweepOpts
+		arbOpts.Faults = []string{""}
+		arbOpts.Arbs = arbPolicies
+		arbResults, err := SweepContext(ctx, arbOpts, layers, orgs, maps, workloads)
+		if err != nil {
+			return calib.Model{}, fmt.Errorf("explore: arbitration calibration sweep: %w", err)
+		}
+		results = append(results, arbResults...)
+	}
+
+	// One counting run per unique (workload, org, map, fault, arb): the
+	// feature vector does not depend on the measured layer. The unique
+	// shapes are collected from the measured results themselves so the
+	// two sweeps above stay the single source of the calibrated space.
+	preps := map[string]prepared{}
 	for _, w := range workloads {
 		p, err := prepare(w)
 		if err != nil {
 			return calib.Model{}, fmt.Errorf("explore: calibration %s: %w", w.Name, err)
 		}
-		for _, o := range orgs {
-			for _, m := range maps {
-				for _, f := range sweepOpts.Faults {
-					cfg := Config{Layer: 3, Org: o, AddrMap: m, Fault: f}
-					fv, _, err := countRun(ctx, cfg, p)
-					if err != nil {
-						return calib.Model{}, fmt.Errorf("explore: calibration count %v/%s: %w", cfg, w.Name, err)
-					}
-					feats[fkey{w.Name, o, m, f}] = fv.Vector()
-				}
-			}
+		preps[w.Name] = p
+	}
+	type fkey struct {
+		wl            string
+		org           javacard.Organization
+		m, fault, arb string
+	}
+	feats := map[fkey][]float64{}
+	for _, r := range results {
+		k := fkey{r.Workload, r.Org, r.AddrMap, r.Fault, r.Arb}
+		if _, ok := feats[k]; ok {
+			continue
 		}
+		cfg := Config{Layer: 3, Org: r.Org, AddrMap: r.AddrMap, Fault: r.Fault, Arb: r.Arb}
+		fv, _, err := countRun(ctx, cfg, preps[r.Workload])
+		if err != nil {
+			return calib.Model{}, fmt.Errorf("explore: calibration count %v/%s: %w", cfg, r.Workload, err)
+		}
+		feats[k] = fv.Vector()
 	}
 
 	samples := make([]calib.Sample, 0, len(results))
 	for _, r := range results {
-		x, ok := feats[fkey{r.Workload, r.Org, r.AddrMap, r.Fault}]
+		x, ok := feats[fkey{r.Workload, r.Org, r.AddrMap, r.Fault, r.Arb}]
 		if !ok {
 			return calib.Model{}, fmt.Errorf("explore: calibration missing features for %v/%s", r.Config, r.Workload)
 		}
 		samples = append(samples, calib.Sample{
 			Layer:   r.Layer,
-			Group:   calibGroup(r.Org),
+			Group:   calibGroup(r.Org, r.Arb),
 			Key:     r.Config.String() + "|" + r.Workload,
 			X:       x,
 			EnergyJ: r.BusEnergyJ,
@@ -113,12 +155,13 @@ var (
 
 // DefaultModel returns the memoized calibration over the full default
 // design space: timed layers 1 and 2, every SFR organization, every
-// named address map, the standard workloads, and the full fault-plan
-// vocabulary. The first caller pays the calibration sweep (a few
-// hundred milliseconds); everyone after shares the fitted value.
+// named address map, the standard workloads, the full fault-plan
+// vocabulary, and both arbitration policies (clean-only). The first
+// caller pays the calibration sweep (a few hundred milliseconds);
+// everyone after shares the fitted value.
 func DefaultModel() (*calib.Model, error) {
 	defaultModelOnce.Do(func() {
-		defaultModelVal, defaultModelErr = Calibrate(context.Background(), SweepOpts{},
+		defaultModelVal, defaultModelErr = Calibrate(context.Background(), SweepOpts{Arbs: CalibrationArbs},
 			[]int{1, 2}, javacard.Organizations, AllAddrMaps, javacard.Workloads())
 	})
 	if defaultModelErr != nil {

@@ -29,6 +29,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/arb"
 	"repro/internal/core"
 	"repro/internal/ecbus"
 	"repro/internal/fault"
@@ -133,21 +134,60 @@ func ParseLayers(spec string) ([]int, error) {
 // workload, with a one-cycle backoff before each re-issue.
 var SweepRetry = core.RetryPolicy{MaxRetries: 16, Backoff: 1}
 
+// ArbPolicies names the arbitration-policy sweep axis values: the two
+// arb.Arbiter policies. The empty string (spelled "none" on the command
+// line) keeps the single-master system and is the default.
+var ArbPolicies = []string{string(arb.FixedPriority), string(arb.RoundRobin)}
+
+// ParseArbs parses a comma-separated arbitration-policy list
+// ("none,fixed,rr"), folding "none" into the empty single-master
+// spelling and rejecting unknown policies upfront.
+func ParseArbs(spec string) ([]string, error) {
+	var out []string
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if part == "none" {
+			out = append(out, "")
+			continue
+		}
+		if _, err := arb.ParsePolicy(part); err != nil {
+			return nil, fmt.Errorf("explore: bad arbitration policy %q (valid: none, %s)",
+				part, strings.Join(ArbPolicies, ", "))
+		}
+		out = append(out, part)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("explore: empty arbitration list (valid: none, %s)",
+			strings.Join(ArbPolicies, ", "))
+	}
+	return out, nil
+}
+
 // Config is one point of the design space.
 type Config struct {
 	Layer   int // bus abstraction layer: 1, 2 (timed) or 3 (analytic)
 	Org     javacard.Organization
 	AddrMap string // named address map (AllAddrMaps)
 	Fault   string // named fault plan (fault.Names); "" or "none" = clean
+	Arb     string // arbitration policy (ArbPolicies); "" = single master
 }
 
-// String renders the configuration compactly. Clean configurations keep
-// the historical three-part form.
+// String renders the configuration compactly. Clean single-master
+// configurations keep the historical three-part form; the fault plan
+// and arbitration policy append, in that order, only when active (the
+// two vocabularies are disjoint, so the rendering stays unambiguous).
 func (c Config) String() string {
-	if c.Fault == "" || c.Fault == "none" {
-		return fmt.Sprintf("L%d/%s/%s", c.Layer, c.Org, c.AddrMap)
+	s := fmt.Sprintf("L%d/%s/%s", c.Layer, c.Org, c.AddrMap)
+	if c.Fault != "" && c.Fault != "none" {
+		s += "/" + c.Fault
 	}
-	return fmt.Sprintf("L%d/%s/%s/%s", c.Layer, c.Org, c.AddrMap, c.Fault)
+	if c.Arb != "" {
+		s += "/" + c.Arb
+	}
+	return s
 }
 
 // Result is the measured outcome of one configuration on one workload.
@@ -375,6 +415,13 @@ func runPrepared(ctx context.Context, cfg Config, p prepared, char gatepower.Cha
 		// model. See screen.go.
 		return runAnalytic(ctx, cfg, p, metered)
 	}
+	if cfg.Arb != "" {
+		// An arbitration policy promotes the run to the three-master
+		// contended system. See contended.go. The cfg.Arb == "" path
+		// below is untouched, which is what keeps single-master sweep
+		// outputs byte-identical to the pre-arbiter harness.
+		return runContended(ctx, cfg, p, char, metered)
+	}
 	var reg *metrics.Registry
 	if metered {
 		reg = metrics.New(fmt.Sprintf("L%d", cfg.Layer))
@@ -462,6 +509,11 @@ type SweepOpts struct {
 	// Faults is the fault-plan sweep axis: named plans (fault.Names)
 	// evaluated for every configuration. Empty means clean runs only.
 	Faults []string
+	// Arbs is the arbitration-policy sweep axis: "" (or "none") keeps
+	// the single-master system, "fixed"/"rr" promote the bus to the
+	// three-master contended system (CPU + crypto + DMA) under that
+	// policy. Empty means single-master only.
+	Arbs []string
 	// Metrics attaches a private observability registry to every
 	// configuration run and stores its snapshot in Result.Metrics.
 	Metrics bool
@@ -516,13 +568,17 @@ type job struct {
 }
 
 // enumerateJobs builds the cross product in canonical order (workloads
-// outer, then layers, organizations, maps, faults) with per-workload
-// preparation hoisted. Workloads that fail to prepare contribute an
-// error instead of jobs.
+// outer, then layers, organizations, maps, faults, arbitration
+// policies) with per-workload preparation hoisted. Workloads that fail
+// to prepare contribute an error instead of jobs.
 func enumerateJobs(opts SweepOpts, layers []int, orgs []javacard.Organization, maps []string, workloads []javacard.Workload) ([]job, []error) {
 	faults := opts.Faults
 	if len(faults) == 0 {
 		faults = []string{""}
+	}
+	arbs := opts.Arbs
+	if len(arbs) == 0 {
+		arbs = []string{""}
 	}
 	var jobs []job
 	var prepErrs []error
@@ -536,7 +592,9 @@ func enumerateJobs(opts SweepOpts, layers []int, orgs []javacard.Organization, m
 			for _, o := range orgs {
 				for _, m := range maps {
 					for _, f := range faults {
-						jobs = append(jobs, job{idx: len(jobs), cfg: Config{Layer: l, Org: o, AddrMap: m, Fault: f}, p: p})
+						for _, a := range arbs {
+							jobs = append(jobs, job{idx: len(jobs), cfg: Config{Layer: l, Org: o, AddrMap: m, Fault: f, Arb: a}, p: p})
+						}
 					}
 				}
 			}

@@ -162,13 +162,23 @@ func SweepMultiFidelityContext(ctx context.Context, opts MultiFidelityOpts, laye
 	if safety <= 0 {
 		safety = DefaultSafety
 	}
-	// Pruning margins per (layer, organization) — the grouped fits carry
-	// far tighter bands than any pooled summary, and the soundness
-	// argument only needs each configuration judged against its own
-	// band. The public per-layer maps keep the worst case for reporting.
+	// Pruning margins per (layer, organization, arbitration policy) —
+	// the grouped fits carry far tighter bands than any pooled summary,
+	// and the soundness argument only needs each configuration judged
+	// against its own band. The public per-layer maps keep the worst
+	// case for reporting. Faulted contended configurations are exempt
+	// from pruning (their group is calibrated clean-only), so no band is
+	// required for them.
+	arbsAxis := []string{""}
+	for _, a := range opts.Arbs {
+		if canonArb(a) != "" {
+			arbsAxis = append(arbsAxis, canonArb(a))
+		}
+	}
 	type epsKey struct {
 		layer int
 		org   javacard.Organization
+		arb   string
 	}
 	epsE := map[epsKey]float64{}
 	epsC := map[epsKey]float64{}
@@ -180,13 +190,15 @@ func SweepMultiFidelityContext(ctx context.Context, opts MultiFidelityOpts, laye
 			target = AnalyticTargetLayer
 		}
 		for _, o := range orgs {
-			eE, eC, err := model.Epsilon(target, calibGroup(o), safety)
-			if err != nil {
-				return out, fmt.Errorf("explore: no calibrated band for layer %d org %s: %w", l, o, err)
+			for _, a := range arbsAxis {
+				eE, eC, err := model.Epsilon(target, calibGroup(o, a), safety)
+				if err != nil {
+					return out, fmt.Errorf("explore: no calibrated band for layer %d group %s: %w", l, calibGroup(o, a), err)
+				}
+				epsE[epsKey{l, o, a}], epsC[epsKey{l, o, a}] = eE, eC
+				out.EpsEnergy[l] = math.Max(out.EpsEnergy[l], eE)
+				out.EpsCycles[l] = math.Max(out.EpsCycles[l], eC)
 			}
-			epsE[epsKey{l, o}], epsC[epsKey{l, o}] = eE, eC
-			out.EpsEnergy[l] = math.Max(out.EpsEnergy[l], eE)
-			out.EpsCycles[l] = math.Max(out.EpsCycles[l], eC)
 		}
 	}
 
@@ -201,9 +213,9 @@ func SweepMultiFidelityContext(ctx context.Context, opts MultiFidelityOpts, laye
 	// microseconds per configuration.
 	screenStart := time.Now()
 	type fkey struct {
-		wl       string
-		org      javacard.Organization
-		m, fault string
+		wl            string
+		org           javacard.Organization
+		m, fault, arb string
 	}
 	type fres struct {
 		x   []float64
@@ -212,7 +224,7 @@ func SweepMultiFidelityContext(ctx context.Context, opts MultiFidelityOpts, laye
 	keySlot := map[fkey]int{}
 	var keyJobs []job // one representative job per unique key
 	for _, j := range jobs {
-		k := fkey{j.p.w.Name, j.cfg.Org, j.cfg.AddrMap, canonFault(j.cfg.Fault)}
+		k := fkey{j.p.w.Name, j.cfg.Org, j.cfg.AddrMap, canonFault(j.cfg.Fault), canonArb(j.cfg.Arb)}
 		if _, ok := keySlot[k]; !ok {
 			keySlot[k] = len(keyJobs)
 			keyJobs = append(keyJobs, j)
@@ -253,7 +265,7 @@ func SweepMultiFidelityContext(ctx context.Context, opts MultiFidelityOpts, laye
 	exempt := make([]bool, len(jobs)) // never prune: layer 3 or failed screen
 	for i, j := range jobs {
 		preds[i] = Prediction{Config: j.cfg, Workload: j.p.w.Name}
-		fr := featRes[keySlot[fkey{j.p.w.Name, j.cfg.Org, j.cfg.AddrMap, canonFault(j.cfg.Fault)}]]
+		fr := featRes[keySlot[fkey{j.p.w.Name, j.cfg.Org, j.cfg.AddrMap, canonFault(j.cfg.Fault), canonArb(j.cfg.Arb)}]]
 		if fr.err != nil {
 			// Conservative fallback: confirm exactly what could not be
 			// screened, and surface the screening failure.
@@ -265,7 +277,7 @@ func SweepMultiFidelityContext(ctx context.Context, opts MultiFidelityOpts, laye
 		if target == 3 {
 			target = AnalyticTargetLayer
 		}
-		e, c, err := model.Predict(target, calibGroup(j.cfg.Org), fr.x)
+		e, c, err := model.Predict(target, calibGroup(j.cfg.Org, j.cfg.Arb), fr.x)
 		if err != nil {
 			exempt[i] = true
 			joined = append(joined, fmt.Errorf("explore: screen %v/%s: %w", j.cfg, j.p.w.Name, err))
@@ -278,11 +290,19 @@ func SweepMultiFidelityContext(ctx context.Context, opts MultiFidelityOpts, laye
 			// costs one (already cached) counting run.
 			exempt[i] = true
 		}
+		if canonArb(j.cfg.Arb) != "" && canonFault(j.cfg.Fault) != "" {
+			// Faulted contention is outside the calibrated bands (arb
+			// groups are fitted clean-only): the prediction is reported
+			// but never trusted — the configuration is always confirmed
+			// exactly, and it never prunes anybody (exempt configurations
+			// are skipped as dominators below).
+			exempt[i] = true
+		}
 	}
 
 	// ---- ε-domination pruning, per workload.
 	bounds := func(i int) (loE, upE, loC, upC float64) {
-		k := epsKey{jobs[i].cfg.Layer, jobs[i].cfg.Org}
+		k := epsKey{jobs[i].cfg.Layer, jobs[i].cfg.Org, canonArb(jobs[i].cfg.Arb)}
 		eE, eC := epsE[k], epsC[k]
 		loE = preds[i].EnergyJ / (1 + eE)
 		loC = preds[i].Cycles / (1 + eC)

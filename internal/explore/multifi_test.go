@@ -143,7 +143,7 @@ func TestMultiFidelityEpsilonDerived(t *testing.T) {
 		}
 		var wantE, wantC float64
 		for _, o := range orgs {
-			lm, ok := model.Fits[calib.GroupKey{Layer: target, Group: calibGroup(o)}]
+			lm, ok := model.Fits[calib.GroupKey{Layer: target, Group: calibGroup(o, "")}]
 			if !ok {
 				t.Fatalf("model has no fit for layer %d org %s", target, o)
 			}
@@ -215,7 +215,7 @@ func TestRunLayer3Accuracy(t *testing.T) {
 			if err != nil {
 				t.Fatalf("L3 run: %v", err)
 			}
-			lm := model.Fits[calib.GroupKey{Layer: 2, Group: calibGroup(o)}]
+			lm := model.Fits[calib.GroupKey{Layer: 2, Group: calibGroup(o, "")}]
 			relE := math.Abs(pred.BusEnergyJ-exact.BusEnergyJ) / exact.BusEnergyJ
 			if relE > lm.EnergyMaxRel {
 				t.Errorf("%s/%s: L3 energy off by %.5f, band %.5f", o, m, relE, lm.EnergyMaxRel)

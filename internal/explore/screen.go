@@ -7,6 +7,7 @@ import (
 	"math"
 	"sync"
 
+	"repro/internal/arb"
 	"repro/internal/javacard"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -33,12 +34,16 @@ type countStats struct {
 // featKey identifies a traffic shape for the feature cache: the
 // workload's program fingerprint plus every configuration axis that
 // shapes traffic. The layer is deliberately absent — features do not
-// depend on it, which is exactly the sharing the cache exploits.
+// depend on it, which is exactly the sharing the cache exploits. The
+// arbitration policy IS present: a contended run carries the crypto
+// and DMA masters' traffic on top of the CPU's, so two configurations
+// differing only in arb policy must never share a cache entry.
 type featKey struct {
 	fp    uint64
 	org   javacard.Organization
 	amap  string
 	fault string
+	arb   string
 }
 
 // featCache memoizes counting runs process-wide. Counting is fully
@@ -60,7 +65,7 @@ const featCacheCap = 8192
 // countRun returns one configuration's feature vector and exact
 // traffic stats, via the cache when the shape has been counted before.
 func countRun(ctx context.Context, cfg Config, p prepared) (tlm3.Features, countStats, error) {
-	key := featKey{fp: p.fp, org: cfg.Org, amap: cfg.AddrMap, fault: canonFault(cfg.Fault)}
+	key := featKey{fp: p.fp, org: cfg.Org, amap: cfg.AddrMap, fault: canonFault(cfg.Fault), arb: canonArb(cfg.Arb)}
 	featMu.Lock()
 	v, ok := featCache[key]
 	featMu.Unlock()
@@ -91,6 +96,15 @@ func canonFault(f string) string {
 	return f
 }
 
+// canonArb folds the two spellings of the single-master system ("" and
+// "none") into one cache identity, matching ParseArbs's resolution.
+func canonArb(a string) string {
+	if a == "none" {
+		return ""
+	}
+	return a
+}
+
 // countRunUncached executes one configuration's workload against the
 // layer-3 counting bus: the full interpreter run with the same masters,
 // fault injectors and retry policy as a timed evaluation, but with
@@ -100,6 +114,9 @@ func canonFault(f string) string {
 func countRunUncached(ctx context.Context, cfg Config, p prepared) (tlm3.Features, countStats, error) {
 	if err := ctx.Err(); err != nil {
 		return tlm3.Features{}, countStats{}, &CancelledError{Config: cfg, Workload: p.w.Name, Cause: err}
+	}
+	if canonArb(cfg.Arb) != "" {
+		return countRunContended(ctx, cfg, p)
 	}
 	k := sim.New(0)
 	base, bmap, retry, err := buildMap(cfg, p, nil)
@@ -133,6 +150,56 @@ func countRunUncached(ctx context.Context, cfg Config, p prepared) (tlm3.Feature
 	return counter.Features(), st, nil
 }
 
+// countRunContended is the multi-master counting run: the same three
+// masters as runContended drive the layer-3 counting bus through an
+// arbitration mux. The Counter completes each transaction at its grant
+// cycle, so the counted event stream is the contended traffic — the
+// CPU's plus the crypto and DMA masters' — and the mux's grant and
+// contention tallies land in the Counter's arbitration counts.
+func countRunContended(ctx context.Context, cfg Config, p prepared) (tlm3.Features, countStats, error) {
+	policy, err := arb.ParsePolicy(canonArb(cfg.Arb))
+	if err != nil {
+		return tlm3.Features{}, countStats{}, err
+	}
+	k := sim.New(0)
+	mux := arb.NewMux(k, policy, contendedMasters)
+	base, bmap, retry, err := buildContendedMap(cfg, p, nil)
+	if err != nil {
+		return tlm3.Features{}, countStats{}, err
+	}
+	counter := tlm3.NewCounter(bmap)
+	mux.Bind(counter)
+	cm, de := attachContenders(k, mux, retry, nil)
+	adapter := javacard.NewMasterAdapter(k, mux.Port(portCPU), base, cfg.Org)
+	adapter.Retry = retry
+	fetcher := &blockingMaster{k: k, bus: mux.Port(portCPU), retry: retry}
+	mm, fw := p.w.Runtime()
+	vm := javacard.NewVM(p.prog, adapter, mm, fw)
+	vm.FetchHook = func(pc int) {
+		_ = fetcher.read8(uint64(pc) % romSize)
+	}
+	if err := runVM(ctx, vm); err != nil {
+		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			return tlm3.Features{}, countStats{}, &CancelledError{Config: cfg, Workload: p.w.Name, Cause: err}
+		}
+		return tlm3.Features{}, countStats{}, err
+	}
+	if err := adapter.Flush(); err != nil {
+		return tlm3.Features{}, countStats{}, err
+	}
+	if err := drainContenders(k, mux, cm, de); err != nil {
+		return tlm3.Features{}, countStats{}, err
+	}
+	counter.RecordArb(mux.TotalGrants(), mux.Contentions())
+	st := countStats{
+		tx:      adapter.Transactions + fetcher.n + cm.Transactions + de.Transactions,
+		retries: adapter.Retries + fetcher.retries + cm.Retries + de.Retries,
+		steps:   vm.Steps,
+		cycles:  counter.Cycles(),
+	}
+	return counter.Features(), st, nil
+}
+
 // runAnalytic evaluates a layer-3 configuration: one counting run
 // (cached across sweeps) plus one evaluation of the calibrated model.
 // Cycles and BusEnergyJ are the model's predictions of the
@@ -148,7 +215,7 @@ func runAnalytic(ctx context.Context, cfg Config, p prepared, metered bool) (Res
 	if err != nil {
 		return Result{}, err
 	}
-	energyJ, cycles, err := model.Predict(AnalyticTargetLayer, calibGroup(cfg.Org), f.Vector())
+	energyJ, cycles, err := model.Predict(AnalyticTargetLayer, calibGroup(cfg.Org, cfg.Arb), f.Vector())
 	if err != nil {
 		return Result{}, err
 	}

@@ -127,6 +127,18 @@ type FidelityCounters struct {
 	ConfirmNanos uint64 // wall clock spent confirming
 }
 
+// ArbCounters aggregates the multi-master arbitration activity of a
+// run: committed grants, grant attempts the bus refused, contention
+// windows (cycles with more than one requester), and the request/grant
+// wire energy. The zero value means the run was single-master and
+// nothing is reported.
+type ArbCounters struct {
+	Grants      uint64
+	GrantWaits  uint64
+	Contentions uint64
+	EnergyJ     float64
+}
+
 // FaultCounters aggregates injected-fault events observed by
 // fault.Injector instances attached to the registry.
 type FaultCounters struct {
@@ -181,6 +193,7 @@ type Registry struct {
 
 	fault    FaultCounters
 	fidelity FidelityCounters
+	arb      ArbCounters
 }
 
 // New creates an enabled registry labelled with the abstraction layer
@@ -410,6 +423,19 @@ func (r *Registry) FidelityConfirm(confirmed, nanos uint64) {
 	}
 	r.fidelity.Confirmed += confirmed
 	r.fidelity.ConfirmNanos += nanos
+}
+
+// Arbitration books a run's multi-master arbitration totals: grants
+// committed, grant attempts refused by the bus, contention windows and
+// the arbitration-wire energy.
+func (r *Registry) Arbitration(grants, grantWaits, contentions uint64, energyJ float64) {
+	if r == nil {
+		return
+	}
+	r.arb.Grants += grants
+	r.arb.GrantWaits += grantWaits
+	r.arb.Contentions += contentions
+	r.arb.EnergyJ += energyJ
 }
 
 // FaultReadError counts one injected read error.

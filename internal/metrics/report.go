@@ -47,6 +47,7 @@ type Snapshot struct {
 
 	Fault    FaultCounters
 	Fidelity FidelityCounters
+	Arb      ArbCounters
 }
 
 // Snapshot returns a copy of the registry's current state. Call
@@ -78,6 +79,7 @@ func (r *Registry) Snapshot() Snapshot {
 		Latency:       r.latency.snapshot(),
 		Fault:         r.fault,
 		Fidelity:      r.fidelity,
+		Arb:           r.arb,
 	}
 	for k := 0; k < int(NumPhaseKinds); k++ {
 		s.EnergyJ[k] = r.phase[k].sum
@@ -165,6 +167,10 @@ func (s Snapshot) Table() string {
 		fmt.Fprintf(&b, "  faults injected: %d read err  %d write err  %d corruptions  %d wait cycles  %d stretches\n",
 			f.ReadErrors, f.WriteErrors, f.Corruptions, f.ExtraWaits, f.Stretched)
 	}
+	if a := s.Arb; a != (ArbCounters{}) {
+		fmt.Fprintf(&b, "  arbitration: %d grants  %d grant waits  %d contention windows  %s wire energy\n",
+			a.Grants, a.GrantWaits, a.Contentions, fmtJ(a.EnergyJ))
+	}
 	if fi := s.Fidelity; fi != (FidelityCounters{}) {
 		fmt.Fprintf(&b, "  multi-fidelity: screened %d  pruned %d  confirmed %d  screen %.3fms  confirm %.3fms\n",
 			fi.Screened, fi.Pruned, fi.Confirmed,
@@ -229,6 +235,10 @@ func Diff(a, x Snapshot) string {
 			diffJ(&b, "@"+a.Slaves[i].Name, a.Slaves[i].EnergyJ, x.Slaves[i].EnergyJ)
 		}
 	}
+	diffU(&b, "arb-grants", a.Arb.Grants, x.Arb.Grants)
+	diffU(&b, "arb-waits", a.Arb.GrantWaits, x.Arb.GrantWaits)
+	diffU(&b, "arb-contend", a.Arb.Contentions, x.Arb.Contentions)
+	diffJ(&b, "arb-energy", a.Arb.EnergyJ, x.Arb.EnergyJ)
 	diffU(&b, "flt-rderr", a.Fault.ReadErrors, x.Fault.ReadErrors)
 	diffU(&b, "flt-wrerr", a.Fault.WriteErrors, x.Fault.WriteErrors)
 	diffU(&b, "flt-corrupt", a.Fault.Corruptions, x.Fault.Corruptions)

@@ -33,6 +33,7 @@ type ConfigRequest struct {
 	Org        string `json:"org"`
 	AddrMap    string `json:"addr_map"`
 	Fault      string `json:"fault,omitempty"`
+	Arb        string `json:"arb,omitempty"`
 	DeadlineMs int64  `json:"deadline_ms,omitempty"`
 }
 
@@ -44,6 +45,7 @@ type canonConfig struct {
 	Org      javacard.Organization
 	AddrMap  string
 	Fault    string
+	Arb      string
 }
 
 func canonicalizeConfig(req ConfigRequest) (canonConfig, error) {
@@ -67,6 +69,13 @@ func canonicalizeConfig(req ConfigRequest) (canonConfig, error) {
 		}
 	}
 	c.Fault = req.Fault
+	if req.Arb != "" && req.Arb != "none" {
+		arbs, err := explore.ParseArbs(req.Arb)
+		if err != nil || len(arbs) != 1 {
+			return c, fmt.Errorf("serve: unknown arbitration policy %q", req.Arb)
+		}
+		c.Arb = arbs[0]
+	}
 	found := false
 	for _, w := range javacard.Workloads() {
 		if w.Name == req.Workload {
@@ -99,8 +108,8 @@ func hashWorkload(h interface{ Write([]byte) (int, error) }, w javacard.Workload
 // bytes that would not be bit-identical.
 func (c canonConfig) key() string {
 	h := sha256.New()
-	fmt.Fprintf(h, "%s\x00config\x00%s\x00layer=%d\x00org=%s\x00map=%s\x00fault=%s\x00",
-		Version, calib.Version, c.Layer, c.Org.String(), c.AddrMap, c.Fault)
+	fmt.Fprintf(h, "%s\x00config\x00%s\x00layer=%d\x00org=%s\x00map=%s\x00fault=%s\x00arb=%s\x00",
+		Version, calib.Version, c.Layer, c.Org.String(), c.AddrMap, c.Fault, c.Arb)
 	hashWorkload(h, c.Workload)
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -109,11 +118,14 @@ func (c canonConfig) key() string {
 // and renders its NDJSON row — byte-identical to the line the same
 // configuration contributes inside a full sweep body.
 func computeConfig(ctx context.Context, c canonConfig) ([]byte, error) {
-	var faults []string
+	var faults, arbs []string
 	if c.Fault != "" {
 		faults = []string{c.Fault}
 	}
-	results, err := explore.SweepContext(ctx, explore.SweepOpts{Workers: 1, Faults: faults},
+	if c.Arb != "" {
+		arbs = []string{c.Arb}
+	}
+	results, err := explore.SweepContext(ctx, explore.SweepOpts{Workers: 1, Faults: faults, Arbs: arbs},
 		[]int{c.Layer}, []javacard.Organization{c.Org}, []string{c.AddrMap}, []javacard.Workload{c.Workload})
 	if cerr := ctx.Err(); cerr != nil {
 		return nil, cerr
@@ -224,7 +236,8 @@ func ConfigKey(req ConfigRequest) (string, error) {
 // ExpandSweep canonicalizes a sweep request and enumerates its cross
 // product as ConfigRequests in exactly the order the rows appear in a
 // single-node sweep body (workloads outer, then layers, organizations,
-// maps, faults — explore's canonical order). The coordinator fans these
+// maps, faults, arbitration policies — explore's canonical order). The
+// coordinator fans these
 // out and reassembles the body by concatenating the returned rows in
 // this order, then appending the trailer.
 func ExpandSweep(req SweepRequest) (key string, configs []ConfigRequest, err error) {
@@ -236,19 +249,26 @@ func ExpandSweep(req SweepRequest) (key string, configs []ConfigRequest, err err
 	if len(faults) == 0 {
 		faults = []string{""}
 	}
+	arbs := c.Arbs
+	if len(arbs) == 0 {
+		arbs = []string{""}
+	}
 	for _, w := range c.Workloads {
 		for _, l := range c.Layers {
 			for _, o := range c.Orgs {
 				for _, m := range c.Maps {
 					for _, f := range faults {
-						configs = append(configs, ConfigRequest{
-							Workload:   w.Name,
-							Layer:      l,
-							Org:        o.String(),
-							AddrMap:    m,
-							Fault:      f,
-							DeadlineMs: req.DeadlineMs,
-						})
+						for _, a := range arbs {
+							configs = append(configs, ConfigRequest{
+								Workload:   w.Name,
+								Layer:      l,
+								Org:        o.String(),
+								AddrMap:    m,
+								Fault:      f,
+								Arb:        a,
+								DeadlineMs: req.DeadlineMs,
+							})
+						}
 					}
 				}
 			}

@@ -20,7 +20,7 @@ import (
 // required whenever a change legitimately moves an energy figure (a
 // model fix, a corpus change). Caching is only sound because the
 // simulators are deterministic; the golden gate keeps them that way.
-const Version = "ecserve/1"
+const Version = "ecserve/2"
 
 // EstimateRequest asks for one corpus × layer × fault-plan energy
 // estimation point: the body of POST /v1/estimate.
@@ -146,6 +146,7 @@ type SweepRequest struct {
 	AddrMaps  []string `json:"addr_maps,omitempty"` // default ["near", "far"]
 	Workloads []string `json:"workloads,omitempty"` // default all named workloads
 	Faults    []string `json:"faults,omitempty"`    // named plans; empty = clean only
+	Arbs      []string `json:"arbs,omitempty"`      // arbitration policies; empty = single master
 	// Fidelity selects how the sweep spends its time (explore.Fidelities):
 	// "exhaustive" (default) evaluates every configuration at its
 	// requested layer; "screen" returns analytic predictions only;
@@ -169,6 +170,7 @@ type SweepRow struct {
 	Org        string  `json:"org"`
 	AddrMap    string  `json:"addr_map"`
 	Fault      string  `json:"fault,omitempty"`
+	Arb        string  `json:"arb,omitempty"`
 	Cycles     uint64  `json:"cycles"`
 	EnergyJ    float64 `json:"energy_j"`
 	EnergyBits string  `json:"energy_bits"`
@@ -207,6 +209,7 @@ type canonSweep struct {
 	Maps      []string
 	Workloads []javacard.Workload
 	Faults    []string
+	Arbs      []string
 	Fidelity  explore.Fidelity
 }
 
@@ -296,6 +299,13 @@ func canonicalizeSweep(req SweepRequest) (canonSweep, error) {
 		}
 		c.Faults = names
 	}
+	if len(req.Arbs) > 0 {
+		arbs, err := explore.ParseArbs(strings.Join(req.Arbs, ","))
+		if err != nil {
+			return c, fmt.Errorf("serve: %w", err)
+		}
+		c.Arbs = arbs
+	}
 	return c, nil
 }
 
@@ -308,8 +318,8 @@ func (c canonSweep) key() string {
 	// The calibration version is part of the address: layer-3 rows and
 	// the screen/confirm fidelities are functions of the fitted model,
 	// so a new fit procedure must miss the old cache entries.
-	fmt.Fprintf(h, "%s\x00sweep\x00%s\x00fidelity=%s\x00layers=%v\x00orgs=%v\x00maps=%v\x00faults=%v\x00",
-		Version, calib.Version, c.Fidelity, c.Layers, c.OrgNames, c.Maps, c.Faults)
+	fmt.Fprintf(h, "%s\x00sweep\x00%s\x00fidelity=%s\x00layers=%v\x00orgs=%v\x00maps=%v\x00faults=%v\x00arbs=%v\x00",
+		Version, calib.Version, c.Fidelity, c.Layers, c.OrgNames, c.Maps, c.Faults, c.Arbs)
 	for _, w := range c.Workloads {
 		hashWorkload(h, w)
 	}

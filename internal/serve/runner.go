@@ -75,7 +75,7 @@ func EnergyFromBits(s string) (float64, error) {
 // exactly as it always has; the screen and confirm fidelities add
 // their accounting to the trailer.
 func (s *Server) computeSweep(ctx context.Context, key string, c canonSweep) ([]byte, error) {
-	opts := explore.SweepOpts{Workers: s.opts.SweepWorkers, Faults: c.Faults}
+	opts := explore.SweepOpts{Workers: s.opts.SweepWorkers, Faults: c.Faults, Arbs: c.Arbs}
 	if c.Fidelity != explore.FidelityExhaustive {
 		return s.computeSweepMultiFi(ctx, key, c, opts)
 	}
@@ -124,6 +124,7 @@ func (s *Server) computeSweepMultiFi(ctx context.Context, key string, c canonSwe
 				Org:        p.Org.String(),
 				AddrMap:    p.AddrMap,
 				Fault:      p.Fault,
+				Arb:        p.Arb,
 				Cycles:     uint64(math.Round(p.Cycles)),
 				EnergyJ:    p.EnergyJ,
 				EnergyBits: EnergyBits(p.EnergyJ),
@@ -169,6 +170,7 @@ func exactRow(r explore.Result) SweepRow {
 		Org:        r.Config.Org.String(),
 		AddrMap:    r.Config.AddrMap,
 		Fault:      r.Config.Fault,
+		Arb:        r.Config.Arb,
 		Cycles:     r.Cycles,
 		EnergyJ:    r.BusEnergyJ,
 		EnergyBits: EnergyBits(r.BusEnergyJ),

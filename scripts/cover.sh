@@ -15,9 +15,11 @@ repro/internal/batch:70
 repro/internal/tlm3:70
 repro/internal/calib:70
 repro/internal/cluster:70
+repro/internal/arb:70
+repro/internal/dma:70
 "
 
-out=$(go test -cover ./internal/metrics/ ./internal/fault/ ./internal/checker/ ./internal/batch/ ./internal/tlm3/ ./internal/calib/ ./internal/cluster/)
+out=$(go test -cover ./internal/metrics/ ./internal/fault/ ./internal/checker/ ./internal/batch/ ./internal/tlm3/ ./internal/calib/ ./internal/cluster/ ./internal/arb/ ./internal/dma/)
 echo "$out"
 
 fail=0

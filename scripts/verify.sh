@@ -14,8 +14,8 @@ go test ./...
 echo "== vet"
 go vet ./...
 
-echo "== race gate (explore, sim, fault, serve, batch, tlm3, calib, cluster)"
-go test -race ./internal/explore/... ./internal/sim/... ./internal/fault/... ./internal/serve/... ./internal/batch/... ./internal/tlm3/... ./internal/calib/... ./internal/cluster/...
+echo "== race gate (explore, sim, fault, serve, batch, tlm3, calib, cluster, arb, dma, crypto)"
+go test -race ./internal/explore/... ./internal/sim/... ./internal/fault/... ./internal/serve/... ./internal/batch/... ./internal/tlm3/... ./internal/calib/... ./internal/cluster/... ./internal/arb/... ./internal/dma/... ./internal/crypto/...
 
 echo "== coverage floors"
 ./scripts/cover.sh
@@ -24,6 +24,7 @@ echo "== fuzz smoke (10s per target)"
 go test -run '^$' -fuzz '^FuzzPlanParse$' -fuzztime 10s ./internal/fault/
 go test -run '^$' -fuzz '^FuzzWithoutReadErrors$' -fuzztime 10s ./internal/fault/
 go test -run '^$' -fuzz '^FuzzCheckerRules$' -fuzztime 10s ./internal/checker/
+go test -run '^$' -fuzz '^FuzzArbiterGrant$' -fuzztime 10s ./internal/arb/
 
 echo "== fault-plan smoke (ecbench)"
 go run ./cmd/ecbench -fault grind > /dev/null
@@ -38,6 +39,14 @@ if [ -z "$screened" ] || [ -z "$confirmed" ] || \
 	echo "verify: multi-fidelity smoke wants screened > confirmed > 0, got screened=$screened confirmed=$confirmed" >&2
 	exit 1
 fi
+
+echo "== arbitration smoke (jcexplore -arb, both policies)"
+arbout=$(go run ./cmd/jcexplore -arb fixed,rr -workload stack-churn -layer 1)
+echo "$arbout" | head -4
+for pol in fixed rr; do
+	echo "$arbout" | grep -q "/$pol\b" || {
+		echo "verify: arbitration smoke missing $pol rows" >&2; exit 1; }
+done
 
 echo "== cluster smoke (2 nodes, SIGKILL one mid-sweep)"
 tmpd=$(mktemp -d)
