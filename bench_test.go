@@ -27,11 +27,13 @@ import (
 	"repro/internal/fault"
 	"repro/internal/gatepower"
 	"repro/internal/javacard"
+	"repro/internal/journal"
 	"repro/internal/logic"
 	"repro/internal/mem"
 	"repro/internal/platform"
 	"repro/internal/rtlbus"
 	"repro/internal/sim"
+	"repro/internal/tear"
 	"repro/internal/tlm1"
 	"repro/internal/tlm2"
 	"repro/internal/tlm3"
@@ -570,3 +572,26 @@ func BenchmarkScreenConfig(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkTearSession is one complete tear-and-recover cycle per
+// iteration: the multi-applet APDU session torn mid-flight, the EEPROM
+// corrupted in the programming window, and the power-up replay
+// restoring the committed prefix (verified every iteration).
+func benchTearSession(b *testing.B, strategy string) {
+	b.Helper()
+	plan, _ := tear.Named("tear-mid")
+	strat, _ := journal.Named(strategy)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := tear.RunSession(platform.Layer1, plan, strat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Torn {
+			b.Fatal("tear-mid did not fire")
+		}
+	}
+}
+
+func BenchmarkTearSession_WordEager(b *testing.B) { benchTearSession(b, "word-eager") }
+func BenchmarkTearSession_PageLazy(b *testing.B)  { benchTearSession(b, "page-lazy") }

@@ -11,6 +11,8 @@
 //	ecbench -explore     # the case-study sweep only
 //	ecbench -explore -layer 1,2,3  # sweep a chosen layer list (3 = analytic)
 //	ecbench -fault grind # the fault-robustness table only (plans: none, flaky, storm, grind)
+//	ecbench -tear tear-early,tear-mid,tear-late  # card-tear session grid (plans × strategies)
+//	ecbench -journal word-eager,page-lazy        # restrict the tear grid's strategy axis
 //	ecbench -metrics     # per-layer metrics breakdown + clean-vs-fault diff (plan from -fault, default storm)
 //	ecbench -batch 64    # serial-vs-batched corpus estimation table at this lane width
 //	ecbench -n 200000    # transactions per Table-3 measurement
@@ -25,13 +27,27 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strings"
 
 	"repro/internal/batch"
 	"repro/internal/bench"
 	"repro/internal/explore"
 	"repro/internal/fault"
+	"repro/internal/platform"
 )
+
+// tearNamesForGrid maps explore's canonical axis spellings (where
+// "none" folds to "") back to the grid vocabulary, which spells the
+// inactive cell out as "none".
+func tearNamesForGrid(names []string) []string {
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		if n == "" {
+			n = "none"
+		}
+		out = append(out, n)
+	}
+	return out
+}
 
 func main() {
 	table := flag.Int("table", 0, "print only table 1, 2 or 3")
@@ -39,6 +55,8 @@ func main() {
 	exploreOnly := flag.Bool("explore", false, "print only the case-study exploration")
 	layerSpec := flag.String("layer", "", "comma-separated exploration sweep layers (valid: "+explore.LayerVocab()+"); empty = 1,2")
 	faultPlan := flag.String("fault", "", "print only the fault-robustness table for this plan (none, flaky, storm, grind)")
+	tearSpec := flag.String("tear", "", "print only the card-tear session grid for these comma-separated plans (none, tear-early, tear-mid, tear-late)")
+	journalSpec := flag.String("journal", "", "journaling strategies for the card-tear grid (none, word-eager, word-lazy, page-eager, page-lazy); implies the grid")
 	metricsOn := flag.Bool("metrics", false, "print the per-layer metrics report; diffs clean vs the -fault plan (default storm)")
 	batchN := flag.Int("batch", 0, "print only the serial-vs-batched corpus table at this lane width (1..64)")
 	n := flag.Int("n", 100000, "transactions per Table-3 measurement run")
@@ -50,14 +68,34 @@ func main() {
 
 	// Validate the fault plan before any table runs: a typo must exit
 	// non-zero up front with the valid vocabulary, not after minutes of
-	// simulation (and never degrade to a clean run).
+	// simulation (and never degrade to a clean run). ParseNames also
+	// redirects card-tear plan names to the -tear axis.
 	if *faultPlan != "" {
-		if _, ok := fault.Named(*faultPlan); !ok {
-			fmt.Fprintf(os.Stderr, "ecbench: unknown fault plan %q (valid plans: %s)\n",
-				*faultPlan, strings.Join(fault.Names, ", "))
+		if _, err := fault.ParseNames(*faultPlan); err != nil {
+			fmt.Fprintln(os.Stderr, "ecbench:", err)
 			os.Exit(2)
 		}
 	}
+
+	// The tear grid's vocabularies get the same up-front treatment.
+	var tearPlans, tearStrategies []string
+	if *tearSpec != "" {
+		names, err := explore.ParseTears(*tearSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ecbench:", err)
+			os.Exit(2)
+		}
+		tearPlans = tearNamesForGrid(names)
+	}
+	if *journalSpec != "" {
+		names, err := explore.ParseJournals(*journalSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ecbench:", err)
+			os.Exit(2)
+		}
+		tearStrategies = tearNamesForGrid(names)
+	}
+	tearGrid := *tearSpec != "" || *journalSpec != ""
 
 	// Same up-front discipline for the exploration layer list: reject
 	// an unknown layer before any table spends minutes simulating.
@@ -113,7 +151,7 @@ func main() {
 	}
 
 	all := *table == 0 && *figure == 0 && !*exploreOnly && *faultPlan == "" && !*metricsOn &&
-		*batchN == 0
+		*batchN == 0 && !tearGrid
 
 	if all || *table == 1 {
 		_, text := bench.Table1()
@@ -152,6 +190,14 @@ func main() {
 	}
 	if *batchN > 0 {
 		text, err := bench.BatchTable(*batchN)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ecbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(text)
+	}
+	if tearGrid {
+		text, err := bench.TearTable(platform.Layer1, tearPlans, tearStrategies)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ecbench:", err)
 			os.Exit(1)

@@ -12,6 +12,7 @@
 //	jcexplore -workload wallet
 //	jcexplore -faults none,flaky  # add fault-plan sweep axis
 //	jcexplore -arb none,rr    # add arbitration-policy sweep axis (multi-master)
+//	jcexplore -tear none,tear-mid -journal none,word-eager  # card-tear × journaling axes
 //	jcexplore -batch 64 -layer 1  # batched corpus campaign instead of the sweep
 //	jcexplore -report         # per-configuration metrics breakdown after the tables
 //	jcexplore -workers 1      # serial sweep (default: one worker per CPU)
@@ -47,6 +48,8 @@ func main() {
 	workload := flag.String("workload", "", "restrict to one workload (arith-loop, stack-churn, wallet)")
 	faults := flag.String("faults", "", "comma-separated fault plans as an extra sweep axis (none, flaky, storm, grind)")
 	arbSpec := flag.String("arb", "", "comma-separated arbitration policies as an extra sweep axis (none, fixed, rr)")
+	tearSpec := flag.String("tear", "", "comma-separated card-tear plans as an extra sweep axis (none, tear-early, tear-mid, tear-late)")
+	journalSpec := flag.String("journal", "", "comma-separated journaling strategies as an extra sweep axis (none, word-eager, word-lazy, page-eager, page-lazy)")
 	batchN := flag.Int("batch", 0, "run the batched corpus campaign at this lane width (1..64) instead of the sweep")
 	report := flag.Bool("report", false, "collect per-configuration metrics and print the run-report breakdown")
 	workers := flag.Int("workers", 0, "parallel sweep workers; 0 = one per CPU")
@@ -136,6 +139,38 @@ func main() {
 		arbNames = names
 	}
 
+	var tearNames, journalNames []string
+	if *tearSpec != "" {
+		names, err := explore.ParseTears(*tearSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jcexplore:", err)
+			os.Exit(2)
+		}
+		tearNames = names
+	}
+	if *journalSpec != "" {
+		names, err := explore.ParseJournals(*journalSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jcexplore:", err)
+			os.Exit(2)
+		}
+		journalNames = names
+	}
+	// Active tear/journal axes need a timed single-master bus; reject the
+	// impossible combinations up front, like the serve endpoints do.
+	if activeAxis(tearNames) || activeAxis(journalNames) {
+		for _, l := range layers {
+			if l != 1 && l != 2 {
+				fmt.Fprintf(os.Stderr, "jcexplore: -tear/-journal need timed layers (1, 2); layer %d requested\n", l)
+				os.Exit(2)
+			}
+		}
+		if activeAxis(arbNames) {
+			fmt.Fprintln(os.Stderr, "jcexplore: -tear/-journal are single-master only; drop -arb")
+			os.Exit(2)
+		}
+	}
+
 	if *batchN != 0 {
 		// Batched campaign mode: the bit-parallel engine models layers 0
 		// and 1; -layer here names the batched layer directly (default:
@@ -173,7 +208,7 @@ func main() {
 		if *report || *progress {
 			fmt.Fprintln(os.Stderr, "jcexplore: -report and -progress are local-only; ignored with -remote")
 		}
-		results, err := remoteSweep(*remote, fid, layers, workloads, faultNames, arbNames)
+		results, err := remoteSweep(*remote, fid, layers, workloads, faultNames, arbNames, tearNames, journalNames)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "jcexplore:", err)
 			os.Exit(1)
@@ -182,7 +217,8 @@ func main() {
 		return
 	}
 
-	opts := explore.SweepOpts{Workers: *workers, Metrics: *report, Faults: faultNames, Arbs: arbNames}
+	opts := explore.SweepOpts{Workers: *workers, Metrics: *report, Faults: faultNames, Arbs: arbNames,
+		Tears: tearNames, Journals: journalNames}
 	if *progress {
 		opts.OnResult = func(r explore.Result, err error) {
 			if err != nil {
@@ -208,6 +244,17 @@ func main() {
 		}
 	}
 	printTables(results, *report)
+}
+
+// activeAxis reports whether a parsed axis list contains a non-empty
+// (active) entry — lists of only "none" spellings stay unrestricted.
+func activeAxis(names []string) bool {
+	for _, n := range names {
+		if n != "" {
+			return true
+		}
+	}
+	return false
 }
 
 // runMultiFidelity runs the screen or confirm fidelity and prints the
@@ -294,8 +341,9 @@ func printTables(results []explore.Result, report bool) {
 // the entry node irrelevant), so failover never changes the result.
 // Energies come from the exact IEEE-754 bit pattern in the stream, so
 // the printed tables are identical to a local run of the same axes.
-func remoteSweep(base string, fid explore.Fidelity, layers []int, workloads []javacard.Workload, faultNames, arbNames []string) ([]explore.Result, error) {
-	req := serve.SweepRequest{Layers: layers, Faults: faultNames, Arbs: arbNames, Fidelity: string(fid)}
+func remoteSweep(base string, fid explore.Fidelity, layers []int, workloads []javacard.Workload, faultNames, arbNames, tearNames, journalNames []string) ([]explore.Result, error) {
+	req := serve.SweepRequest{Layers: layers, Faults: faultNames, Arbs: arbNames,
+		Tears: tearNames, Journals: journalNames, Fidelity: string(fid)}
 	for _, w := range workloads {
 		req.Workloads = append(req.Workloads, w.Name)
 	}
@@ -373,6 +421,12 @@ func rowsToResults(rows []serve.SweepRow, trailer serve.SweepTrailer) ([]explore
 		if err != nil {
 			return nil, err
 		}
+		var recovery float64
+		if row.RecoveryBits != "" {
+			if recovery, err = serve.EnergyFromBits(row.RecoveryBits); err != nil {
+				return nil, err
+			}
+		}
 		results = append(results, explore.Result{
 			Config: explore.Config{
 				Layer:   row.Layer,
@@ -380,6 +434,8 @@ func rowsToResults(rows []serve.SweepRow, trailer serve.SweepTrailer) ([]explore
 				AddrMap: row.AddrMap,
 				Fault:   row.Fault,
 				Arb:     row.Arb,
+				Tear:    row.Tear,
+				Journal: row.Journal,
 			},
 			Workload:     row.Workload,
 			Cycles:       row.Cycles,
@@ -387,6 +443,9 @@ func rowsToResults(rows []serve.SweepRow, trailer serve.SweepTrailer) ([]explore
 			Transactions: row.Tx,
 			Retries:      row.Retries,
 			Steps:        row.Steps,
+			Torn:         row.Torn,
+			CutCycle:     row.CutCycle,
+			RecoveryJ:    recovery,
 		})
 	}
 	return results, nil

@@ -126,5 +126,20 @@ const (
 	InsCredit  = 0xC0
 )
 
-// WalletAID is the applet identifier SELECT expects.
+// Auth applet instruction set (same class; SELECT switches applets).
+const (
+	InsVerify = 0x20 // VERIFY: compare the presented PIN, burn a try on mismatch
+	InsTries  = 0xCA // GET DATA: remaining PIN tries (1 data byte)
+)
+
+// Auth applet status words.
+const (
+	SWAuthFailed  = 0x63C0 // wrong PIN; low nibble carries the remaining tries
+	SWAuthBlocked = 0x6983 // retry budget exhausted, applet blocked
+)
+
+// WalletAID is the wallet applet identifier SELECT expects.
 var WalletAID = []byte{0xA0, 0x00, 0x00, 0x07, 0x57}
+
+// AuthAID is the PIN-auth applet identifier.
+var AuthAID = []byte{0xA0, 0x00, 0x00, 0x07, 0x42}

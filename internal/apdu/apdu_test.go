@@ -124,8 +124,9 @@ func TestWalletSession(t *testing.T) {
 	if w, _ := p.EEPROM.ReadWord(platform.EEPROMBase, ecbus.W32); w != 950 {
 		t.Fatalf("EEPROM balance = %d", w)
 	}
-	if p.EEPROM.Programs() != 2 {
-		t.Fatalf("EEPROM programmed %d times, want 2", p.EEPROM.Programs())
+	// Each balance update programs two words: balance + tx counter.
+	if p.EEPROM.Programs() != 4 {
+		t.Fatalf("EEPROM programmed %d times, want 4", p.EEPROM.Programs())
 	}
 	if p.BusEnergy() <= 0 || p.PeripheralEnergy() <= 0 {
 		t.Fatal("session consumed no energy")

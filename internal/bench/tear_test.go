@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestTearGrid(t *testing.T) {
+	rows, err := TearGrid(platform.Layer1,
+		[]string{"none", "tear-early", "tear-mid"},
+		[]string{"none", "word-eager", "page-lazy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("%d rows, want 9", len(rows))
+	}
+	for _, r := range rows {
+		if r.Plan == "none" {
+			if r.Torn || r.RecoveryJ != 0 {
+				t.Fatalf("untorn cell torn: %+v", r)
+			}
+			continue
+		}
+		// tear-mid cuts at program op 8; the unjournaled session programs
+		// only 7 words, so that cell legitimately completes untorn.
+		if !r.Torn {
+			if r.Plan == "tear-mid" && r.Strategy == "none" {
+				continue
+			}
+			t.Fatalf("%s/%s did not tear", r.Plan, r.Strategy)
+		}
+		if r.Strategy != "none" && r.RecoveryJ <= 0 {
+			t.Fatalf("journaled torn cell has free recovery: %+v", r)
+		}
+		if r.Strategy == "none" && (r.Commits != 0 || r.Frames != 0) {
+			t.Fatalf("unjournaled cell journaled: %+v", r)
+		}
+	}
+}
+
+func TestTearGridRejectsUnknownNames(t *testing.T) {
+	if _, err := TearGrid(platform.Layer1, []string{"tear-sideways"}, []string{"none"}); err == nil {
+		t.Fatal("unknown plan accepted")
+	}
+	if _, err := TearGrid(platform.Layer1, []string{"none"}, []string{"word-sometimes"}); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestTearTableRenders(t *testing.T) {
+	tbl, err := TearTable(platform.Layer1, []string{"none", "tear-early"}, []string{"none", "word-eager"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Strategy", "word-eager", "tear-early", "recovery[pJ]"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("table misses %q:\n%s", want, tbl)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package checker
+
+import (
+	"fmt"
+
+	"repro/internal/journal"
+)
+
+// Persist is the persistence-protocol monitor: the journaling
+// counterpart of the wire-level Checker. It consumes the journal's
+// protocol events plus the data-window reads of the recovering
+// application and enforces the two tearing-protection invariants:
+//
+//	J1  Write ordering. A frame's commit marker must come strictly
+//	    after all of that frame's journal records, and its in-place
+//	    data writes strictly after the marker — the record → marker →
+//	    in-place discipline that makes a tear at any point recoverable.
+//	    A marker sealing a frame with no records, or a stray in-place
+//	    write with no preceding marker for its sequence, is flagged.
+//	J2  No premature reads. A word left indeterminate by a tear (a
+//	    partial NVM write) must not be read by the application before
+//	    replay has completed (EvReplayDone) — before that point the
+//	    word's value is garbage the journal has not yet repaired.
+//
+// Wire it up by setting a journal Writer's Obs (and the Replay obs) to
+// Observe, feeding application-level data-window reads to ObserveRead,
+// and marking each mem.TornWord with MarkTorn at the power cycle.
+type Persist struct {
+	cycle func() uint64
+
+	records    map[uint32]int // open frames: seq -> records seen
+	marked     map[uint32]bool
+	torn       map[uint64]bool
+	replayDone bool
+
+	violations []Violation
+}
+
+// NewPersist returns a persistence monitor; cycle supplies the current
+// simulation cycle for violation reports (nil is allowed and reports
+// cycle 0).
+func NewPersist(cycle func() uint64) *Persist {
+	if cycle == nil {
+		cycle = func() uint64 { return 0 }
+	}
+	return &Persist{
+		cycle:   cycle,
+		records: map[uint32]int{},
+		marked:  map[uint32]bool{},
+		torn:    map[uint64]bool{},
+	}
+}
+
+// Violations returns all detected violations.
+func (p *Persist) Violations() []Violation { return p.violations }
+
+// Clean reports whether no violation was seen.
+func (p *Persist) Clean() bool { return len(p.violations) == 0 }
+
+func (p *Persist) flag(rule, format string, a ...any) {
+	p.violations = append(p.violations, Violation{
+		Cycle: p.cycle(), Rule: rule, Info: fmt.Sprintf(format, a...),
+	})
+}
+
+// Observe consumes one journal protocol event.
+func (p *Persist) Observe(e journal.Event) {
+	switch e.Kind {
+	case journal.EvRecord:
+		if p.marked[e.Seq] {
+			p.flag("J1", "journal record for frame %d after its commit marker", e.Seq)
+		}
+		p.records[e.Seq]++
+	case journal.EvMarker:
+		if p.marked[e.Seq] {
+			p.flag("J1", "duplicate commit marker for frame %d", e.Seq)
+		}
+		if p.records[e.Seq] == 0 {
+			p.flag("J1", "commit marker for frame %d with no preceding records", e.Seq)
+		}
+		p.marked[e.Seq] = true
+	case journal.EvInPlace:
+		if !p.marked[e.Seq] {
+			p.flag("J1", "in-place write at %#x before frame %d's commit marker", e.Addr, e.Seq)
+		}
+	case journal.EvReplayApply:
+		// Replay repairs the word: it is determinate again.
+		delete(p.torn, e.Addr)
+	case journal.EvReplayDone:
+		p.replayDone = true
+		p.torn = map[uint64]bool{}
+	}
+}
+
+// MarkTorn records a word left indeterminate by a power loss; replay
+// completion (or an explicit replay apply of the word) clears it.
+func (p *Persist) MarkTorn(addr uint64) {
+	p.torn[addr&^3] = true
+	p.replayDone = false
+}
+
+// ObserveRead checks an application-level read of the data window
+// against the J2 rule. Journal-area reads (the replay's own scan) must
+// not be fed here — the replay legitimately reads before it is done.
+func (p *Persist) ObserveRead(addr uint64) {
+	if p.torn[addr&^3] && !p.replayDone {
+		p.flag("J2", "read of torn word %#x before replay completed", addr&^3)
+	}
+}

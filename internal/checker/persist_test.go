@@ -1,0 +1,179 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/journal"
+)
+
+// ev is shorthand for building event traces in the rule tables.
+func ev(k journal.EventKind, seq uint32, addr uint64) journal.Event {
+	return journal.Event{Kind: k, Seq: seq, Addr: addr}
+}
+
+func TestPersistRuleTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		events   []journal.Event
+		torn     []uint64 // MarkTorn before the reads
+		reads    []uint64 // ObserveRead after the events
+		wantRule string   // "" = clean
+	}{
+		{
+			name: "clean frame",
+			events: []journal.Event{
+				ev(journal.EvRecord, 1, 0x100), ev(journal.EvRecord, 1, 0x104),
+				ev(journal.EvMarker, 1, 0x108),
+				ev(journal.EvInPlace, 1, 0x10),
+			},
+		},
+		{
+			name: "two interleaved clean frames",
+			events: []journal.Event{
+				ev(journal.EvRecord, 1, 0x100), ev(journal.EvMarker, 1, 0x104),
+				ev(journal.EvInPlace, 1, 0x10),
+				ev(journal.EvRecord, 2, 0x108), ev(journal.EvMarker, 2, 0x10C),
+				ev(journal.EvInPlace, 2, 0x14),
+			},
+		},
+		{
+			name: "in-place before marker",
+			events: []journal.Event{
+				ev(journal.EvRecord, 1, 0x100),
+				ev(journal.EvInPlace, 1, 0x10),
+				ev(journal.EvMarker, 1, 0x104),
+			},
+			wantRule: "J1",
+		},
+		{
+			name:     "marker without records",
+			events:   []journal.Event{ev(journal.EvMarker, 1, 0x100)},
+			wantRule: "J1",
+		},
+		{
+			name: "record after its marker",
+			events: []journal.Event{
+				ev(journal.EvRecord, 1, 0x100), ev(journal.EvMarker, 1, 0x104),
+				ev(journal.EvRecord, 1, 0x108),
+			},
+			wantRule: "J1",
+		},
+		{
+			name: "duplicate marker",
+			events: []journal.Event{
+				ev(journal.EvRecord, 1, 0x100), ev(journal.EvMarker, 1, 0x104),
+				ev(journal.EvMarker, 1, 0x108),
+			},
+			wantRule: "J1",
+		},
+		{
+			name:     "in-place write with no marker at all",
+			events:   []journal.Event{ev(journal.EvInPlace, 3, 0x10)},
+			wantRule: "J1",
+		},
+		{
+			name:     "read of torn word before replay",
+			torn:     []uint64{0x20},
+			reads:    []uint64{0x20},
+			wantRule: "J2",
+		},
+		{
+			name: "read of torn word after replay done",
+			torn: []uint64{0x20},
+			events: []journal.Event{
+				ev(journal.EvRecord, 1, 0x100), ev(journal.EvMarker, 1, 0x104),
+				ev(journal.EvReplayDone, 0, 0),
+			},
+			reads: []uint64{0x20},
+		},
+		{
+			name:   "read of torn word repaired by replay apply",
+			torn:   []uint64{0x20},
+			events: []journal.Event{ev(journal.EvReplayApply, 1, 0x20)},
+			reads:  []uint64{0x20},
+		},
+		{
+			name:  "read of untorn word during recovery",
+			torn:  []uint64{0x20},
+			reads: []uint64{0x24},
+		},
+		{
+			name:     "torn sub-word address folds to its word",
+			torn:     []uint64{0x20},
+			reads:    []uint64{0x22},
+			wantRule: "J2",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var cyc uint64 = 7
+			p := NewPersist(func() uint64 { return cyc })
+			for _, a := range tc.torn {
+				p.MarkTorn(a)
+			}
+			for _, e := range tc.events {
+				p.Observe(e)
+			}
+			for _, a := range tc.reads {
+				p.ObserveRead(a)
+			}
+			if tc.wantRule == "" {
+				if !p.Clean() {
+					t.Fatalf("want clean, got %v", p.Violations())
+				}
+				return
+			}
+			if p.Clean() {
+				t.Fatalf("want a %s violation, got clean", tc.wantRule)
+			}
+			v := p.Violations()[0]
+			if v.Rule != tc.wantRule {
+				t.Fatalf("rule = %s, want %s (%v)", v.Rule, tc.wantRule, v)
+			}
+			if v.Cycle != 7 {
+				t.Fatalf("violation cycle = %d, want the injected clock", v.Cycle)
+			}
+			if !strings.Contains(v.String(), tc.wantRule) {
+				t.Fatalf("String() misses the rule: %s", v.String())
+			}
+		})
+	}
+}
+
+// The monitor plugs straight into a journal Writer: a full write/tear/
+// replay round trip over the real protocol must come out clean.
+func TestPersistAgainstRealWriter(t *testing.T) {
+	bus := &mapBus{words: map[uint64]uint32{}}
+	reg := journal.Region{DataBase: 0x1000, JournalBase: 0x1100, JournalSize: 0x200}
+	p := NewPersist(nil)
+
+	s, _ := journal.Named("word-lazy")
+	w := journal.NewWriter(s, reg, bus)
+	w.Obs = p.Observe
+	w.Begin()
+	if err := w.Write(0x1000, 0xAB); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	p.MarkTorn(0x1000) // pretend the in-place write tore
+	if _, err := journal.Replay(s, reg, bus, nil, p.Observe); err != nil {
+		t.Fatal(err)
+	}
+	p.ObserveRead(0x1000) // safe: replay completed
+	if !p.Clean() {
+		t.Fatalf("round trip flagged: %v", p.Violations())
+	}
+}
+
+// mapBus is a minimal journal.BusRW for the round-trip test.
+type mapBus struct{ words map[uint64]uint32 }
+
+func (b *mapBus) ReadWord(addr uint64) (uint32, error) { return b.words[addr], nil }
+func (b *mapBus) WriteWord(addr uint64, data uint32) error {
+	b.words[addr] = data
+	return nil
+}

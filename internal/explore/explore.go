@@ -173,12 +173,15 @@ type Config struct {
 	AddrMap string // named address map (AllAddrMaps)
 	Fault   string // named fault plan (fault.Names); "" or "none" = clean
 	Arb     string // arbitration policy (ArbPolicies); "" = single master
+	Tear    string // named tear plan (tear.Names); "" or "none" = never torn
+	Journal string // journal strategy (journal.Names); "" or "none" = unjournaled
 }
 
 // String renders the configuration compactly. Clean single-master
-// configurations keep the historical three-part form; the fault plan
-// and arbitration policy append, in that order, only when active (the
-// two vocabularies are disjoint, so the rendering stays unambiguous).
+// configurations keep the historical three-part form; the fault plan,
+// arbitration policy, tear plan and journal strategy append, in that
+// order, only when active (the vocabularies are disjoint, so the
+// rendering stays unambiguous).
 func (c Config) String() string {
 	s := fmt.Sprintf("L%d/%s/%s", c.Layer, c.Org, c.AddrMap)
 	if c.Fault != "" && c.Fault != "none" {
@@ -186,6 +189,12 @@ func (c Config) String() string {
 	}
 	if c.Arb != "" {
 		s += "/" + c.Arb
+	}
+	if t := canonTear(c.Tear); t != "" {
+		s += "/" + t
+	}
+	if j := canonJournal(c.Journal); j != "" {
+		s += "/" + j
 	}
 	return s
 }
@@ -199,6 +208,13 @@ type Result struct {
 	Transactions uint64
 	Retries      uint64 // bus-error re-issues by the masters
 	Steps        uint64 // executed bytecodes
+
+	// Card-tear outcome (tear/journal configurations only; zero
+	// otherwise). RecoveryJ is the power-up replay's total energy, the
+	// exact meter delta of the recovery phase.
+	Torn      bool
+	CutCycle  uint64
+	RecoveryJ float64
 
 	// Metrics is the configuration's observability snapshot — per-phase
 	// and per-slave energy, occupancy, latency, fault counters. Only
@@ -409,6 +425,14 @@ func runPrepared(ctx context.Context, cfg Config, p prepared, char gatepower.Cha
 	if err := ctx.Err(); err != nil {
 		return Result{}, &CancelledError{Config: cfg, Workload: p.w.Name, Cause: err}
 	}
+	if canonTear(cfg.Tear) != "" || canonJournal(cfg.Journal) != "" {
+		// A tear plan or journal strategy promotes the run to the
+		// two-phase (session + power-up) persistent system. See tear.go.
+		// Clean configurations never enter this branch, which is what
+		// keeps Tear: "" sweep outputs byte-identical to the pre-tear
+		// harness.
+		return runTorn(ctx, cfg, p, char, metered)
+	}
 	if cfg.Layer == 3 {
 		// The analytic layer does not simulate cycles: it counts the
 		// configuration's traffic once and evaluates the calibrated
@@ -514,6 +538,15 @@ type SweepOpts struct {
 	// three-master contended system (CPU + crypto + DMA) under that
 	// policy. Empty means single-master only.
 	Arbs []string
+	// Tears is the card-tear sweep axis: "" (or "none") keeps the
+	// uninterrupted run, a named plan (tear.Names) cuts the supply
+	// deterministically mid-run. Empty means untorn only.
+	Tears []string
+	// Journals is the journaling-strategy sweep axis (journal.Names):
+	// "" (or "none") persists statics unjournaled, a named strategy
+	// routes them through the transaction journal. Empty means
+	// unjournaled only.
+	Journals []string
 	// Metrics attaches a private observability registry to every
 	// configuration run and stores its snapshot in Result.Metrics.
 	Metrics bool
@@ -569,8 +602,9 @@ type job struct {
 
 // enumerateJobs builds the cross product in canonical order (workloads
 // outer, then layers, organizations, maps, faults, arbitration
-// policies) with per-workload preparation hoisted. Workloads that fail
-// to prepare contribute an error instead of jobs.
+// policies, tear plans, journal strategies) with per-workload
+// preparation hoisted. Workloads that fail to prepare contribute an
+// error instead of jobs.
 func enumerateJobs(opts SweepOpts, layers []int, orgs []javacard.Organization, maps []string, workloads []javacard.Workload) ([]job, []error) {
 	faults := opts.Faults
 	if len(faults) == 0 {
@@ -579,6 +613,14 @@ func enumerateJobs(opts SweepOpts, layers []int, orgs []javacard.Organization, m
 	arbs := opts.Arbs
 	if len(arbs) == 0 {
 		arbs = []string{""}
+	}
+	tears := opts.Tears
+	if len(tears) == 0 {
+		tears = []string{""}
+	}
+	journals := opts.Journals
+	if len(journals) == 0 {
+		journals = []string{""}
 	}
 	var jobs []job
 	var prepErrs []error
@@ -593,7 +635,11 @@ func enumerateJobs(opts SweepOpts, layers []int, orgs []javacard.Organization, m
 				for _, m := range maps {
 					for _, f := range faults {
 						for _, a := range arbs {
-							jobs = append(jobs, job{idx: len(jobs), cfg: Config{Layer: l, Org: o, AddrMap: m, Fault: f, Arb: a}, p: p})
+							for _, t := range tears {
+								for _, j := range journals {
+									jobs = append(jobs, job{idx: len(jobs), cfg: Config{Layer: l, Org: o, AddrMap: m, Fault: f, Arb: a, Tear: t, Journal: j}, p: p})
+								}
+							}
 						}
 					}
 				}

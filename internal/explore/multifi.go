@@ -298,6 +298,12 @@ func SweepMultiFidelityContext(ctx context.Context, opts MultiFidelityOpts, laye
 			// are skipped as dominators below).
 			exempt[i] = true
 		}
+		if canonTear(j.cfg.Tear) != "" || canonJournal(j.cfg.Journal) != "" {
+			// Torn/journaled runs carry two-phase traffic (session +
+			// power-up replay) the analytic model was never fitted on:
+			// always confirm exactly, never prune by the clean prediction.
+			exempt[i] = true
+		}
 	}
 
 	// ---- ε-domination pruning, per workload.

@@ -15,6 +15,14 @@ import (
 //	grind  errors and storms combined, the worst-case soak
 var Names = []string{"none", "flaky", "storm", "grind"}
 
+// TearNames is the card-tear plan vocabulary of the -tear axis
+// (internal/tear's Names, duplicated here so the fault package — which
+// tear's clients sit below — can recognize them without an import
+// cycle; a consistency test in internal/tear keeps the two in sync).
+// Tear plans are power-loss events, not bus faults: they travel on
+// their own axis, and ParseNames rejects them with a pointer there.
+var TearNames = []string{"tear-early", "tear-mid", "tear-late"}
+
 // Named returns the canonical plan with the given name.
 func Named(name string) (Plan, bool) {
 	switch name {
@@ -62,8 +70,14 @@ func ParseNames(csv string) ([]string, error) {
 			continue
 		}
 		if _, ok := Named(name); !ok {
-			return nil, fmt.Errorf("fault: unknown plan %q (valid plans: %s)",
-				name, strings.Join(Names, ", "))
+			for _, tn := range TearNames {
+				if name == tn {
+					return nil, fmt.Errorf("fault: %q is a card-tear plan, not a fault plan — pass it via the -tear axis (fault plans: %s; tear plans: %s)",
+						name, strings.Join(Names, ", "), strings.Join(TearNames, ", "))
+				}
+			}
+			return nil, fmt.Errorf("fault: unknown plan %q (valid plans: %s; tear plans travel on the -tear axis: %s)",
+				name, strings.Join(Names, ", "), strings.Join(TearNames, ", "))
 		}
 		names = append(names, name)
 	}

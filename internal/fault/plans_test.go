@@ -46,4 +46,27 @@ func TestParseNamesUnknown(t *testing.T) {
 			t.Fatalf("error does not list valid plan %q: %v", n, err)
 		}
 	}
+	for _, n := range TearNames {
+		if !strings.Contains(err.Error(), n) {
+			t.Fatalf("error does not list tear plan %q: %v", n, err)
+		}
+	}
+}
+
+// A tear plan passed on the fault axis is a likely user mistake: the
+// rejection must say which axis it belongs to and still spell out both
+// vocabularies.
+func TestParseNamesTearPlanRedirects(t *testing.T) {
+	_, err := ParseNames("tear-mid")
+	if err == nil {
+		t.Fatal("tear plan accepted as a fault plan")
+	}
+	if !strings.Contains(err.Error(), "-tear axis") {
+		t.Fatalf("error does not redirect to the tear axis: %v", err)
+	}
+	for _, n := range append(append([]string{}, Names...), TearNames...) {
+		if !strings.Contains(err.Error(), n) {
+			t.Fatalf("error does not list %q: %v", n, err)
+		}
+	}
 }

@@ -123,6 +123,13 @@ type VM struct {
 	// meaningful: the address bus Hamming distance between code memory
 	// and stack SFRs depends on where the SFRs live).
 	FetchHook func(pc int)
+
+	// StaticHook, when set, is invoked after each committed static-field
+	// store (OpPutS) with the field index and value. The tear-aware
+	// platform model uses it to mirror static state into persistent
+	// memory through the transaction journal; a returned error (e.g.
+	// power loss) aborts the interpreter at that bytecode.
+	StaticHook func(idx int, v int16) error
 }
 
 // NewVM builds an interpreter over the given stack and runtime services.
@@ -308,6 +315,9 @@ func (vm *VM) Step() error {
 			return err
 		}
 		vm.statics[n] = v
+		if vm.StaticHook != nil {
+			return vm.StaticHook(int(n), v)
+		}
 		return nil
 	case OpGetF:
 		obj, err := vm.fetch()

@@ -161,6 +161,59 @@ func NewROM(name string, base, size uint64, addrWait, readWait int) *ROM {
 // WriteWord always fails: ROM is not writable.
 func (r *ROM) WriteWord(uint64, uint32, ecbus.Width) bool { return false }
 
+// TornWord describes the outcome of a power loss inside an NVM
+// programming window: the word whose programming was interrupted, the
+// value it held before the write, the value it was being programmed
+// to, the seeded indeterminate value it was left with, and the ordinal
+// (1-based) of the interrupted programming operation.
+type TornWord struct {
+	Addr    uint64
+	Old     uint32
+	New     uint32
+	Torn    uint32
+	Ordinal uint64
+}
+
+// splitmix64 is the corruption model's seed mixer: a tiny, well-known
+// integer hash whose output depends only on its input, so torn bit
+// patterns are reproducible from (seed, addr, ordinal) alone.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// inflight tracks the most recent programming operation of a self-timed
+// memory, so a tear landing inside its window can resolve the word to a
+// seeded indeterminate state.
+type inflight struct {
+	addr uint64
+	old  uint32
+	next uint32
+}
+
+// tearAt implements the partial-write corruption model shared by EEPROM
+// and Flash: if cycle lands inside the current programming window, the
+// interrupted word's differing bits each independently resolve to the
+// old or the new level under a seeded mask, and the torn value is
+// written back into the array. Bits the write did not change are stable
+// regardless of where the tear lands — only the cells being
+// reprogrammed are indeterminate. The mask is a function of (seed,
+// addr, ordinal) only, never of the cycle, so the corruption pattern is
+// identical across simulation layers that time the same operation
+// differently.
+func tearAt(a *array, in inflight, programs, busyUntil, cycle, seed uint64) (TornWord, bool) {
+	if programs == 0 || cycle >= busyUntil {
+		return TornWord{}, false
+	}
+	diff := in.old ^ in.next
+	mask := uint32(splitmix64(seed ^ splitmix64(in.addr) ^ programs))
+	torn := (in.old &^ diff) | (mask & diff)
+	a.setWord(in.addr, torn, 0xFFFF_FFFF)
+	return TornWord{Addr: in.addr, Old: in.old, New: in.next, Torn: torn, Ordinal: programs}, true
+}
+
 // EEPROM models the smart card's 32 kB data & program memory: reads are
 // moderately slow; a write starts a self-timed programming cycle of
 // ProgramCycles bus clocks during which any further access to the device
@@ -171,6 +224,7 @@ type EEPROM struct {
 	busyUntil     uint64
 	ProgramCycles uint64
 	programs      uint64 // completed programming operations
+	last          inflight
 }
 
 // NewEEPROM creates an EEPROM slave; clk supplies the current cycle for
@@ -192,10 +246,20 @@ func (e *EEPROM) WriteWord(addr uint64, data uint32, w ecbus.Width) bool {
 	if !e.cfg.Contains(addr) {
 		return false
 	}
+	old := e.word(addr)
 	e.setWord(addr, data, laneMask(addr, w))
+	e.last = inflight{addr: addr &^ 3, old: old, next: e.word(addr)}
 	e.busyUntil = e.clk.Cycle() + e.ProgramCycles
 	e.programs++
 	return true
+}
+
+// TearAt applies the partial-write corruption model for a power loss at
+// the given cycle: if it lands inside the current programming window,
+// the interrupted word is left in a seeded indeterminate state (written
+// into the array) and returned; otherwise the storage is untouched.
+func (e *EEPROM) TearAt(cycle, seed uint64) (TornWord, bool) {
+	return tearAt(&e.array, e.last, e.programs, e.busyUntil, cycle, seed)
 }
 
 // ExtraWait stalls any access landing inside a programming cycle.
@@ -223,6 +287,8 @@ type Flash struct {
 	clk           clock
 	busyUntil     uint64
 	ProgramCycles uint64
+	programs      uint64 // completed programming operations
+	last          inflight
 }
 
 // NewFlash creates a Flash slave.
@@ -243,9 +309,21 @@ func (f *Flash) WriteWord(addr uint64, data uint32, w ecbus.Width) bool {
 	if !f.cfg.Contains(addr) {
 		return false
 	}
+	old := f.word(addr)
 	f.setWord(addr, data, laneMask(addr, w))
+	f.last = inflight{addr: addr &^ 3, old: old, next: f.word(addr)}
 	f.busyUntil = f.clk.Cycle() + f.ProgramCycles
+	f.programs++
 	return true
+}
+
+// Programs returns the number of programming operations performed.
+func (f *Flash) Programs() uint64 { return f.programs }
+
+// TearAt applies the partial-write corruption model for a power loss at
+// the given cycle; see EEPROM.TearAt.
+func (f *Flash) TearAt(cycle, seed uint64) (TornWord, bool) {
+	return tearAt(&f.array, f.last, f.programs, f.busyUntil, cycle, seed)
 }
 
 // ExtraWait stalls accesses during programming.

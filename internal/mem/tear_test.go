@@ -1,0 +1,114 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/ecbus"
+)
+
+// tearClock is a settable cycle source for the self-timed memories.
+type tearClock struct{ c uint64 }
+
+func (f *tearClock) Cycle() uint64 { return f.c }
+
+func TestEEPROMTearInsideWindow(t *testing.T) {
+	clk := &tearClock{}
+	e := NewEEPROM("ee", 0x1000, 0x100, clk)
+	if !e.WriteWord(0x1000, 0xFFFF_FFFF, ecbus.W32) {
+		t.Fatal("seed write failed")
+	}
+	clk.c = e.BusyUntil() // drain the first window
+	old, next := uint32(0xFFFF_FFFF), uint32(0x0000_00FF)
+	clk.c = 100
+	if !e.WriteWord(0x1000, next, ecbus.W32) {
+		t.Fatal("write failed")
+	}
+
+	tw, torn := e.TearAt(100+e.ProgramCycles/2, 7)
+	if !torn {
+		t.Fatal("tear inside the programming window must corrupt")
+	}
+	if tw.Addr != 0x1000 || tw.Old != old || tw.New != next || tw.Ordinal != 2 {
+		t.Fatalf("torn word = %+v", tw)
+	}
+	diff := old ^ next
+	if tw.Torn&^diff != old&^diff {
+		t.Fatalf("stable bits changed: torn=%#x old=%#x diff=%#x", tw.Torn, old, diff)
+	}
+	if got, _ := e.ReadWord(0x1000, ecbus.W32); got != tw.Torn {
+		t.Fatalf("array holds %#x, want torn %#x", got, tw.Torn)
+	}
+}
+
+func TestEEPROMTearDeterministic(t *testing.T) {
+	run := func() TornWord {
+		clk := &tearClock{c: 50}
+		e := NewEEPROM("ee", 0, 0x100, clk)
+		e.WriteWord(0x10, 0xDEAD_BEEF, ecbus.W32)
+		tw, torn := e.TearAt(55, 42)
+		if !torn {
+			t.Fatal("expected a torn word")
+		}
+		return tw
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same (seed, cycle) must tear identically: %+v vs %+v", a, b)
+	}
+
+	// The corruption pattern depends on (seed, addr, ordinal), never on
+	// the cut cycle — the property that makes named tear plans portable
+	// across simulation layers with different timing.
+	clk := &tearClock{c: 50}
+	e := NewEEPROM("ee", 0, 0x100, clk)
+	e.WriteWord(0x10, 0xDEAD_BEEF, ecbus.W32)
+	late, torn := e.TearAt(79, 42) // still inside the 32-cycle window
+	if !torn {
+		t.Fatal("expected a torn word")
+	}
+	if late.Torn != a.Torn {
+		t.Fatalf("corruption must not depend on cut cycle: %#x vs %#x", late.Torn, a.Torn)
+	}
+
+	clk2 := &tearClock{c: 50}
+	e2 := NewEEPROM("ee", 0, 0x100, clk2)
+	e2.WriteWord(0x10, 0xDEAD_BEEF, ecbus.W32)
+	other, _ := e2.TearAt(55, 43)
+	if other.Torn == a.Torn {
+		t.Fatalf("different seeds should (here) tear differently: both %#x", other.Torn)
+	}
+}
+
+func TestEEPROMTearOutsideWindow(t *testing.T) {
+	clk := &tearClock{}
+	e := NewEEPROM("ee", 0, 0x100, clk)
+	if _, torn := e.TearAt(0, 1); torn {
+		t.Fatal("never-programmed device must not tear")
+	}
+	e.WriteWord(0x20, 0x1234_5678, ecbus.W32)
+	if _, torn := e.TearAt(e.BusyUntil(), 1); torn {
+		t.Fatal("tear at/after busyUntil must not corrupt")
+	}
+	if got, _ := e.ReadWord(0x20, ecbus.W32); got != 0x1234_5678 {
+		t.Fatalf("completed write clobbered: %#x", got)
+	}
+}
+
+func TestFlashTear(t *testing.T) {
+	clk := &tearClock{c: 10}
+	f := NewFlash("fl", 0, 0x100, clk)
+	f.WriteWord(0x40, 0xA5A5_A5A5, ecbus.W32)
+	if f.Programs() != 1 {
+		t.Fatalf("Programs = %d, want 1", f.Programs())
+	}
+	tw, torn := f.TearAt(15, 9)
+	if !torn {
+		t.Fatal("tear inside the flash window must corrupt")
+	}
+	if tw.Old != 0 || tw.New != 0xA5A5_A5A5 {
+		t.Fatalf("torn word = %+v", tw)
+	}
+	if got, _ := f.ReadWord(0x40, ecbus.W32); got != tw.Torn {
+		t.Fatalf("array holds %#x, want torn %#x", got, tw.Torn)
+	}
+}

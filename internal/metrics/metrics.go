@@ -139,6 +139,34 @@ type ArbCounters struct {
 	EnergyJ     float64
 }
 
+// TearCounters records a run's card-tear outcome: whether the supply
+// was cut, where, and how much corruption it left. The zero value
+// means the run was never torn and nothing is reported.
+type TearCounters struct {
+	Torn         uint64 // 1 if the monitor latched
+	CutCycle     uint64 // cycle the supply died at
+	CutOp        uint64 // NVM programming-op ordinal the cut landed in (0 = cycle/joule trigger)
+	CorruptWords uint64 // words left indeterminate by the partial write
+}
+
+// JournalCounters aggregates the transaction journal's activity — the
+// write-path traffic and the power-up replay with its per-phase energy
+// attribution. The phase figures are exact deltas of shared meter
+// samples (see journal.Recovery), so they telescope bit-exactly. The
+// zero value means the run was unjournaled and nothing is reported.
+type JournalCounters struct {
+	Records         uint64 // journal record words written
+	Markers         uint64 // commit markers written
+	Commits         uint64 // transactions made durable
+	InPlaceWrites   uint64 // in-place data writes
+	FramesReplayed  uint64 // frames the power-up scan found valid
+	FramesDiscarded uint64 // torn tail frames discarded
+	WordsApplied    uint64 // words rewritten by replay
+	ScanJ           float64
+	ApplyJ          float64
+	FinalizeJ       float64
+}
+
 // FaultCounters aggregates injected-fault events observed by
 // fault.Injector instances attached to the registry.
 type FaultCounters struct {
@@ -194,6 +222,8 @@ type Registry struct {
 	fault    FaultCounters
 	fidelity FidelityCounters
 	arb      ArbCounters
+	tear     TearCounters
+	journal  JournalCounters
 }
 
 // New creates an enabled registry labelled with the abstraction layer
@@ -476,4 +506,43 @@ func (r *Registry) FaultStretch(n int) {
 		return
 	}
 	r.fault.Stretched += uint64(n)
+}
+
+// TearCut books the card-tear outcome: the cut position and the number
+// of words the partial write left indeterminate.
+func (r *Registry) TearCut(cutCycle, cutOp, corruptWords uint64) {
+	if r == nil {
+		return
+	}
+	r.tear.Torn = 1
+	r.tear.CutCycle = cutCycle
+	r.tear.CutOp = cutOp
+	r.tear.CorruptWords += corruptWords
+}
+
+// JournalActivity books the write-path journal traffic of a run.
+func (r *Registry) JournalActivity(records, markers, commits, inPlace uint64) {
+	if r == nil {
+		return
+	}
+	r.journal.Records += records
+	r.journal.Markers += markers
+	r.journal.Commits += commits
+	r.journal.InPlaceWrites += inPlace
+}
+
+// JournalReplay books a power-up replay: frame outcomes plus the
+// per-phase recovery energy. The phase figures are stored verbatim —
+// they are exact meter deltas and must stay bit-identical to the
+// journal.Recovery that produced them.
+func (r *Registry) JournalReplay(replayed, discarded, wordsApplied uint64, scanJ, applyJ, finalizeJ float64) {
+	if r == nil {
+		return
+	}
+	r.journal.FramesReplayed += replayed
+	r.journal.FramesDiscarded += discarded
+	r.journal.WordsApplied += wordsApplied
+	r.journal.ScanJ = scanJ
+	r.journal.ApplyJ = applyJ
+	r.journal.FinalizeJ = finalizeJ
 }

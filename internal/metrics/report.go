@@ -48,6 +48,8 @@ type Snapshot struct {
 	Fault    FaultCounters
 	Fidelity FidelityCounters
 	Arb      ArbCounters
+	Tear     TearCounters
+	Journal  JournalCounters
 }
 
 // Snapshot returns a copy of the registry's current state. Call
@@ -80,6 +82,8 @@ func (r *Registry) Snapshot() Snapshot {
 		Fault:         r.fault,
 		Fidelity:      r.fidelity,
 		Arb:           r.arb,
+		Tear:          r.tear,
+		Journal:       r.journal,
 	}
 	for k := 0; k < int(NumPhaseKinds); k++ {
 		s.EnergyJ[k] = r.phase[k].sum
@@ -175,6 +179,19 @@ func (s Snapshot) Table() string {
 		fmt.Fprintf(&b, "  multi-fidelity: screened %d  pruned %d  confirmed %d  screen %.3fms  confirm %.3fms\n",
 			fi.Screened, fi.Pruned, fi.Confirmed,
 			float64(fi.ScreenNanos)/1e6, float64(fi.ConfirmNanos)/1e6)
+	}
+	if tc := s.Tear; tc != (TearCounters{}) {
+		fmt.Fprintf(&b, "  tear: cut at cycle %d (program op %d)  %d words corrupted\n",
+			tc.CutCycle, tc.CutOp, tc.CorruptWords)
+	}
+	if j := s.Journal; j != (JournalCounters{}) {
+		fmt.Fprintf(&b, "  journal: %d records  %d markers  %d commits  %d in-place writes\n",
+			j.Records, j.Markers, j.Commits, j.InPlaceWrites)
+		if j.FramesReplayed+j.FramesDiscarded+j.WordsApplied > 0 {
+			fmt.Fprintf(&b, "  replay: %d frames applied  %d discarded  %d words  scan %s  apply %s  finalize %s\n",
+				j.FramesReplayed, j.FramesDiscarded, j.WordsApplied,
+				fmtJ(j.ScanJ), fmtJ(j.ApplyJ), fmtJ(j.FinalizeJ))
+		}
 	}
 	return b.String()
 }

@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTearAndJournalCounters(t *testing.T) {
+	r := New("L1")
+	r.TearCut(1234, 8, 1)
+	r.JournalActivity(10, 3, 3, 5)
+	r.JournalActivity(2, 1, 1, 1)
+	r.JournalReplay(3, 1, 7, 1e-9, 2e-9, 0.5e-9)
+	s := r.Snapshot()
+
+	if s.Tear.Torn != 1 || s.Tear.CutCycle != 1234 || s.Tear.CutOp != 8 || s.Tear.CorruptWords != 1 {
+		t.Fatalf("tear counters %+v", s.Tear)
+	}
+	j := s.Journal
+	if j.Records != 12 || j.Markers != 4 || j.Commits != 4 || j.InPlaceWrites != 6 {
+		t.Fatalf("journal activity %+v", j)
+	}
+	if j.FramesReplayed != 3 || j.FramesDiscarded != 1 || j.WordsApplied != 7 {
+		t.Fatalf("replay counters %+v", j)
+	}
+	// The phase energies are stored verbatim, not re-accumulated.
+	if j.ScanJ != 1e-9 || j.ApplyJ != 2e-9 || j.FinalizeJ != 0.5e-9 {
+		t.Fatalf("phase energies %+v", j)
+	}
+
+	tbl := s.Table()
+	for _, want := range []string{"tear: cut at cycle 1234", "journal: 12 records", "replay: 3 frames applied"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("table misses %q:\n%s", want, tbl)
+		}
+	}
+}
+
+func TestTearAndJournalNilRegistry(t *testing.T) {
+	var r *Registry
+	r.TearCut(1, 1, 1)
+	r.JournalActivity(1, 1, 1, 1)
+	r.JournalReplay(1, 1, 1, 1, 1, 1)
+	if s := r.Snapshot(); s.Tear != (TearCounters{}) || s.Journal != (JournalCounters{}) {
+		t.Fatal("nil registry must record nothing")
+	}
+}
+
+// A clean (untorn, unjournaled) snapshot must render no tear or
+// journal lines at all — the axes stay invisible unless used, which is
+// what keeps pre-PR table output byte-identical.
+func TestTableOmitsZeroTearJournal(t *testing.T) {
+	s := New("L1").Snapshot()
+	tbl := s.Table()
+	if strings.Contains(tbl, "tear:") || strings.Contains(tbl, "journal:") {
+		t.Fatalf("zero counters rendered:\n%s", tbl)
+	}
+}

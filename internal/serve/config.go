@@ -15,6 +15,8 @@ import (
 	"repro/internal/explore"
 	"repro/internal/fault"
 	"repro/internal/javacard"
+	"repro/internal/journal"
+	"repro/internal/tear"
 )
 
 // POST /v1/config: one sweep configuration — the work-stealing unit of
@@ -34,6 +36,8 @@ type ConfigRequest struct {
 	AddrMap    string `json:"addr_map"`
 	Fault      string `json:"fault,omitempty"`
 	Arb        string `json:"arb,omitempty"`
+	Tear       string `json:"tear,omitempty"`
+	Journal    string `json:"journal,omitempty"`
 	DeadlineMs int64  `json:"deadline_ms,omitempty"`
 }
 
@@ -46,6 +50,8 @@ type canonConfig struct {
 	AddrMap  string
 	Fault    string
 	Arb      string
+	Tear     string
+	Journal  string
 }
 
 func canonicalizeConfig(req ConfigRequest) (canonConfig, error) {
@@ -75,6 +81,28 @@ func canonicalizeConfig(req ConfigRequest) (canonConfig, error) {
 			return c, fmt.Errorf("serve: unknown arbitration policy %q", req.Arb)
 		}
 		c.Arb = arbs[0]
+	}
+	if req.Tear != "" && req.Tear != "none" {
+		if _, ok := tear.Named(req.Tear); !ok {
+			return c, fmt.Errorf("serve: unknown tear plan %q (valid plans: %s)",
+				req.Tear, strings.Join(tear.Names, ", "))
+		}
+		c.Tear = req.Tear
+	}
+	if req.Journal != "" && req.Journal != "none" {
+		if _, ok := journal.Named(req.Journal); !ok {
+			return c, fmt.Errorf("serve: unknown journal strategy %q (valid strategies: %s)",
+				req.Journal, strings.Join(journal.Names, ", "))
+		}
+		c.Journal = req.Journal
+	}
+	if c.Tear != "" || c.Journal != "" {
+		if c.Layer != 1 && c.Layer != 2 {
+			return c, fmt.Errorf("serve: tear/journal configurations need timed layers (1, 2); layer %d requested", c.Layer)
+		}
+		if c.Arb != "" {
+			return c, fmt.Errorf("serve: tear/journal configurations are single-master only; arbitration %q requested", c.Arb)
+		}
 	}
 	found := false
 	for _, w := range javacard.Workloads() {
@@ -108,8 +136,8 @@ func hashWorkload(h interface{ Write([]byte) (int, error) }, w javacard.Workload
 // bytes that would not be bit-identical.
 func (c canonConfig) key() string {
 	h := sha256.New()
-	fmt.Fprintf(h, "%s\x00config\x00%s\x00layer=%d\x00org=%s\x00map=%s\x00fault=%s\x00arb=%s\x00",
-		Version, calib.Version, c.Layer, c.Org.String(), c.AddrMap, c.Fault, c.Arb)
+	fmt.Fprintf(h, "%s\x00config\x00%s\x00layer=%d\x00org=%s\x00map=%s\x00fault=%s\x00arb=%s\x00tear=%s\x00journal=%s\x00",
+		Version, calib.Version, c.Layer, c.Org.String(), c.AddrMap, c.Fault, c.Arb, c.Tear, c.Journal)
 	hashWorkload(h, c.Workload)
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -118,14 +146,21 @@ func (c canonConfig) key() string {
 // and renders its NDJSON row — byte-identical to the line the same
 // configuration contributes inside a full sweep body.
 func computeConfig(ctx context.Context, c canonConfig) ([]byte, error) {
-	var faults, arbs []string
+	var faults, arbs, tears, journals []string
 	if c.Fault != "" {
 		faults = []string{c.Fault}
 	}
 	if c.Arb != "" {
 		arbs = []string{c.Arb}
 	}
-	results, err := explore.SweepContext(ctx, explore.SweepOpts{Workers: 1, Faults: faults, Arbs: arbs},
+	if c.Tear != "" {
+		tears = []string{c.Tear}
+	}
+	if c.Journal != "" {
+		journals = []string{c.Journal}
+	}
+	results, err := explore.SweepContext(ctx,
+		explore.SweepOpts{Workers: 1, Faults: faults, Arbs: arbs, Tears: tears, Journals: journals},
 		[]int{c.Layer}, []javacard.Organization{c.Org}, []string{c.AddrMap}, []javacard.Workload{c.Workload})
 	if cerr := ctx.Err(); cerr != nil {
 		return nil, cerr
@@ -236,8 +271,8 @@ func ConfigKey(req ConfigRequest) (string, error) {
 // ExpandSweep canonicalizes a sweep request and enumerates its cross
 // product as ConfigRequests in exactly the order the rows appear in a
 // single-node sweep body (workloads outer, then layers, organizations,
-// maps, faults, arbitration policies — explore's canonical order). The
-// coordinator fans these
+// maps, faults, arbitration policies, tear plans, journal strategies —
+// explore's canonical order). The coordinator fans these
 // out and reassembles the body by concatenating the returned rows in
 // this order, then appending the trailer.
 func ExpandSweep(req SweepRequest) (key string, configs []ConfigRequest, err error) {
@@ -253,21 +288,35 @@ func ExpandSweep(req SweepRequest) (key string, configs []ConfigRequest, err err
 	if len(arbs) == 0 {
 		arbs = []string{""}
 	}
+	tears := c.Tears
+	if len(tears) == 0 {
+		tears = []string{""}
+	}
+	journals := c.Journals
+	if len(journals) == 0 {
+		journals = []string{""}
+	}
 	for _, w := range c.Workloads {
 		for _, l := range c.Layers {
 			for _, o := range c.Orgs {
 				for _, m := range c.Maps {
 					for _, f := range faults {
 						for _, a := range arbs {
-							configs = append(configs, ConfigRequest{
-								Workload:   w.Name,
-								Layer:      l,
-								Org:        o.String(),
-								AddrMap:    m,
-								Fault:      f,
-								Arb:        a,
-								DeadlineMs: req.DeadlineMs,
-							})
+							for _, tp := range tears {
+								for _, j := range journals {
+									configs = append(configs, ConfigRequest{
+										Workload:   w.Name,
+										Layer:      l,
+										Org:        o.String(),
+										AddrMap:    m,
+										Fault:      f,
+										Arb:        a,
+										Tear:       tp,
+										Journal:    j,
+										DeadlineMs: req.DeadlineMs,
+									})
+								}
+							}
 						}
 					}
 				}

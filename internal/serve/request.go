@@ -20,7 +20,7 @@ import (
 // required whenever a change legitimately moves an energy figure (a
 // model fix, a corpus change). Caching is only sound because the
 // simulators are deterministic; the golden gate keeps them that way.
-const Version = "ecserve/2"
+const Version = "ecserve/3"
 
 // EstimateRequest asks for one corpus × layer × fault-plan energy
 // estimation point: the body of POST /v1/estimate.
@@ -147,6 +147,8 @@ type SweepRequest struct {
 	Workloads []string `json:"workloads,omitempty"` // default all named workloads
 	Faults    []string `json:"faults,omitempty"`    // named plans; empty = clean only
 	Arbs      []string `json:"arbs,omitempty"`      // arbitration policies; empty = single master
+	Tears     []string `json:"tears,omitempty"`     // card-tear plans (tear.Names); empty = never torn
+	Journals  []string `json:"journals,omitempty"`  // journal strategies (journal.Names); empty = unjournaled
 	// Fidelity selects how the sweep spends its time (explore.Fidelities):
 	// "exhaustive" (default) evaluates every configuration at its
 	// requested layer; "screen" returns analytic predictions only;
@@ -171,6 +173,8 @@ type SweepRow struct {
 	AddrMap    string  `json:"addr_map"`
 	Fault      string  `json:"fault,omitempty"`
 	Arb        string  `json:"arb,omitempty"`
+	Tear       string  `json:"tear,omitempty"`    // card-tear plan of this cell
+	Journal    string  `json:"journal,omitempty"` // journal strategy of this cell
 	Cycles     uint64  `json:"cycles"`
 	EnergyJ    float64 `json:"energy_j"`
 	EnergyBits string  `json:"energy_bits"`
@@ -179,6 +183,13 @@ type SweepRow struct {
 	Steps      uint64  `json:"steps"`
 	Predicted  bool    `json:"predicted,omitempty"`
 	Kept       bool    `json:"kept,omitempty"`
+
+	// Card-tear outcome (tear/journal cells only; absent otherwise, so
+	// clean sweep bodies stay byte-identical to prior versions).
+	Torn         bool    `json:"torn,omitempty"`
+	CutCycle     uint64  `json:"cut_cycle,omitempty"`
+	RecoveryJ    float64 `json:"recovery_j,omitempty"`
+	RecoveryBits string  `json:"recovery_bits,omitempty"`
 }
 
 // SweepTrailer is the final NDJSON line of a sweep response. The
@@ -210,6 +221,8 @@ type canonSweep struct {
 	Workloads []javacard.Workload
 	Faults    []string
 	Arbs      []string
+	Tears     []string
+	Journals  []string
 	Fidelity  explore.Fidelity
 }
 
@@ -306,7 +319,57 @@ func canonicalizeSweep(req SweepRequest) (canonSweep, error) {
 		}
 		c.Arbs = arbs
 	}
+	if len(req.Tears) > 0 {
+		tears, err := explore.ParseTears(strings.Join(req.Tears, ","))
+		if err != nil {
+			return c, fmt.Errorf("serve: %w", err)
+		}
+		c.Tears = tears
+	}
+	if len(req.Journals) > 0 {
+		journals, err := explore.ParseJournals(strings.Join(req.Journals, ","))
+		if err != nil {
+			return c, fmt.Errorf("serve: %w", err)
+		}
+		c.Journals = journals
+	}
+	if err := validateTearCombos(c); err != nil {
+		return c, err
+	}
 	return c, nil
+}
+
+// validateTearCombos rejects tear/journal axes that some requested
+// cell could not evaluate: card-tear injection needs a timed
+// single-master bus, so an active tear plan or journal strategy is
+// incompatible with layer 3 and with arbitration policies. Lists
+// containing only "none" (canonicalized to "") stay unrestricted.
+func validateTearCombos(c canonSweep) error {
+	active := false
+	for _, t := range c.Tears {
+		if t != "" {
+			active = true
+		}
+	}
+	for _, j := range c.Journals {
+		if j != "" {
+			active = true
+		}
+	}
+	if !active {
+		return nil
+	}
+	for _, l := range c.Layers {
+		if l != 1 && l != 2 {
+			return fmt.Errorf("serve: tear/journal axes need timed layers (1, 2); layer %d requested", l)
+		}
+	}
+	for _, a := range c.Arbs {
+		if a != "" {
+			return fmt.Errorf("serve: tear/journal axes are single-master only; arbitration %q requested", a)
+		}
+	}
+	return nil
 }
 
 // key content-addresses the sweep: every axis in request order plus a
@@ -318,8 +381,8 @@ func (c canonSweep) key() string {
 	// The calibration version is part of the address: layer-3 rows and
 	// the screen/confirm fidelities are functions of the fitted model,
 	// so a new fit procedure must miss the old cache entries.
-	fmt.Fprintf(h, "%s\x00sweep\x00%s\x00fidelity=%s\x00layers=%v\x00orgs=%v\x00maps=%v\x00faults=%v\x00arbs=%v\x00",
-		Version, calib.Version, c.Fidelity, c.Layers, c.OrgNames, c.Maps, c.Faults, c.Arbs)
+	fmt.Fprintf(h, "%s\x00sweep\x00%s\x00fidelity=%s\x00layers=%v\x00orgs=%v\x00maps=%v\x00faults=%v\x00arbs=%v\x00tears=%v\x00journals=%v\x00",
+		Version, calib.Version, c.Fidelity, c.Layers, c.OrgNames, c.Maps, c.Faults, c.Arbs, c.Tears, c.Journals)
 	for _, w := range c.Workloads {
 		hashWorkload(h, w)
 	}

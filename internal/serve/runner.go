@@ -75,7 +75,8 @@ func EnergyFromBits(s string) (float64, error) {
 // exactly as it always has; the screen and confirm fidelities add
 // their accounting to the trailer.
 func (s *Server) computeSweep(ctx context.Context, key string, c canonSweep) ([]byte, error) {
-	opts := explore.SweepOpts{Workers: s.opts.SweepWorkers, Faults: c.Faults, Arbs: c.Arbs}
+	opts := explore.SweepOpts{Workers: s.opts.SweepWorkers, Faults: c.Faults, Arbs: c.Arbs,
+		Tears: c.Tears, Journals: c.Journals}
 	if c.Fidelity != explore.FidelityExhaustive {
 		return s.computeSweepMultiFi(ctx, key, c, opts)
 	}
@@ -164,20 +165,32 @@ func (s *Server) computeSweepMultiFi(ctx context.Context, key string, c canonSwe
 
 // exactRow renders one exact sweep result as its NDJSON row.
 func exactRow(r explore.Result) SweepRow {
-	return SweepRow{
+	row := SweepRow{
 		Workload:   r.Workload,
 		Layer:      r.Config.Layer,
 		Org:        r.Config.Org.String(),
 		AddrMap:    r.Config.AddrMap,
 		Fault:      r.Config.Fault,
 		Arb:        r.Config.Arb,
+		Tear:       r.Config.Tear,
+		Journal:    r.Config.Journal,
 		Cycles:     r.Cycles,
 		EnergyJ:    r.BusEnergyJ,
 		EnergyBits: EnergyBits(r.BusEnergyJ),
 		Tx:         r.Transactions,
 		Retries:    r.Retries,
 		Steps:      r.Steps,
+		Torn:       r.Torn,
+		CutCycle:   r.CutCycle,
+		RecoveryJ:  r.RecoveryJ,
 	}
+	// The recovery figure gets the same bit-pattern treatment as the
+	// energy total, but only when a replay actually ran — clean rows
+	// must stay byte-identical to prior renderings.
+	if r.RecoveryJ != 0 {
+		row.RecoveryBits = EnergyBits(r.RecoveryJ)
+	}
+	return row
 }
 
 // epsByLayer renders the per-layer ε map with decimal string keys —

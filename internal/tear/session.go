@@ -1,0 +1,134 @@
+package tear
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/apdu"
+	"repro/internal/journal"
+	"repro/internal/platform"
+)
+
+// DefaultSession is the tear-aware multi-applet workload: the terminal
+// authenticates against the PIN applet, then runs wallet traffic —
+// every debit/credit a two-word persistent update — and checks the
+// retry budget on the way out. It exercises both applets' persistent
+// state in one power cycle, so a tear anywhere inside it leaves
+// something for the journal to prove.
+func DefaultSession() []apdu.Command {
+	return []apdu.Command{
+		{CLA: apdu.ClaWallet, INS: apdu.InsSelect, Data: append([]byte{}, apdu.AuthAID...)},
+		{CLA: apdu.ClaWallet, INS: apdu.InsVerify, Data: append([]byte{}, apdu.DefaultPIN...)},
+		{CLA: apdu.ClaWallet, INS: apdu.InsSelect, Data: append([]byte{}, apdu.WalletAID...)},
+		{CLA: apdu.ClaWallet, INS: apdu.InsBalance, Le: 2},
+		{CLA: apdu.ClaWallet, INS: apdu.InsDebit, Data: []byte{0x00, 0x64}},  // -100
+		{CLA: apdu.ClaWallet, INS: apdu.InsCredit, Data: []byte{0x00, 0x32}}, // +50
+		{CLA: apdu.ClaWallet, INS: apdu.InsDebit, Data: []byte{0x00, 0x0A}},  // -10
+		{CLA: apdu.ClaWallet, INS: apdu.InsBalance, Le: 2},
+		{CLA: apdu.ClaWallet, INS: apdu.InsSelect, Data: append([]byte{}, apdu.AuthAID...)},
+		{CLA: apdu.ClaWallet, INS: apdu.InsTries, Le: 1},
+	}
+}
+
+// SessionResult reports one tear-aware session: the terminal exchange
+// up to the cut, the power-loss outcome, and the recovery that
+// followed.
+type SessionResult struct {
+	Responses []apdu.Response // responses completed before the cut
+	Torn      bool
+	CutCycle  uint64 // kernel cycle of the cut (0 when untorn)
+
+	// CommitLog is the sequence numbers of the frames made durable
+	// before the cut, in commit order — the committed prefix a recovered
+	// card must reproduce.
+	CommitLog []uint32
+	// Committed is the durable words at the cut, keyed by bus address.
+	Committed map[uint64]uint32
+
+	Recovery journal.Recovery // power-up replay outcome (journaled runs)
+
+	SessionJ  float64 // energy up to (and including) the cut
+	RecoveryJ float64 // power-up replay energy, exact meter delta
+	TotalJ    float64 // SessionJ + replay + verification traffic
+	Cycles    uint64  // kernel cycles including recovery
+}
+
+// RunSession runs the multi-applet APDU workload on a fresh platform
+// at the given layer, with the card's persistent writes journaled
+// under strat (Empty = in place) and the supply cut by plan (Empty =
+// never). A torn session powers the card back up on the same device,
+// replays the journal, and verifies that every committed word
+// survived; losing one is an error. The plan's joule budget watches
+// the platform's running total energy; its program-op ordinals count
+// the EEPROM's programming operations — both bit-exact, layer-portable
+// observables.
+func RunSession(layer platform.Layer, plan Plan, strat journal.Strategy) (SessionResult, error) {
+	var res SessionResult
+	p := platform.New(platform.Config{Layer: layer, Energy: true})
+	if err := p.EEPROM.LoadWords(0, []uint32{1000}); err != nil {
+		return res, err
+	}
+
+	card := apdu.NewCard(p.Kernel, p.Bus, platform.UARTBase, platform.EEPROMBase)
+	card.UseJournal(strat)
+	if jw := card.Journal(); jw != nil {
+		jw.OnCommit = func(seq uint32) { res.CommitLog = append(res.CommitLog, seq) }
+	}
+	var mon *Monitor
+	if !plan.Empty() {
+		mon = NewMonitor(plan, p.Kernel.Cycle, p.TotalEnergy, p.EEPROM.Programs)
+		card.Monitor = mon
+	}
+
+	resps, err := card.Session(p.UART, DefaultSession())
+	res.Responses = resps
+	switch {
+	case err == nil:
+	case errors.Is(err, journal.ErrPowerLost):
+		res.Torn = true
+		res.CutCycle = mon.CutCycle()
+	default:
+		return res, err
+	}
+	res.SessionJ = p.TotalEnergy()
+
+	// Snapshot the committed prefix before recovery mutates anything.
+	res.Committed = map[uint64]uint32{}
+	for a, v := range card.Committed() {
+		res.Committed[a] = v
+	}
+
+	if res.Torn {
+		// The cut may have landed inside an EEPROM programming window;
+		// corrupt the in-flight word exactly as the exploration harness
+		// does (same seed, same ordinal keying).
+		p.EEPROM.TearAt(mon.CutCycle(), plan.Seed)
+
+		// Power up: a fresh card instance on the same device replays the
+		// journal. The torn card's RAM state (selected applet, buffered
+		// lazy writes) is gone — that is the tear.
+		fresh := apdu.NewCard(p.Kernel, p.Bus, platform.UARTBase, platform.EEPROMBase)
+		fresh.UseJournal(strat)
+		rec, err := fresh.PowerUp(p.TotalEnergy, nil)
+		if err != nil {
+			return res, fmt.Errorf("tear: power-up replay: %w", err)
+		}
+		res.Recovery = rec
+		res.RecoveryJ = rec.BoundsJ[3] - rec.BoundsJ[0]
+
+		// The committed prefix must have survived.
+		for addr, want := range res.Committed {
+			got, err := fresh.ReadWord(addr)
+			if err != nil {
+				return res, err
+			}
+			if got != want {
+				return res, fmt.Errorf("tear: recovery lost %#x: device %#x, committed %#x",
+					addr, got, want)
+			}
+		}
+	}
+	res.TotalJ = p.TotalEnergy()
+	res.Cycles = p.Kernel.Cycle()
+	return res, nil
+}

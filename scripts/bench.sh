@@ -4,10 +4,11 @@
 # family (serial reference vs batched engine across lane widths and
 # memory organizations) and the multi-fidelity sweep family (analytic
 # per-config screening, screened-pruned-confirmed sweep vs exhaustive
-# sweep on the enlarged design space) and the cluster cached-hit
-# serving family (1-node vs 2-node replay throughput), with a
-# machine-readable JSON table emitted alongside the usual go test
-# output.
+# sweep on the enlarged design space), the cluster cached-hit
+# serving family (1-node vs 2-node replay throughput) and the
+# card-tear session family (torn session + power-up replay per
+# journaling strategy), with a machine-readable JSON table emitted
+# alongside the usual go test output.
 #
 #   BENCHTIME=20x ./scripts/bench.sh       # per-benchmark time/iterations
 #   BENCH_OUT=path.json ./scripts/bench.sh # where the JSON table goes
@@ -16,8 +17,8 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-10x}"
-BENCH_OUT="${BENCH_OUT:-BENCH_8.json}"
-BENCH_RE="${BENCH_RE:-BenchmarkTable3_|BenchmarkBatchCorpus_|BenchmarkScreenConfig|BenchmarkSweepMultiFidelity|BenchmarkSweepExhaustive|BenchmarkClusterCached}"
+BENCH_OUT="${BENCH_OUT:-BENCH_10.json}"
+BENCH_RE="${BENCH_RE:-BenchmarkTable3_|BenchmarkBatchCorpus_|BenchmarkScreenConfig|BenchmarkSweepMultiFidelity|BenchmarkSweepExhaustive|BenchmarkClusterCached|BenchmarkTearSession}"
 
 out=$(go test -run '^$' -bench "$BENCH_RE" \
 	-benchtime "$BENCHTIME" -benchmem .)

@@ -17,9 +17,12 @@ repro/internal/calib:70
 repro/internal/cluster:70
 repro/internal/arb:70
 repro/internal/dma:70
+repro/internal/apdu:70
+repro/internal/journal:70
+repro/internal/tear:70
 "
 
-out=$(go test -cover ./internal/metrics/ ./internal/fault/ ./internal/checker/ ./internal/batch/ ./internal/tlm3/ ./internal/calib/ ./internal/cluster/ ./internal/arb/ ./internal/dma/)
+out=$(go test -cover ./internal/metrics/ ./internal/fault/ ./internal/checker/ ./internal/batch/ ./internal/tlm3/ ./internal/calib/ ./internal/cluster/ ./internal/arb/ ./internal/dma/ ./internal/apdu/ ./internal/journal/ ./internal/tear/)
 echo "$out"
 
 fail=0

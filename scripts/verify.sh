@@ -14,8 +14,8 @@ go test ./...
 echo "== vet"
 go vet ./...
 
-echo "== race gate (explore, sim, fault, serve, batch, tlm3, calib, cluster, arb, dma, crypto)"
-go test -race ./internal/explore/... ./internal/sim/... ./internal/fault/... ./internal/serve/... ./internal/batch/... ./internal/tlm3/... ./internal/calib/... ./internal/cluster/... ./internal/arb/... ./internal/dma/... ./internal/crypto/...
+echo "== race gate (explore, sim, fault, serve, batch, tlm3, calib, cluster, arb, dma, crypto, tear, journal)"
+go test -race ./internal/explore/... ./internal/sim/... ./internal/fault/... ./internal/serve/... ./internal/batch/... ./internal/tlm3/... ./internal/calib/... ./internal/cluster/... ./internal/arb/... ./internal/dma/... ./internal/crypto/... ./internal/tear/... ./internal/journal/...
 
 echo "== coverage floors"
 ./scripts/cover.sh
@@ -28,6 +28,17 @@ go test -run '^$' -fuzz '^FuzzArbiterGrant$' -fuzztime 10s ./internal/arb/
 
 echo "== fault-plan smoke (ecbench)"
 go run ./cmd/ecbench -fault grind > /dev/null
+
+echo "== card-tear smoke (seeded tear -> replay; a lost committed word fails the run)"
+# tear.RunSession verifies every committed word against the recovered
+# device, so a torn grid cell completing at all is the recovery check.
+tearout=$(go run ./cmd/ecbench -tear none,tear-mid -journal word-eager,page-lazy)
+echo "$tearout" | head -3
+echo "$tearout" | grep -q " true " || {
+	echo "verify: tear grid produced no torn cell" >&2; exit 1; }
+go run ./cmd/jcexplore -layer 1 -workload wallet -tear tear-mid -journal word-eager \
+	| grep -q "tear-mid/word-eager" || {
+	echo "verify: jcexplore tear axis rows missing" >&2; exit 1; }
 
 echo "== multi-fidelity smoke (jcexplore -fidelity confirm)"
 mf=$(go run ./cmd/jcexplore -fidelity confirm -workload arith-loop | head -1)
